@@ -1,0 +1,68 @@
+// A1 — Ablations of the two tunable constants the paper fixes:
+//  (a) the TAP vote threshold |Ce|/8 (Line 5 of §3): smaller denominators
+//      accept fewer candidates per iteration (more iterations, potentially
+//      better weight); larger ones accept more aggressively.
+//  (b) the §4 phase length M (p doubles every M log n iterations): shorter
+//      phases finish faster but violate the degree-decay argument more
+//      often, which can cost approximation quality.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_2ecss.hpp"
+#include "ecss/distributed_kecss.hpp"
+#include "ecss/lower_bounds.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "tap/tap_instance.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+  const int n = large ? 256 : 128;
+  const int reps = large ? 5 : 3;
+
+  {
+    Table t({"vote denom", "aug weight (mean)", "iterations (mean)", "rounds (mean)"});
+    for (int denom : {2, 4, 8, 16, 32}) {
+      double w = 0, iters = 0, rounds = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        Rng rng(100 + rep);
+        TapInstance inst = random_tap_instance(n, n, 1, rng);
+        Network net(inst.g);
+        TapOptions opt;
+        opt.vote_denominator = denom;
+        opt.seed = 31 + rep;
+        const TapResult r = distributed_tap_standalone(net, inst, opt);
+        if (!inst.covers_all(r.augmentation)) return 1;
+        w += static_cast<double>(r.weight) / reps;
+        iters += static_cast<double>(r.iterations) / reps;
+        rounds += static_cast<double>(net.rounds()) / reps;
+      }
+      t.add(denom, w, iters, rounds);
+    }
+    t.print("A1a: TAP vote threshold |Ce|/denom ablation (paper: denom = 8)");
+    std::printf("\n");
+  }
+
+  {
+    Table t({"phase M", "kECSS weight", "LB", "weight/LB", "iterations", "rounds"});
+    const int kn = large ? 96 : 64;
+    for (int M : {1, 2, 4, 8}) {
+      Rng rng(77);
+      Graph g = with_weights(random_kec(kn, 3, kn, rng), WeightModel::kUniform, rng);
+      Network net(g);
+      KecssOptions opt;
+      opt.phase_m = M;
+      opt.seed = 5;
+      const KecssResult r = distributed_kecss(net, 3, opt);
+      if (!is_k_edge_connected_subset(g, r.edges, 3)) return 1;
+      const Weight lb = kecss_lower_bound(g, 3);
+      t.add(M, r.weight, lb, static_cast<double>(r.weight) / static_cast<double>(lb),
+            r.iterations, net.rounds());
+    }
+    t.print("A1b: section-4 phase length M ablation (paper: M a sufficiently large constant)");
+  }
+  return 0;
+}

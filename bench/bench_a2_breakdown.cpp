@@ -1,0 +1,61 @@
+// A2 — Per-phase round/message breakdown of the 2-ECSS pipeline (BFS, MST
+// stages, decomposition stages, TAP setup + iterations) and of k-ECSS
+// levels. Shows where the (D + sqrt n) log^2 n budget actually goes.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_2ecss.hpp"
+#include "ecss/distributed_kecss.hpp"
+#include "graph/edge_connectivity.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+  const int n = large ? 512 : 192;
+
+  {
+    Rng rng(42);
+    Graph g = with_weights(random_kec(n, 2, n, rng), WeightModel::kUniform, rng);
+    Network net(g);
+    const Ecss2Result r = distributed_2ecss(net, TapOptions{});
+    if (!is_k_edge_connected_subset(g, r.edges, 2)) return 1;
+    Table t({"phase", "rounds", "messages", "% rounds"});
+    // Fold repeated tap.iteration phases into one row.
+    std::uint64_t iter_rounds = 0, iter_msgs = 0;
+    for (const auto& p : net.phases()) {
+      if (p.name == "tap.iteration") {
+        iter_rounds += p.rounds;
+        iter_msgs += p.messages;
+      }
+    }
+    for (const auto& p : net.phases()) {
+      if (p.name == "tap.iteration") continue;
+      t.add(p.name, p.rounds, p.messages,
+            100.0 * static_cast<double>(p.rounds) / static_cast<double>(net.rounds()));
+    }
+    t.add(std::string("tap.iteration x") + std::to_string(r.tap_iterations), iter_rounds,
+          iter_msgs, 100.0 * static_cast<double>(iter_rounds) / static_cast<double>(net.rounds()));
+    t.print("A2a: 2-ECSS round breakdown, " + g.summary());
+    std::printf("   total rounds: %llu, messages: %llu\n\n",
+                static_cast<unsigned long long>(net.rounds()),
+                static_cast<unsigned long long>(net.messages()));
+  }
+
+  {
+    const int kn = large ? 128 : 64;
+    Rng rng(43);
+    Graph g = with_weights(random_kec(kn, 3, kn, rng), WeightModel::kUniform, rng);
+    Network net(g);
+    const KecssResult r = distributed_kecss(net, 3, KecssOptions{});
+    if (!is_k_edge_connected_subset(g, r.edges, 3)) return 1;
+    Table t({"phase", "rounds", "messages", "% rounds"});
+    for (const auto& p : net.phases())
+      t.add(p.name, p.rounds, p.messages,
+            100.0 * static_cast<double>(p.rounds) / static_cast<double>(net.rounds()));
+    t.print("A2b: k-ECSS (k=3) round breakdown, " + g.summary());
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// A3 — schedule-substitution ablation. DESIGN.md documents one deviation in
+// the §4 loop: iterations in which no candidate activated can skip the
+// MST-filter exchange after an O(D) emptiness detection ("fast_forward").
+// This bench runs both schedules on identical inputs: the outputs are
+// identical edge sets (the filter sees the same activations), only the
+// round bill differs — quantifying exactly what the substitution saves.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_kecss.hpp"
+#include "graph/edge_connectivity.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+  const std::vector<int> sizes = large ? std::vector<int>{24, 48, 96} : std::vector<int>{16, 32, 64};
+
+  Table t({"k", "n", "rounds strict", "rounds fast", "saving", "same edges?", "weight"});
+  for (int k : {2, 3}) {
+    for (int n : sizes) {
+      Rng rng(9900 + n * k);
+      Graph g = with_weights(random_kec(n, k, n, rng), WeightModel::kUniform, rng);
+      if (edge_connectivity(g) < k) continue;
+
+      KecssOptions strict;
+      strict.fast_forward = false;
+      strict.seed = 5;
+      Network net_s(g);
+      const KecssResult rs = distributed_kecss(net_s, k, strict);
+      if (!is_k_edge_connected_subset(g, rs.edges, k)) return 1;
+
+      KecssOptions fast;
+      fast.fast_forward = true;
+      fast.seed = 5;
+      Network net_f(g);
+      const KecssResult rf = distributed_kecss(net_f, k, fast);
+      if (!is_k_edge_connected_subset(g, rf.edges, k)) return 1;
+
+      t.add(k, n, net_s.rounds(), net_f.rounds(),
+            static_cast<double>(net_s.rounds()) / static_cast<double>(net_f.rounds()),
+            rs.edges == rf.edges ? "yes" : "NO", rf.weight);
+    }
+  }
+  t.print("A3: strict section-4 schedule vs fast-forward (identical outputs)");
+  std::printf("   'saving' is the strict/fast round ratio; edge sets must match.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#pragma once
+
+// Shared helpers for the experiment binaries (F1..F5, T1..T4, A1/A2).
+//
+// Each bench prints deck::Table blocks plus a short interpretation line so
+// EXPERIMENTS.md can quote the output verbatim. Sizes are chosen so the full
+// suite completes in minutes on a laptop; pass --large for bigger sweeps.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace deck::bench {
+
+inline bool flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+/// Named graph family for sweeps.
+struct Family {
+  std::string name;
+  // Builds a k-edge-connected graph with ~n vertices.
+  Graph (*make)(int n, int k, Rng& rng);
+};
+
+inline Graph make_random_kec(int n, int k, Rng& rng) { return random_kec(n, k, n, rng); }
+
+inline Graph make_torus_like(int n, int k, Rng& rng) {
+  (void)k;
+  (void)rng;
+  int rows = 4;
+  while ((rows + 1) * (rows + 1) <= n) ++rows;
+  const int cols = std::max(3, n / rows);
+  return torus(rows, cols);
+}
+
+inline Graph make_circulant(int n, int k, Rng& rng) {
+  (void)rng;
+  return circulant(n, std::max(1, (k + 1) / 2) + 1);
+}
+
+inline Graph make_hypercube_like(int n, int k, Rng& rng) {
+  (void)k;
+  (void)rng;
+  int d = 3;
+  while ((1 << (d + 1)) <= n) ++d;
+  return hypercube(d);
+}
+
+inline std::vector<Family> standard_families() {
+  return {
+      {"random", &make_random_kec},
+      {"torus", &make_torus_like},
+      {"circulant", &make_circulant},
+      {"hypercube", &make_hypercube_like},
+  };
+}
+
+}  // namespace deck::bench

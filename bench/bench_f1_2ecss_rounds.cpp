@@ -1,0 +1,51 @@
+// F1 — Theorem 1.1: distributed weighted 2-ECSS round complexity.
+//
+// Claim: O((D + sqrt n) log^2 n) rounds w.h.p. We sweep n over graph
+// families with different diameter profiles and report measured rounds, the
+// predictor (D + sqrt n) * log^2 n, and their ratio (which should stay flat
+// if the shape matches). The log-log slope against n on the low-diameter
+// families should be well below 1 (sublinear).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_2ecss.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/traversal.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+  const std::vector<int> sizes =
+      large ? std::vector<int>{64, 128, 256, 512, 1024} : std::vector<int>{64, 128, 256, 512};
+
+  for (const auto& fam : bench::standard_families()) {
+    Table t({"family", "n", "m", "D", "rounds", "(D+sqrt n)log^2 n", "ratio", "tap iters"});
+    std::vector<double> xs, ys;
+    for (int n : sizes) {
+      Rng rng(1000 + n);
+      Graph topo = fam.make(n, 2, rng);
+      Graph g = with_weights(topo, WeightModel::kUniform, rng);
+      const int d = diameter(g);
+      Network net(g);
+      const Ecss2Result r = distributed_2ecss(net, TapOptions{});
+      if (!is_k_edge_connected_subset(g, r.edges, 2)) {
+        std::printf("!! output not 2-edge-connected (family=%s n=%d)\n", fam.name.c_str(), n);
+        return 1;
+      }
+      const double logn = std::log2(static_cast<double>(g.num_vertices()));
+      const double pred = (d + std::sqrt(static_cast<double>(g.num_vertices()))) * logn * logn;
+      t.add(fam.name, g.num_vertices(), g.num_edges(), d, net.rounds(), pred,
+            static_cast<double>(net.rounds()) / pred, r.tap_iterations);
+      xs.push_back(static_cast<double>(g.num_vertices()));
+      ys.push_back(static_cast<double>(net.rounds()));
+    }
+    t.print("F1: 2-ECSS rounds, family = " + fam.name);
+    std::printf("   empirical log-log slope rounds~n^b: b = %.3f\n\n",
+                loglog_slope(xs, ys));
+  }
+  return 0;
+}

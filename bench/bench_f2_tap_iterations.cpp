@@ -1,0 +1,53 @@
+// F2 — Lemma 3.11: the distributed weighted TAP converges in O(log^2 n)
+// iterations w.h.p. We sweep n and weight models over random tree+links
+// instances and report iterations alongside log^2 n; the ratio should stay
+// bounded. Polynomial weights stress the log(w_max/w_min) factor discussed
+// in the remark after Lemma 3.11.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_2ecss.hpp"
+#include "tap/tap_instance.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+  const std::vector<int> sizes =
+      large ? std::vector<int>{64, 128, 256, 512, 1024} : std::vector<int>{48, 96, 192, 384};
+  const int reps = large ? 5 : 3;
+
+  for (int wm : {0, 1, 2}) {
+    const char* wname = wm == 0 ? "unit" : (wm == 1 ? "uniform" : "polynomial");
+    Table t({"n", "links", "iters(mean)", "iters(max)", "log^2 n", "mean/log^2", "rounds(mean)"});
+    for (int n : sizes) {
+      std::vector<double> iters, rounds;
+      int links = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        Rng rng(7000 + n * 31 + rep);
+        TapInstance inst = random_tap_instance(n, n, wm, rng);
+        links = static_cast<int>(inst.links().size());
+        Network net(inst.g);
+        TapOptions opt;
+        opt.seed = 100 + rep;
+        const TapResult r = distributed_tap_standalone(net, inst, opt);
+        if (!inst.covers_all(r.augmentation)) {
+          std::printf("!! TAP failed to cover (n=%d rep=%d)\n", n, rep);
+          return 1;
+        }
+        iters.push_back(r.iterations);
+        rounds.push_back(static_cast<double>(net.rounds()));
+      }
+      const Summary si = summarize(iters);
+      const Summary sr = summarize(rounds);
+      const double l2 = std::pow(std::log2(static_cast<double>(n)), 2.0);
+      t.add(n, links, si.mean, si.max, l2, si.mean / l2, sr.mean);
+    }
+    t.print(std::string("F2: TAP iterations, weights = ") + wname);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// F3 — Theorem 1.2: distributed weighted k-ECSS round complexity
+// O(k (D log^3 n + n)). We sweep n for k in {2,3,4} and report rounds next
+// to the predictor k*(D log^3 n + n); the dominant near-linear n term should
+// make the log-log slope approach ~1.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_kecss.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/traversal.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+  const std::vector<int> sizes =
+      large ? std::vector<int>{32, 64, 128, 256} : std::vector<int>{24, 48, 96, 160};
+
+  for (int k : {2, 3, 4}) {
+    Table t({"n", "m", "D", "rounds", "k(D log^3 n + n)", "ratio", "iters"});
+    std::vector<double> xs, ys;
+    for (int n : sizes) {
+      Rng rng(3000 + n * k);
+      Graph g = with_weights(random_kec(n, k, n, rng), WeightModel::kUniform, rng);
+      const int d = diameter(g);
+      Network net(g);
+      KecssOptions opt;
+      opt.seed = static_cast<std::uint64_t>(n) * k;
+      const KecssResult r = distributed_kecss(net, k, opt);
+      if (!is_k_edge_connected_subset(g, r.edges, k)) {
+        std::printf("!! output not %d-edge-connected (n=%d)\n", k, n);
+        return 1;
+      }
+      const double logn = std::log2(static_cast<double>(n));
+      const double pred = k * (d * logn * logn * logn + n);
+      t.add(n, g.num_edges(), d, net.rounds(), pred, static_cast<double>(net.rounds()) / pred,
+            r.iterations);
+      xs.push_back(n);
+      ys.push_back(static_cast<double>(net.rounds()));
+    }
+    t.print("F3: k-ECSS rounds, k = " + std::to_string(k));
+    std::printf("   empirical log-log slope rounds~n^b: b = %.3f (near-linear expected)\n\n",
+                loglog_slope(xs, ys));
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// F4 — Theorem 1.3: unweighted 3-ECSS runs in O(D log^3 n) rounds —
+// independent of n beyond the diameter. Two sweeps:
+//   (a) fixed-ish diameter, growing n  -> rounds ~ flat / polylog growth;
+//   (b) fixed n, growing diameter (torus aspect ratio) -> rounds ~ linear in D.
+// We also run the generic §4 algorithm (Theorem 1.2) on the same unweighted
+// inputs: its Theta(n) broadcast term loses to the §5 algorithm once
+// n >> D polylog — the crossover the paper's §5 motivates.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_3ecss.hpp"
+#include "ecss/distributed_kecss.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/traversal.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+
+  {
+    Table t({"n", "D", "rounds(sec5)", "rounds(sec4)", "D log^3 n", "sec5/pred", "sec4/sec5"});
+    std::vector<int> dims = large ? std::vector<int>{4, 5, 6, 7, 8} : std::vector<int>{4, 5, 6, 7};
+    for (int d : dims) {
+      Graph g = hypercube(d);  // D = d = log n
+      const int diam = d;
+      Network net5(g);
+      Ecss3Options opt;
+      opt.seed = d;
+      const Ecss3Result r5 = distributed_3ecss_unweighted(net5, opt);
+      if (!is_k_edge_connected_subset(g, r5.edges, 3)) return 1;
+      Network net4(g);
+      KecssOptions kopt;
+      kopt.seed = d;
+      const KecssResult r4 = distributed_kecss(net4, 3, kopt);
+      if (!is_k_edge_connected_subset(g, r4.edges, 3)) return 1;
+      const double logn = std::log2(static_cast<double>(g.num_vertices()));
+      const double pred = diam * logn * logn * logn;
+      t.add(g.num_vertices(), diam, net5.rounds(), net4.rounds(), pred,
+            static_cast<double>(net5.rounds()) / pred,
+            static_cast<double>(net4.rounds()) / static_cast<double>(net5.rounds()));
+    }
+    t.print("F4a: 3-ECSS rounds on hypercubes (low D, growing n)");
+    std::printf("   sec4/sec5 should grow with n: the section 5 algorithm avoids the Theta(n) term\n\n");
+  }
+
+  {
+    Table t({"rows x cols", "n", "D", "rounds(sec5)", "rounds/D"});
+    std::vector<std::pair<int, int>> shapes =
+        large ? std::vector<std::pair<int, int>>{{16, 16}, {8, 32}, {4, 64}, {3, 86}}
+              : std::vector<std::pair<int, int>>{{12, 12}, {8, 18}, {4, 36}, {3, 48}};
+    for (auto [rows, cols] : shapes) {
+      Graph g = torus(rows, cols);
+      const int diam = diameter(g);
+      Network net(g);
+      Ecss3Options opt;
+      opt.seed = rows;
+      const Ecss3Result r = distributed_3ecss_unweighted(net, opt);
+      if (!is_k_edge_connected_subset(g, r.edges, 3)) return 1;
+      t.add(std::to_string(rows) + "x" + std::to_string(cols), g.num_vertices(), diam,
+            net.rounds(), static_cast<double>(net.rounds()) / diam);
+    }
+    t.print("F4b: 3-ECSS rounds on tori of fixed n, growing D (rounds/D ~ flat)");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// F5 — Lemma 5.4 / Corollary 5.3: cycle-space labels detect cut pairs with
+// one-sided error <= 2^-b per non-pair. We sweep the label width b, count
+// false-positive label collisions against the exact cut pairs, and verify
+// zero false negatives. The empirical false-positive rate should roughly
+// halve per extra bit until it hits zero.
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "bench_common.hpp"
+#include "cycles/cycle_space.hpp"
+#include "graph/cut_enum.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/tree.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+  const int reps = large ? 40 : 15;
+
+  Rng rng(5150);
+  Graph g = random_kec(40, 2, 14, rng);
+  const std::vector<char> all(static_cast<std::size_t>(g.num_edges()), 1);
+  const RootedTree tree = bfs_tree(g, 0);
+
+  std::set<std::pair<EdgeId, EdgeId>> exact;
+  for (const auto& c : enumerate_cuts(g, all, 2, 1).cuts) exact.insert({c.edges[0], c.edges[1]});
+
+  const long long total_pairs =
+      static_cast<long long>(g.num_edges()) * (g.num_edges() - 1) / 2;
+  const long long non_pairs = total_pairs - static_cast<long long>(exact.size());
+
+  Table t({"bits", "false neg (total)", "false pos (mean)", "fp rate", "2^-b", "reps"});
+  for (int bits : {1, 2, 4, 6, 8, 12, 16, 24, 32}) {
+    long long fneg = 0;
+    double fpos_total = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng lr(900 + rep);
+      const CycleSpace cs = sample_circulation(g, all, tree, bits, lr);
+      std::set<std::pair<EdgeId, EdgeId>> detected;
+      for (const auto& p : label_cut_pairs(g, all, cs)) detected.insert(p);
+      for (const auto& p : exact)
+        if (!detected.count(p)) ++fneg;
+      long long fpos = 0;
+      for (const auto& p : detected)
+        if (!exact.count(p)) ++fpos;
+      fpos_total += static_cast<double>(fpos);
+    }
+    const double fpos_mean = fpos_total / reps;
+    t.add(bits, fneg, fpos_mean, fpos_mean / static_cast<double>(non_pairs),
+          std::pow(2.0, -bits), reps);
+  }
+  t.print("F5: cut-pair detection error vs label width (false negatives must be 0)");
+  std::printf("   instance: %s, exact cut pairs: %zu\n", g.summary().c_str(), exact.size());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// M1 — google-benchmark micro suite: throughput of the simulator substrate
+// (BFS flooding, keyed upcast pipeline, label computation, Dinic, cut
+// enumeration). These bound how large the experiment sweeps can go.
+
+#include <benchmark/benchmark.h>
+
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "cycles/cycle_space.hpp"
+#include "graph/cut_enum.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/mst_seq.hpp"
+#include "mst/distributed_mst.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace deck;
+
+void BM_DistributedBfs(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Graph g = random_kec(n, 2, n, rng);
+  for (auto _ : state) {
+    Network net(g);
+    benchmark::DoNotOptimize(distributed_bfs(net, 0));
+  }
+}
+BENCHMARK(BM_DistributedBfs)->Arg(256)->Arg(1024);
+
+void BM_KeyedMinUpcast(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Graph g = random_kec(n, 2, n, rng);
+  Network net0(g);
+  RootedTree t = distributed_bfs(net0, 0);
+  const CommForest f = CommForest::from_tree(t);
+  std::vector<std::vector<KeyedItem>> items(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v)
+    items[static_cast<std::size_t>(v)].push_back(
+        KeyedItem{static_cast<std::uint64_t>(v % 64), static_cast<std::uint64_t>(v), 0});
+  for (auto _ : state) {
+    Network net(g);
+    auto copy = items;
+    benchmark::DoNotOptimize(keyed_min_upcast(net, f, std::move(copy)));
+  }
+}
+BENCHMARK(BM_KeyedMinUpcast)->Arg(256)->Arg(1024);
+
+void BM_DistributedMst(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Graph g = with_weights(random_kec(n, 2, n, rng), WeightModel::kUniform, rng);
+  for (auto _ : state) {
+    Network net(g);
+    RootedTree bfs = distributed_bfs(net, 0);
+    benchmark::DoNotOptimize(distributed_mst(net, bfs));
+  }
+}
+BENCHMARK(BM_DistributedMst)->Arg(128)->Arg(512);
+
+void BM_CycleLabels(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  Graph g = random_kec(n, 2, n, rng);
+  const RootedTree t = bfs_tree(g, 0);
+  const std::vector<char> all(static_cast<std::size_t>(g.num_edges()), 1);
+  for (auto _ : state) {
+    Rng lr(5);
+    benchmark::DoNotOptimize(sample_circulation(g, all, t, 64, lr));
+  }
+}
+BENCHMARK(BM_CycleLabels)->Arg(256)->Arg(1024);
+
+void BM_EdgeConnectivity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  Graph g = random_kec(n, 3, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edge_connectivity(g));
+  }
+}
+BENCHMARK(BM_EdgeConnectivity)->Arg(64)->Arg(128);
+
+void BM_CutPairEnumeration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Graph g = random_kec(n, 2, n / 4, rng);
+  const std::vector<char> all(static_cast<std::size_t>(g.num_edges()), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_cuts(g, all, 2, 1));
+  }
+}
+BENCHMARK(BM_CutPairEnumeration)->Arg(64)->Arg(256);
+
+void BM_Kruskal(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(8);
+  Graph g = with_weights(random_kec(n, 2, 2 * n, rng), WeightModel::kUniform, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kruskal_mst(g));
+  }
+}
+BENCHMARK(BM_Kruskal)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

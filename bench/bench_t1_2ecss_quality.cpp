@@ -1,0 +1,71 @@
+// T1 — Lemma 3.7 / Theorem 1.1: approximation quality of the distributed
+// 2-ECSS. On small instances we compare against the exact optimum; on
+// larger ones against the lower bound max(w(MST), degree bound) and the
+// sequential greedy baseline. The guaranteed ratio is O(log n); measured
+// ratios should sit far below the guarantee and within ~2x of greedy.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_2ecss.hpp"
+#include "ecss/exact.hpp"
+#include "ecss/lower_bounds.hpp"
+#include "ecss/seq_ecss.hpp"
+#include "graph/edge_connectivity.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+
+  // Part A: exact comparison on tiny instances.
+  {
+    Table t({"instance", "n", "m", "OPT", "dist 2-ECSS", "greedy", "dist/OPT", "greedy/OPT"});
+    for (int trial = 0; trial < 8; ++trial) {
+      Rng rng(500 + trial);
+      Graph g = with_weights(random_kec(8, 2, 3, rng), WeightModel::kUniform, rng);
+      if (g.num_edges() > 18) continue;
+      Weight opt_w = 0;
+      for (EdgeId e : exact_kecss(g, 2)) opt_w += g.edge(e).w;
+      Network net(g);
+      TapOptions topt;
+      topt.seed = trial;
+      const Ecss2Result r = distributed_2ecss(net, topt);
+      if (!is_k_edge_connected_subset(g, r.edges, 2)) return 1;
+      Weight greedy_w = 0;
+      for (EdgeId e : greedy_kecss(g, 2, trial)) greedy_w += g.edge(e).w;
+      t.add("tiny-" + std::to_string(trial), g.num_vertices(), g.num_edges(), opt_w, r.weight,
+            greedy_w, static_cast<double>(r.weight) / static_cast<double>(opt_w),
+            static_cast<double>(greedy_w) / static_cast<double>(opt_w));
+    }
+    t.print("T1a: 2-ECSS vs exact optimum (small instances)");
+    std::printf("\n");
+  }
+
+  // Part B: lower-bound ratios across families and sizes.
+  {
+    Table t({"family", "n", "LB", "dist 2-ECSS", "greedy", "dist/LB", "greedy/LB", "log2 n"});
+    const std::vector<int> sizes = large ? std::vector<int>{64, 128, 256, 512}
+                                         : std::vector<int>{48, 96, 192};
+    for (const auto& fam : bench::standard_families()) {
+      for (int n : sizes) {
+        Rng rng(900 + n);
+        Graph g = with_weights(fam.make(n, 2, rng), WeightModel::kUniform, rng);
+        const Weight lb = kecss_lower_bound(g, 2);
+        Network net(g);
+        const Ecss2Result r = distributed_2ecss(net, TapOptions{});
+        if (!is_k_edge_connected_subset(g, r.edges, 2)) return 1;
+        Weight greedy_w = 0;
+        for (EdgeId e : greedy_kecss(g, 2, 1)) greedy_w += g.edge(e).w;
+        t.add(fam.name, g.num_vertices(), lb, r.weight, greedy_w,
+              static_cast<double>(r.weight) / static_cast<double>(lb),
+              static_cast<double>(greedy_w) / static_cast<double>(lb),
+              std::log2(static_cast<double>(g.num_vertices())));
+      }
+    }
+    t.print("T1b: 2-ECSS vs lower bound across families");
+  }
+  return 0;
+}

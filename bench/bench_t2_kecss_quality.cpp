@@ -1,0 +1,78 @@
+// T2 — Theorem 1.2: k-ECSS approximation quality (O(k log n) expected).
+// Small instances compare against the exact optimum; larger ones against
+// the degree/MST lower bound, the sequential greedy framework, and (for the
+// unit-weight column) the Thurimella sparse-certificate 2-approximation.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_kecss.hpp"
+#include "ecss/exact.hpp"
+#include "ecss/lower_bounds.hpp"
+#include "ecss/seq_ecss.hpp"
+#include "ecss/thurimella.hpp"
+#include "graph/edge_connectivity.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+
+  {
+    Table t({"k", "n", "m", "OPT", "dist", "greedy", "dist/OPT", "greedy/OPT"});
+    for (int k : {2, 3}) {
+      for (int trial = 0; trial < 4; ++trial) {
+        Rng rng(80 + trial * 17 + k);
+        Graph g = with_weights(random_kec(8, k, 2, rng), WeightModel::kUniform, rng);
+        if (g.num_edges() > 17 || edge_connectivity(g) < k) continue;
+        Weight opt_w = 0;
+        for (EdgeId e : exact_kecss(g, k)) opt_w += g.edge(e).w;
+        Network net(g);
+        KecssOptions kopt;
+        kopt.seed = trial;
+        const KecssResult r = distributed_kecss(net, k, kopt);
+        if (!is_k_edge_connected_subset(g, r.edges, k)) return 1;
+        Weight greedy_w = 0;
+        for (EdgeId e : greedy_kecss(g, k, trial)) greedy_w += g.edge(e).w;
+        t.add(k, g.num_vertices(), g.num_edges(), opt_w, r.weight, greedy_w,
+              static_cast<double>(r.weight) / static_cast<double>(opt_w),
+              static_cast<double>(greedy_w) / static_cast<double>(opt_w));
+      }
+    }
+    t.print("T2a: k-ECSS vs exact optimum (small instances)");
+    std::printf("\n");
+  }
+
+  {
+    Table t({"k", "n", "weights", "LB", "dist", "greedy", "thurimella", "dist/LB"});
+    const std::vector<int> sizes = large ? std::vector<int>{64, 128, 256} : std::vector<int>{48, 96};
+    for (int k : {2, 3, 4}) {
+      for (int n : sizes) {
+        for (int unit : {1, 0}) {
+          Rng rng(7100 + n * k + unit);
+          Graph g = with_weights(random_kec(n, k, n, rng),
+                                 unit ? WeightModel::kUnit : WeightModel::kUniform, rng);
+          const Weight lb = kecss_lower_bound(g, k);
+          Network net(g);
+          KecssOptions kopt;
+          kopt.seed = static_cast<std::uint64_t>(n) + k;
+          const KecssResult r = distributed_kecss(net, k, kopt);
+          if (!is_k_edge_connected_subset(g, r.edges, k)) return 1;
+          Weight greedy_w = 0;
+          for (EdgeId e : greedy_kecss(g, k, 5)) greedy_w += g.edge(e).w;
+          Weight thur_w = 0;
+          if (unit) {
+            for (EdgeId e : sparse_certificate(g, k)) thur_w += g.edge(e).w;
+          }
+          t.add(k, n, unit ? "unit" : "uniform", lb, r.weight, greedy_w,
+                unit ? Table::format_cell(thur_w) : std::string("-"),
+                static_cast<double>(r.weight) / static_cast<double>(lb));
+        }
+      }
+    }
+    t.print("T2b: k-ECSS vs lower bound / baselines");
+  }
+  return 0;
+}

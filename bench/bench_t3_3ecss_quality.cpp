@@ -1,0 +1,47 @@
+// T3 — Theorem 1.3 quality: unweighted 3-ECSS size vs the ceil(3n/2) lower
+// bound, the Thurimella sparse-certificate 2-approximation, and the greedy
+// framework baseline. The expected guarantee is O(log n); measured ratios
+// should sit well below it.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_3ecss.hpp"
+#include "ecss/seq_ecss.hpp"
+#include "ecss/thurimella.hpp"
+#include "graph/edge_connectivity.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+  const std::vector<int> sizes =
+      large ? std::vector<int>{64, 128, 256, 512} : std::vector<int>{32, 64, 128};
+
+  Table t({"family", "n", "m", "LB=ceil(3n/2)", "sec5", "thurimella", "greedy", "sec5/LB"});
+  for (const auto& fam : bench::standard_families()) {
+    for (int n : sizes) {
+      Rng rng(4200 + n);
+      Graph g = fam.make(n, 3, rng);
+      if (edge_connectivity(g) < 3) continue;
+      const int lb = (3 * g.num_vertices() + 1) / 2;
+      Network net(g);
+      Ecss3Options opt;
+      opt.seed = n;
+      const Ecss3Result r = distributed_3ecss_unweighted(net, opt);
+      if (!is_k_edge_connected_subset(g, r.edges, 3)) {
+        std::printf("!! output not 3-edge-connected (family=%s n=%d)\n", fam.name.c_str(), n);
+        return 1;
+      }
+      const auto thur = sparse_certificate(g, 3);
+      const auto greedy = greedy_kecss(g, 3, 11);
+      t.add(fam.name, g.num_vertices(), g.num_edges(), lb, r.size,
+            static_cast<int>(thur.size()), static_cast<int>(greedy.size()),
+            static_cast<double>(r.size) / lb);
+    }
+  }
+  t.print("T3: unweighted 3-ECSS size vs lower bound and baselines");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// T4 — Lemma 3.4: the segment decomposition yields O(sqrt n) marked
+// vertices / segments with O(sqrt n) diameter, LCA-closed marking, and
+// edge-disjoint segments. We sweep n and report the measured quantities
+// normalised by sqrt n (columns should stay bounded as n grows).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "decomp/segments.hpp"
+#include "mst/distributed_mst.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+  const std::vector<int> sizes =
+      large ? std::vector<int>{64, 144, 256, 576, 1024} : std::vector<int>{64, 144, 256, 400};
+
+  for (const auto& fam : bench::standard_families()) {
+    Table t({"n", "fragments", "marked", "segments", "max seg diam", "marked/sqrt n",
+             "diam/sqrt n", "decomp rounds"});
+    for (int n : sizes) {
+      Rng rng(2300 + n);
+      Graph g = with_weights(fam.make(n, 2, rng), WeightModel::kUniform, rng);
+      Network net(g);
+      RootedTree bfs = distributed_bfs(net, 0);
+      MstResult mst = distributed_mst(net, bfs);
+      const CommForest f = CommForest::from_tree(bfs);
+      const std::uint64_t before = net.rounds();
+      SegmentDecomposition dec(net, mst.tree, mst.fragment, mst.global_edges, f, 0);
+      const double sq = std::sqrt(static_cast<double>(g.num_vertices()));
+      t.add(g.num_vertices(), mst.num_fragments, dec.num_marked(), dec.num_segments(),
+            dec.max_segment_diameter(), dec.num_marked() / sq, dec.max_segment_diameter() / sq,
+            net.rounds() - before);
+    }
+    t.print("T4: decomposition invariants, family = " + fam.name);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// T5 — §5.4 remark: weighted 3-ECSS via the label machinery over the MST.
+// Compares the weighted §5 variant against the generic §4 algorithm (k=3)
+// on the same inputs: quality should be comparable; rounds trade D-vs-h_MST
+// as the remark discusses.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_3ecss.hpp"
+#include "ecss/distributed_kecss.hpp"
+#include "ecss/lower_bounds.hpp"
+#include "graph/edge_connectivity.hpp"
+
+using namespace deck;
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+  const std::vector<int> sizes =
+      large ? std::vector<int>{32, 64, 128, 256} : std::vector<int>{24, 48, 96};
+
+  Table t({"n", "LB", "sec5.4 weight", "sec4 weight", "sec5.4 rounds", "sec4 rounds",
+           "5.4/LB", "4/LB"});
+  for (int n : sizes) {
+    Rng rng(7500 + n);
+    Graph g = with_weights(random_kec(n, 3, n, rng), WeightModel::kUniform, rng);
+    if (edge_connectivity(g) < 3) continue;
+    const Weight lb = kecss_lower_bound(g, 3);
+
+    Network net5(g);
+    Ecss3Options opt5;
+    opt5.seed = n;
+    const auto r5 = distributed_3ecss_weighted(net5, opt5);
+    if (!is_k_edge_connected_subset(g, r5.edges, 3)) {
+      std::printf("!! weighted sec5 output not 3-edge-connected (n=%d)\n", n);
+      return 1;
+    }
+
+    Network net4(g);
+    KecssOptions opt4;
+    opt4.seed = n;
+    const auto r4 = distributed_kecss(net4, 3, opt4);
+    if (!is_k_edge_connected_subset(g, r4.edges, 3)) return 1;
+
+    t.add(n, lb, r5.weight, r4.weight, net5.rounds(), net4.rounds(),
+          static_cast<double>(r5.weight) / static_cast<double>(lb),
+          static_cast<double>(r4.weight) / static_cast<double>(lb));
+  }
+  t.print("T5: weighted 3-ECSS — section 5.4 label variant vs generic section 4");
+  return 0;
+}

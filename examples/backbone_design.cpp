@@ -1,0 +1,53 @@
+// Backbone design: provision a fault-tolerant wide-area backbone.
+//
+// Scenario (the paper's §1 motivation): a WAN of regional clusters joined
+// by long-haul links of varying lease cost. A single backbone tree dies
+// with any one link; we provision k-edge-connected backbones for k = 1..3
+// with the distributed k-ECSS algorithm (Theorem 1.2) and compare the cost
+// of each resilience level against the lower bound.
+
+#include <cstdio>
+
+#include "congest/network.hpp"
+#include "ecss/distributed_kecss.hpp"
+#include "ecss/lower_bounds.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace deck;
+  Rng rng(2026);
+
+  // A ring of 6 regional clusters (5 routers each), 3 leased cross-links
+  // between neighbouring regions; intra-region links are cheap, long-haul
+  // links expensive.
+  Graph topo = ring_of_cliques(/*cliques=*/6, /*size=*/5, /*links=*/3, rng);
+  Graph wan(topo.num_vertices());
+  for (const Edge& e : topo.edges()) {
+    const bool intra = e.u / 5 == e.v / 5;
+    const Weight cost = intra ? 1 + static_cast<Weight>(rng.next_below(4))
+                              : 20 + static_cast<Weight>(rng.next_below(30));
+    wan.add_edge(e.u, e.v, cost);
+  }
+  std::printf("WAN: %s, edge connectivity %d\n", wan.summary().c_str(), edge_connectivity(wan));
+
+  Table t({"k (survives k-1 failures)", "links", "cost", "lower bound", "cost/LB", "rounds"});
+  for (int k = 1; k <= 3; ++k) {
+    Network net(wan);
+    KecssOptions opt;
+    opt.seed = 17 * k;
+    const KecssResult r = distributed_kecss(net, k, opt);
+    if (!is_k_edge_connected_subset(wan, r.edges, k)) {
+      std::printf("backbone for k=%d failed verification!\n", k);
+      return 1;
+    }
+    const Weight lb = kecss_lower_bound(wan, k);
+    t.add(k, static_cast<int>(r.edges.size()), r.weight, lb,
+          static_cast<double>(r.weight) / static_cast<double>(lb), net.rounds());
+  }
+  t.print("Backbone provisioning cost by resilience level");
+  std::printf("Each row is verified k-edge-connected via max-flow.\n");
+  return 0;
+}

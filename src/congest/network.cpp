@@ -1,0 +1,28 @@
+#include "congest/network.hpp"
+
+#include "support/check.hpp"
+
+namespace deck {
+
+Network::Network(const Graph& g) : g_(&g) {}
+
+void Network::charge(std::uint64_t rounds, std::uint64_t messages) {
+  rounds_ += rounds;
+  messages_ += messages;
+  if (!phases_.empty()) {
+    phases_.back().rounds += rounds;
+    phases_.back().messages += messages;
+  }
+}
+
+void Network::begin_phase(const std::string& name) {
+  phases_.push_back(PhaseStat{name, 0, 0});
+}
+
+void Network::reset_counters() {
+  rounds_ = 0;
+  messages_ = 0;
+  phases_.clear();
+}
+
+}  // namespace deck

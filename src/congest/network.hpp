@@ -1,0 +1,69 @@
+#pragma once
+
+// CONGEST model simulator core.
+//
+// The model (paper §1.3): the input graph *is* the communication network;
+// computation proceeds in synchronous rounds; per round, each vertex may send
+// one B-bit message over each incident edge, B = O(log n). Local computation
+// is free. We fix the message budget at two 64-bit payload words (ids +
+// weight fit comfortably; weights are polynomial in n).
+//
+// Architecture: algorithms are decomposed into *primitives* (flooding,
+// convergecast, pipelined keyed upcast, path downcast, per-edge exchange —
+// see primitives.hpp). Each primitive performs an exact synchronous
+// simulation with per-edge single-message channels and charges the observed
+// rounds/messages to the Network. Phase sequencing between primitives is
+// orchestrated centrally (free, like local computation), but data only ever
+// moves along edges inside primitives, so round and message counts equal
+// those of a real execution.
+//
+// Per-phase counters support the round-breakdown experiment (A2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deck {
+
+/// One CONGEST message: fixed two-word payload.
+struct Msg {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class Network {
+ public:
+  explicit Network(const Graph& g);
+
+  const Graph& graph() const { return *g_; }
+  int n() const { return g_->num_vertices(); }
+
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t messages() const { return messages_; }
+
+  /// Charges exactly-simulated cost (called by primitives).
+  void charge(std::uint64_t rounds, std::uint64_t messages);
+
+  /// Begins a named accounting phase; subsequent charges accrue to it.
+  void begin_phase(const std::string& name);
+
+  struct PhaseStat {
+    std::string name;
+    std::uint64_t rounds = 0;
+    std::uint64_t messages = 0;
+  };
+  const std::vector<PhaseStat>& phases() const { return phases_; }
+
+  /// Resets counters and phases (graph unchanged).
+  void reset_counters();
+
+ private:
+  const Graph* g_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t messages_ = 0;
+  std::vector<PhaseStat> phases_;
+};
+
+}  // namespace deck

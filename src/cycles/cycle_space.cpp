@@ -1,0 +1,103 @@
+#include "cycles/cycle_space.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace deck {
+
+BitLabel BitLabel::truncated(int bits) const {
+  DECK_CHECK(bits >= 1 && bits <= 128);
+  BitLabel t = *this;
+  if (bits <= 64) {
+    t.hi = 0;
+    if (bits < 64) t.lo &= (1ULL << bits) - 1;
+  } else if (bits < 128) {
+    t.hi &= (1ULL << (bits - 64)) - 1;
+  }
+  return t;
+}
+
+BitLabel BitLabel::random(Rng& rng, int bits) {
+  BitLabel l{rng(), rng()};
+  return l.truncated(bits);
+}
+
+namespace {
+
+CycleSpace compute_labels(const Graph& g, const std::vector<char>& h_mask, const RootedTree& t,
+                          int bits, Rng& rng) {
+  const int n = g.num_vertices();
+  CycleSpace cs;
+  cs.bits = bits;
+  cs.phi.assign(static_cast<std::size_t>(g.num_edges()), BitLabel{});
+
+  std::vector<char> is_tree(static_cast<std::size_t>(g.num_edges()), 0);
+  for (VertexId v = 0; v < n; ++v)
+    if (t.parent_edge(v) != kNoEdge) is_tree[static_cast<std::size_t>(t.parent_edge(v))] = 1;
+
+  // Non-tree edges draw uniform labels (deterministic order for
+  // reproducibility: ascending edge id).
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!h_mask[static_cast<std::size_t>(e)] || is_tree[static_cast<std::size_t>(e)]) continue;
+    cs.phi[static_cast<std::size_t>(e)] = BitLabel::random(rng, bits);
+  }
+
+  // Leaf-to-root scan: accumulate the XOR of non-tree labels incident to
+  // each subtree; that XOR is the label of the subtree's parent edge.
+  std::vector<BitLabel> acc(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Adj& a : g.neighbors(v)) {
+      if (!h_mask[static_cast<std::size_t>(a.edge)] || is_tree[static_cast<std::size_t>(a.edge)]) continue;
+      acc[static_cast<std::size_t>(v)] ^= cs.phi[static_cast<std::size_t>(a.edge)];
+    }
+  }
+  const auto pre = t.preorder();
+  for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+    const VertexId v = *it;
+    const VertexId p = t.parent(v);
+    if (p == kNoVertex) continue;
+    cs.phi[static_cast<std::size_t>(t.parent_edge(v))] = acc[static_cast<std::size_t>(v)];
+    acc[static_cast<std::size_t>(p)] ^= acc[static_cast<std::size_t>(v)];
+  }
+  return cs;
+}
+
+}  // namespace
+
+CycleSpace sample_circulation(const Graph& g, const std::vector<char>& h_mask,
+                              const RootedTree& t, int bits, Rng& rng) {
+  return compute_labels(g, h_mask, t, bits, rng);
+}
+
+CycleSpace sample_circulation_distributed(Network& net, const std::vector<char>& h_mask,
+                                          const RootedTree& t, int bits, Rng& rng) {
+  CycleSpace cs = compute_labels(net.graph(), h_mask, t, bits, rng);
+  // Charges: one round for non-tree endpoints to share their draw, then the
+  // leaf-to-root scan (one 128-bit message per tree edge, height rounds).
+  const auto n = static_cast<std::uint64_t>(net.graph().num_vertices());
+  std::uint64_t non_tree = 0;
+  for (EdgeId e = 0; e < net.graph().num_edges(); ++e)
+    if (h_mask[static_cast<std::size_t>(e)]) ++non_tree;
+  net.charge(static_cast<std::uint64_t>(t.height()) + 1, non_tree + (n - 1));
+  return cs;
+}
+
+std::vector<std::pair<EdgeId, EdgeId>> label_cut_pairs(const Graph& g,
+                                                       const std::vector<char>& h_mask,
+                                                       const CycleSpace& cs) {
+  std::map<BitLabel, std::vector<EdgeId>> groups;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!h_mask[static_cast<std::size_t>(e)]) continue;
+    groups[cs.phi[static_cast<std::size_t>(e)]].push_back(e);
+  }
+  std::vector<std::pair<EdgeId, EdgeId>> out;
+  for (const auto& [label, edges] : groups) {
+    for (std::size_t i = 0; i < edges.size(); ++i)
+      for (std::size_t j = i + 1; j < edges.size(); ++j) out.emplace_back(edges[i], edges[j]);
+  }
+  return out;
+}
+
+}  // namespace deck

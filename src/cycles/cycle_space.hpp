@@ -1,0 +1,74 @@
+#pragma once
+
+// Cycle space sampling (Pritchard–Thurimella, paper §5.1).
+//
+// A random b-bit circulation assigns every edge e of a 2-edge-connected
+// graph H a label phi(e) such that (Corollary 5.3 / Lemma 5.4):
+//   * {e, f} a cut pair  =>  phi(e) == phi(f)      (always), and
+//   * phi(e) == phi(f)   =>  {e, f} a cut pair      (w.h.p., error 2^-b).
+//
+// Sampling: every non-tree edge of a spanning tree T of H draws a uniform
+// b-bit string; each tree edge's label is the XOR of the labels of the
+// non-tree edges covering it. The XOR is computed with one leaf-to-root
+// scan: phi(v, p(v)) = XOR of phi over non-tree edges incident to the
+// subtree under v — exactly the O(height) CONGEST scan of Theorem 4.2 [32].
+//
+// Labels carry up to 128 bits (one simulator message); the `bits` parameter
+// truncates them for the false-positive-rate experiment (F5).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+
+struct BitLabel {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  BitLabel& operator^=(const BitLabel& o) {
+    lo ^= o.lo;
+    hi ^= o.hi;
+    return *this;
+  }
+  friend BitLabel operator^(BitLabel a, const BitLabel& b) { return a ^= b; }
+  bool operator==(const BitLabel&) const = default;
+  bool operator<(const BitLabel& o) const { return hi != o.hi ? hi < o.hi : lo < o.lo; }
+  bool is_zero() const { return lo == 0 && hi == 0; }
+
+  /// Keeps only the low `bits` bits (1..128).
+  BitLabel truncated(int bits) const;
+
+  static BitLabel random(Rng& rng, int bits);
+};
+
+struct CycleSpace {
+  /// Per host-edge label; zero for edges outside the sampled subgraph.
+  std::vector<BitLabel> phi;
+  int bits = 128;
+};
+
+/// Samples a random b-bit circulation of the subgraph selected by h_mask,
+/// with spanning tree `t` (host edge ids; every selected non-tree edge draws
+/// a label, tree edges get covering XORs). Purely sequential utility.
+CycleSpace sample_circulation(const Graph& g, const std::vector<char>& h_mask,
+                              const RootedTree& t, int bits, Rng& rng);
+
+/// Distributed variant (Lemma 5.5): identical output; charges the O(height)
+/// leaf-to-root scan (non-tree labels are drawn locally at the endpoint with
+/// smaller id and shared over the edge in one round).
+CycleSpace sample_circulation_distributed(Network& net, const std::vector<char>& h_mask,
+                                          const RootedTree& t, int bits, Rng& rng);
+
+/// All pairs {e, f} of selected edges with phi(e) == phi(f) — the label-
+/// detected cut pair candidates (exact cut pairs w.h.p.; one-sided error).
+std::vector<std::pair<EdgeId, EdgeId>> label_cut_pairs(const Graph& g,
+                                                       const std::vector<char>& h_mask,
+                                                       const CycleSpace& cs);
+
+}  // namespace deck

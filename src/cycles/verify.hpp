@@ -1,0 +1,36 @@
+#pragma once
+
+// O(D)-round distributed verification of 2- and 3-edge-connectivity via
+// cycle space sampling — the Pritchard–Thurimella application the paper
+// highlights in §1.2/§5: "an O(D)-round algorithm for verifying if a graph
+// is 2-edge-connected or 3-edge-connected".
+//
+// With a random b-bit circulation over a BFS tree of G:
+//   * a tree edge t is a bridge            iff phi(t) == 0        (w.h.p.),
+//   * {e, f} is a cut pair                 iff phi(e) == phi(f)   (w.h.p.),
+// and the error is one-sided: a reported violation of size 1 is always a
+// real bridge candidate set to re-check; a clean pass is correct w.h.p.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace deck {
+
+struct VerifyResult {
+  bool is_k_connected = false;
+  /// Witness edges of a small cut when verification fails (1 edge for a
+  /// bridge, 2 for a cut pair). Empty on success.
+  std::vector<EdgeId> witness;
+};
+
+/// Verifies 2-edge-connectivity of net.graph() (which must be connected).
+/// Charges O(D) rounds. One-sided error 2^-bits per edge (pair).
+VerifyResult verify_2_edge_connected(Network& net, std::uint64_t seed, int bits = 64);
+
+/// Verifies 3-edge-connectivity; also fails on bridges. Charges O(D).
+VerifyResult verify_3_edge_connected(Network& net, std::uint64_t seed, int bits = 64);
+
+}  // namespace deck

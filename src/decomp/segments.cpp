@@ -1,0 +1,353 @@
+#include "decomp/segments.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace deck {
+
+SegmentDecomposition::SegmentDecomposition(Network& net, const RootedTree& tree,
+                                           const std::vector<int>& fragment,
+                                           const std::vector<EdgeId>& global_edges,
+                                           const CommForest& bfs_forest, VertexId bfs_root)
+    : tree_(&tree) {
+  const int n = tree.num_vertices();
+  const Graph& g = net.graph();
+  DECK_CHECK(static_cast<int>(fragment.size()) == n);
+  DECK_CHECK(!tree.roots().empty());
+  const VertexId root = tree.roots()[0];
+
+  net.begin_phase("decomp.mark");
+
+  // --- (II) Marking: global-edge endpoints + root, then per-fragment LCA
+  // closure via one leaf-to-root scan.
+  marked_.assign(static_cast<std::size_t>(n), 0);
+  marked_[static_cast<std::size_t>(root)] = 1;
+  for (EdgeId e : global_edges) {
+    marked_[static_cast<std::size_t>(g.edge(e).u)] = 1;
+    marked_[static_cast<std::size_t>(g.edge(e).v)] = 1;
+  }
+
+  {
+    constexpr VertexId kNone = -2;
+    std::vector<VertexId> carried(static_cast<std::size_t>(n), kNone);
+    const auto pre = tree.preorder();
+    for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+      const VertexId v = *it;
+      int ids = 0;
+      VertexId one = kNone;
+      for (VertexId c : tree.children(v)) {
+        if (fragment[static_cast<std::size_t>(c)] != fragment[static_cast<std::size_t>(v)]) continue;
+        if (carried[static_cast<std::size_t>(c)] != kNone) {
+          ++ids;
+          one = carried[static_cast<std::size_t>(c)];
+        }
+      }
+      if (marked_[static_cast<std::size_t>(v)]) {
+        carried[static_cast<std::size_t>(v)] = v;
+      } else if (ids >= 2) {
+        marked_[static_cast<std::size_t>(v)] = 1;  // LCA of two marked vertices
+        carried[static_cast<std::size_t>(v)] = v;
+      } else if (ids == 1) {
+        carried[static_cast<std::size_t>(v)] = one;
+      }
+    }
+    // Charge: one leaf-to-root scan per fragment, in parallel.
+    std::vector<int> frag_min_depth, frag_max_depth;
+    int frag_count = 0;
+    for (int f : fragment) frag_count = std::max(frag_count, f + 1);
+    frag_min_depth.assign(static_cast<std::size_t>(frag_count), n);
+    frag_max_depth.assign(static_cast<std::size_t>(frag_count), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      auto& mn = frag_min_depth[static_cast<std::size_t>(fragment[static_cast<std::size_t>(v)])];
+      auto& mx = frag_max_depth[static_cast<std::size_t>(fragment[static_cast<std::size_t>(v)])];
+      mn = std::min(mn, tree.depth(v));
+      mx = std::max(mx, tree.depth(v));
+    }
+    int max_frag_height = 0;
+    for (int f = 0; f < frag_count; ++f)
+      max_frag_height = std::max(
+          max_frag_height, frag_max_depth[static_cast<std::size_t>(f)] - frag_min_depth[static_cast<std::size_t>(f)]);
+    net.charge(static_cast<std::uint64_t>(max_frag_height) + 1, static_cast<std::uint64_t>(n));
+  }
+
+  marked_list_.clear();
+  for (VertexId v = 0; v < n; ++v)
+    if (marked_[static_cast<std::size_t>(v)]) marked_list_.push_back(v);
+
+  // --- (III) Segments.
+  net.begin_phase("decomp.segments");
+  seg_of_vertex_.assign(static_cast<std::size_t>(n), -1);
+  seg_of_edge_.assign(static_cast<std::size_t>(g.num_edges()), -1);
+  seg_depth_.assign(static_cast<std::size_t>(n), 0);
+  on_highway_.assign(static_cast<std::size_t>(n), 0);
+  attach_pos_.assign(static_cast<std::size_t>(n), 0);
+
+  // Highway segments: every marked d != root walks up to its nearest marked
+  // proper ancestor. Highways are edge-disjoint, so the simultaneous
+  // up-scans cost max |highway| rounds.
+  std::uint64_t highway_edges_total = 0;
+  std::size_t max_highway = 0;
+  for (VertexId d : marked_list_) {
+    if (d == root) continue;
+    Segment s;
+    s.d = d;
+    std::vector<EdgeId> up_edges;
+    std::vector<VertexId> up_verts{d};
+    VertexId x = d;
+    for (;;) {
+      up_edges.push_back(tree.parent_edge(x));
+      x = tree.parent(x);
+      DECK_CHECK(x != kNoVertex);
+      up_verts.push_back(x);
+      if (marked_[static_cast<std::size_t>(x)]) break;
+    }
+    s.r = x;
+    std::reverse(up_edges.begin(), up_edges.end());
+    std::reverse(up_verts.begin(), up_verts.end());
+    s.highway = std::move(up_edges);
+    s.highway_vertices = std::move(up_verts);
+    const int idx = static_cast<int>(segments_.size());
+    for (std::size_t i = 0; i < s.highway.size(); ++i)
+      seg_of_edge_[static_cast<std::size_t>(s.highway[i])] = idx;
+    for (std::size_t i = 1; i < s.highway_vertices.size(); ++i) {
+      const VertexId hv = s.highway_vertices[i];
+      seg_of_vertex_[static_cast<std::size_t>(hv)] = idx;
+      seg_depth_[static_cast<std::size_t>(hv)] = static_cast<int>(i);
+      on_highway_[static_cast<std::size_t>(hv)] = 1;
+      attach_pos_[static_cast<std::size_t>(hv)] = static_cast<int>(i);
+      if (i + 1 < s.highway_vertices.size())
+        DECK_CHECK_MSG(!marked_[static_cast<std::size_t>(hv)], "highway interior must be unmarked");
+    }
+    max_highway = std::max(max_highway, s.highway.size());
+    highway_edges_total += s.highway.size();
+    segments_.push_back(std::move(s));
+  }
+  on_highway_[static_cast<std::size_t>(root)] = 1;  // root acts as a highway endpoint
+  net.charge(static_cast<std::uint64_t>(max_highway) + 1, highway_edges_total);
+
+  // Hanging subtrees: preorder pass assigning segments top-down. A marked
+  // vertex with hanging children reuses a segment rooted at it if one
+  // exists, else opens a (v, v) segment.
+  std::map<VertexId, int> root_segment;  // marked vertex -> reusable segment index
+  for (int i = 0; i < static_cast<int>(segments_.size()); ++i) {
+    auto it = root_segment.find(segments_[static_cast<std::size_t>(i)].r);
+    if (it == root_segment.end()) root_segment[segments_[static_cast<std::size_t>(i)].r] = i;
+  }
+  for (VertexId v : tree.preorder()) {
+    if (v == root || marked_[static_cast<std::size_t>(v)] || on_highway_[static_cast<std::size_t>(v)])
+      continue;
+    if (seg_of_vertex_[static_cast<std::size_t>(v)] != -1) continue;  // highway interior handled
+    const VertexId p = tree.parent(v);
+    int seg;
+    if (marked_[static_cast<std::size_t>(p)]) {
+      auto it = root_segment.find(p);
+      if (it == root_segment.end()) {
+        Segment s;
+        s.r = p;
+        s.d = p;
+        s.highway_vertices = {p};
+        seg = static_cast<int>(segments_.size());
+        segments_.push_back(std::move(s));
+        root_segment[p] = seg;
+      } else {
+        seg = it->second;
+      }
+      seg_depth_[static_cast<std::size_t>(v)] = 1;
+      attach_pos_[static_cast<std::size_t>(v)] = 0;  // attaches at r_S
+    } else {
+      seg = seg_of_vertex_[static_cast<std::size_t>(p)];
+      DECK_CHECK(seg != -1);
+      seg_depth_[static_cast<std::size_t>(v)] = seg_depth_[static_cast<std::size_t>(p)] + 1;
+      // Highway parents attach at themselves; hanging parents pass theirs on.
+      attach_pos_[static_cast<std::size_t>(v)] = attach_pos_[static_cast<std::size_t>(p)];
+    }
+    seg_of_vertex_[static_cast<std::size_t>(v)] = seg;
+    seg_of_edge_[static_cast<std::size_t>(tree.parent_edge(v))] = seg;
+  }
+  // Hanging-edge segments for edges below marked vertices were set above;
+  // highway edge segments already set. Every tree edge must have a segment.
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    const EdgeId pe = tree.parent_edge(v);
+    DECK_CHECK(pe != kNoEdge);
+    DECK_CHECK_MSG(seg_of_edge_[static_cast<std::size_t>(pe)] != -1, "unassigned tree edge");
+  }
+  // Segment-id broadcast down the segments (r_S announces (r_S, d_S)).
+  {
+    int max_h = 0;
+    for (VertexId v = 0; v < n; ++v) max_h = std::max(max_h, seg_depth_[static_cast<std::size_t>(v)]);
+    net.charge(static_cast<std::uint64_t>(max_h) + 1, static_cast<std::uint64_t>(n));
+  }
+
+  // --- Communication forest over segments.
+  seg_forest_.parent.assign(static_cast<std::size_t>(n), kNoVertex);
+  seg_forest_.depth.assign(static_cast<std::size_t>(n), 0);
+  seg_forest_.children.assign(static_cast<std::size_t>(n), {});
+  for (VertexId v = 0; v < n; ++v) {
+    seg_forest_.parent[static_cast<std::size_t>(v)] = tree.parent(v);
+    seg_forest_.depth[static_cast<std::size_t>(v)] = seg_depth_[static_cast<std::size_t>(v)];
+    for (VertexId c : tree.children(v)) seg_forest_.children[static_cast<std::size_t>(v)].push_back(c);
+  }
+
+  // --- (IV) Knowledge: ancestor paths (Claim 3.1) via path downcast.
+  net.begin_phase("decomp.knowledge");
+  {
+    std::vector<KeyedItem> own(static_cast<std::size_t>(n));
+    for (VertexId v = 0; v < n; ++v) {
+      if (v == root) continue;
+      own[static_cast<std::size_t>(v)] =
+          KeyedItem{static_cast<std::uint64_t>(tree.parent_edge(v)), static_cast<std::uint64_t>(v), 0};
+    }
+    auto received = path_downcast(net, seg_forest_, own);
+    anc_edges_.assign(static_cast<std::size_t>(n), {});
+    anc_verts_.assign(static_cast<std::size_t>(n), {});
+    for (VertexId v = 0; v < n; ++v) {
+      if (v == root) continue;
+      anc_edges_[static_cast<std::size_t>(v)].push_back(tree.parent_edge(v));
+      anc_verts_[static_cast<std::size_t>(v)].push_back(tree.parent(v));
+      for (const KeyedItem& it : received[static_cast<std::size_t>(v)]) {
+        anc_edges_[static_cast<std::size_t>(v)].push_back(static_cast<EdgeId>(it.key));
+        anc_verts_[static_cast<std::size_t>(v)].push_back(
+            tree.parent(static_cast<VertexId>(it.prio)));
+      }
+      DECK_CHECK(static_cast<int>(anc_edges_[static_cast<std::size_t>(v)].size()) ==
+                 seg_depth_[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  // Highway knowledge: every member learns its segment's full highway
+  // (segment_broadcast charges the rounds).
+  {
+    std::vector<std::vector<KeyedItem>> lists(segments_.size());
+    for (std::size_t s = 0; s < segments_.size(); ++s) {
+      for (std::size_t i = 0; i < segments_[s].highway.size(); ++i) {
+        lists[s].push_back(KeyedItem{static_cast<std::uint64_t>(i),
+                                     static_cast<std::uint64_t>(segments_[s].highway[i]), 0});
+      }
+    }
+    segment_broadcast(net, *this, lists);
+  }
+
+  // Skeleton tree: each segment id (r_S, d_S) is shared globally via the
+  // BFS-tree pipeline (keyed upcast + pipelined broadcast, O(D + #segments)).
+  {
+    std::vector<std::vector<KeyedItem>> items(static_cast<std::size_t>(n));
+    for (std::size_t s = 0; s < segments_.size(); ++s) {
+      const Segment& seg = segments_[s];
+      items[static_cast<std::size_t>(seg.d)].push_back(
+          KeyedItem{static_cast<std::uint64_t>(s), static_cast<std::uint64_t>(seg.r),
+                    static_cast<std::uint64_t>(seg.d)});
+    }
+    auto fin = keyed_min_upcast(net, bfs_forest, std::move(items));
+    std::vector<std::vector<KeyedItem>> root_items(static_cast<std::size_t>(n));
+    root_items[static_cast<std::size_t>(bfs_root)] = fin[static_cast<std::size_t>(bfs_root)];
+    pipelined_broadcast(net, bfs_forest, std::move(root_items));
+  }
+
+  skel_parent_.assign(static_cast<std::size_t>(n), kNoVertex);
+  skel_depth_.assign(static_cast<std::size_t>(n), 0);
+  for (VertexId v : marked_list_) {
+    if (v == root) continue;
+    const int s = seg_of_vertex_[static_cast<std::size_t>(v)];
+    DECK_CHECK(s != -1 && segments_[static_cast<std::size_t>(s)].d == v);
+    skel_parent_[static_cast<std::size_t>(v)] = segments_[static_cast<std::size_t>(s)].r;
+  }
+  // Skeleton depths by repeated parent walks (skeleton is O(sqrt n) deep in
+  // the worst case; this is local computation).
+  for (VertexId v : marked_list_) {
+    int d = 0;
+    VertexId x = v;
+    while (skel_parent_[static_cast<std::size_t>(x)] != kNoVertex) {
+      x = skel_parent_[static_cast<std::size_t>(x)];
+      ++d;
+    }
+    skel_depth_[static_cast<std::size_t>(v)] = d;
+  }
+
+  // Stats.
+  for (VertexId v = 0; v < n; ++v)
+    max_segment_diameter_ = std::max(max_segment_diameter_, seg_depth_[static_cast<std::size_t>(v)]);
+}
+
+bool SegmentDecomposition::skeleton_is_ancestor(VertexId a, VertexId b) const {
+  VertexId x = b;
+  for (;;) {
+    if (x == a) return true;
+    const VertexId p = skel_parent_[static_cast<std::size_t>(x)];
+    if (p == kNoVertex) return false;
+    x = p;
+  }
+}
+
+VertexId SegmentDecomposition::skeleton_lca(VertexId a, VertexId b) const {
+  int da = skel_depth_[static_cast<std::size_t>(a)];
+  int db = skel_depth_[static_cast<std::size_t>(b)];
+  while (da > db) {
+    a = skel_parent_[static_cast<std::size_t>(a)];
+    --da;
+  }
+  while (db > da) {
+    b = skel_parent_[static_cast<std::size_t>(b)];
+    --db;
+  }
+  while (a != b) {
+    a = skel_parent_[static_cast<std::size_t>(a)];
+    b = skel_parent_[static_cast<std::size_t>(b)];
+  }
+  return a;
+}
+
+std::vector<int> SegmentDecomposition::skeleton_path_segments(VertexId a, VertexId b) const {
+  const VertexId l = skeleton_lca(a, b);
+  std::vector<int> out;
+  for (VertexId x = a; x != l; x = skel_parent_[static_cast<std::size_t>(x)])
+    out.push_back(seg_of_vertex_[static_cast<std::size_t>(x)]);
+  for (VertexId x = b; x != l; x = skel_parent_[static_cast<std::size_t>(x)])
+    out.push_back(seg_of_vertex_[static_cast<std::size_t>(x)]);
+  return out;
+}
+
+std::vector<std::vector<KeyedItem>> segment_broadcast(
+    Network& net, const SegmentDecomposition& dec,
+    const std::vector<std::vector<KeyedItem>>& per_segment_list) {
+  const int n = dec.tree().num_vertices();
+  DECK_CHECK(static_cast<int>(per_segment_list.size()) == dec.num_segments());
+  std::vector<std::vector<KeyedItem>> out(static_cast<std::size_t>(n));
+  std::uint64_t rounds = 0, messages = 0;
+  // Segments are edge-disjoint: deliveries pipeline independently. A member
+  // at segment depth d receives the L items by round d + L.
+  for (VertexId v = 0; v < n; ++v) {
+    const int s = dec.seg_of_vertex(v);
+    if (s < 0) continue;
+    out[static_cast<std::size_t>(v)] = per_segment_list[static_cast<std::size_t>(s)];
+    const auto len = static_cast<std::uint64_t>(per_segment_list[static_cast<std::size_t>(s)].size());
+    if (len == 0) continue;
+    rounds = std::max(rounds, static_cast<std::uint64_t>(dec.seg_depth(v)) + len);
+    messages += len;
+  }
+  net.charge(rounds, messages);
+  return out;
+}
+
+std::vector<std::uint64_t> segment_aggregate(
+    Network& net, const SegmentDecomposition& dec, const std::vector<std::uint64_t>& value,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine,
+    std::uint64_t identity) {
+  const int n = dec.tree().num_vertices();
+  DECK_CHECK(static_cast<int>(value.size()) == n);
+  std::vector<std::uint64_t> acc(static_cast<std::size_t>(dec.num_segments()), identity);
+  std::uint64_t max_h = 0, messages = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const int s = dec.seg_of_vertex(v);
+    if (s < 0) continue;
+    acc[static_cast<std::size_t>(s)] = combine(acc[static_cast<std::size_t>(s)], value[static_cast<std::size_t>(v)]);
+    max_h = std::max(max_h, static_cast<std::uint64_t>(dec.seg_depth(v)));
+    ++messages;
+  }
+  net.charge(max_h + 1, messages);
+  return acc;
+}
+
+}  // namespace deck

@@ -1,0 +1,146 @@
+#pragma once
+
+// Tree decomposition into segments and the skeleton tree (paper §3.2).
+//
+// Input: the rooted MST T, its stage-1 fragments and the global edges
+// (MST edges between fragments) from mst/distributed_mst.
+//
+// Construction (simulated with exact round charges):
+//  (II)  Marking — endpoints of global edges and the root are marked; each
+//        fragment closes its marked set under LCA with one leaf-to-root
+//        scan (Lemma 3.4: O(sqrt n) marked vertices, LCA-closed, every
+//        vertex has a marked ancestor within the fragment height).
+//  (III) Segments — for each marked d != r the tree path to its nearest
+//        marked proper ancestor r_S is the highway of segment (r_S, d);
+//        hanging subtrees attach to the segment of their highway vertex, or
+//        to a (v, v) segment under a marked vertex with no marked
+//        descendants. Segments are edge-disjoint; only r_S and d_S touch
+//        other segments.
+//  (IV)  Knowledge (Claims 3.1/3.2) — every vertex learns its segment id,
+//        its path to r_S, the full highway of its segment, and the complete
+//        skeleton tree; per-segment aggregates can be shared globally in
+//        O(D + sqrt n) rounds.
+//
+// The struct exposes the per-vertex knowledge plus *local* skeleton-tree
+// helpers (legitimate: the whole skeleton is broadcast to every vertex).
+
+#include <optional>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+
+namespace deck {
+
+struct Segment {
+  VertexId r = kNoVertex;                 // root (ancestor) r_S
+  VertexId d = kNoVertex;                 // unique descendant d_S (== r for hanging segments)
+  std::vector<EdgeId> highway;            // tree edges r_S..d_S, ordered from r_S down
+  std::vector<VertexId> highway_vertices; // r_S, ..., d_S (size = highway.size() + 1)
+};
+
+class SegmentDecomposition {
+ public:
+  /// Builds the decomposition over `tree` (the MST) and charges the
+  /// simulated construction rounds to `net`. `fragment` and `global_edges`
+  /// come from MstResult; `bfs_forest`/`bfs_root` drive global pipelines.
+  SegmentDecomposition(Network& net, const RootedTree& tree, const std::vector<int>& fragment,
+                       const std::vector<EdgeId>& global_edges, const CommForest& bfs_forest,
+                       VertexId bfs_root);
+
+  const RootedTree& tree() const { return *tree_; }
+  int num_segments() const { return static_cast<int>(segments_.size()); }
+  const Segment& segment(int s) const { return segments_[static_cast<std::size_t>(s)]; }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  bool is_marked(VertexId v) const { return marked_[static_cast<std::size_t>(v)] != 0; }
+  const std::vector<VertexId>& marked_vertices() const { return marked_list_; }
+
+  /// Member segment of v (-1 for the global root). For marked v this is the
+  /// segment in which v = d_S.
+  int seg_of_vertex(VertexId v) const { return seg_of_vertex_[static_cast<std::size_t>(v)]; }
+  /// Segment of a tree edge (-1 for non-tree edges).
+  int seg_of_edge(EdgeId e) const { return seg_of_edge_[static_cast<std::size_t>(e)]; }
+  /// Distance from v to its segment root along the tree.
+  int seg_depth(VertexId v) const { return seg_depth_[static_cast<std::size_t>(v)]; }
+  /// True iff v lies on its member segment's highway.
+  bool on_highway(VertexId v) const { return on_highway_[static_cast<std::size_t>(v)] != 0; }
+  /// Index into segment(s).highway_vertices of v's attachment point
+  /// (LCA(v, d_S)); for highway vertices this is v's own position.
+  int attach_pos(VertexId v) const { return attach_pos_[static_cast<std::size_t>(v)]; }
+
+  /// v's tree path to its segment root: edge ids (deepest first) and the
+  /// chain of upper endpoints [p(v), ..., r_S]. Knowledge per Claim 3.1.
+  const std::vector<EdgeId>& anc_path_edges(VertexId v) const {
+    return anc_edges_[static_cast<std::size_t>(v)];
+  }
+  const std::vector<VertexId>& anc_path_vertices(VertexId v) const {
+    return anc_verts_[static_cast<std::size_t>(v)];
+  }
+
+  /// Communication forest over segments (parent = tree parent, depth =
+  /// segment depth) used by the pipelined engines.
+  const CommForest& seg_forest() const { return seg_forest_; }
+
+  // --- Skeleton tree (global knowledge at every vertex) -------------------
+
+  /// Skeleton parent of a marked vertex (kNoVertex at the root).
+  VertexId skeleton_parent(VertexId marked) const {
+    return skel_parent_[static_cast<std::size_t>(marked)];
+  }
+  /// Member segment index of marked v != root, i.e. the skeleton edge
+  /// (v -> skeleton_parent(v)).
+  int skeleton_edge_segment(VertexId marked) const {
+    return seg_of_vertex(marked);
+  }
+  /// True iff marked vertex a is a (weak) skeleton ancestor of marked b.
+  bool skeleton_is_ancestor(VertexId a, VertexId b) const;
+  /// Segment indices whose highways compose the tree path between marked
+  /// vertices a and b (skeleton path, both directions merged at the LCA).
+  std::vector<int> skeleton_path_segments(VertexId a, VertexId b) const;
+  /// Skeleton LCA of two marked vertices.
+  VertexId skeleton_lca(VertexId a, VertexId b) const;
+
+  // --- Lemma 3.4 / structural stats (used by tests & T4) ------------------
+
+  int max_segment_diameter() const { return max_segment_diameter_; }
+  int num_marked() const { return static_cast<int>(marked_list_.size()); }
+
+ private:
+  const RootedTree* tree_;
+  std::vector<char> marked_;
+  std::vector<VertexId> marked_list_;
+  std::vector<Segment> segments_;
+  std::vector<int> seg_of_vertex_;
+  std::vector<int> seg_of_edge_;
+  std::vector<int> seg_depth_;
+  std::vector<char> on_highway_;
+  std::vector<int> attach_pos_;
+  std::vector<std::vector<EdgeId>> anc_edges_;
+  std::vector<std::vector<VertexId>> anc_verts_;
+  CommForest seg_forest_;
+  std::vector<VertexId> skel_parent_;
+  std::vector<int> skel_depth_;
+  int max_segment_diameter_ = 0;
+};
+
+/// Per-segment list delivery: every member of segment s receives list[s]
+/// (pipelined within each segment in parallel; segments are edge-disjoint so
+/// channels never conflict). Charges max(list + height) rounds. Returns the
+/// per-vertex received list (the member segment's list).
+std::vector<std::vector<KeyedItem>> segment_broadcast(
+    Network& net, const SegmentDecomposition& dec,
+    const std::vector<std::vector<KeyedItem>>& per_segment_list);
+
+/// Per-segment aggregate: combines per-vertex values within each segment
+/// (hanging subtrees fold into their attachment; the highway folds to r_S).
+/// Returns one value per segment, conceptually delivered at each segment
+/// root. Charges max segment height rounds.
+std::vector<std::uint64_t> segment_aggregate(
+    Network& net, const SegmentDecomposition& dec, const std::vector<std::uint64_t>& value,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine,
+    std::uint64_t identity);
+
+}  // namespace deck

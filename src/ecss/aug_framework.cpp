@@ -1,0 +1,61 @@
+#include "ecss/aug_framework.hpp"
+
+#include "support/check.hpp"
+
+namespace deck {
+
+AugState::AugState(const Graph& g, std::vector<char> h_mask, int cut_size, std::uint64_t seed)
+    : g_(&g), h_mask_(std::move(h_mask)), a_mask_(static_cast<std::size_t>(g.num_edges()), 0) {
+  cuts_ = enumerate_cuts(g, h_mask_, cut_size, seed);
+  covered_.assign(cuts_.cuts.size(), 0);
+  uncovered_ = static_cast<int>(cuts_.cuts.size());
+}
+
+int AugState::coverage(EdgeId e) const {
+  if (in_h(e) || in_a(e)) return 0;
+  int cnt = 0;
+  for (std::size_t i = 0; i < cuts_.cuts.size(); ++i) {
+    if (covered_[i]) continue;
+    if (cut_covered_by(cuts_.cuts[i], *g_, e)) ++cnt;
+  }
+  return cnt;
+}
+
+void AugState::add_to_a(EdgeId e) {
+  DECK_CHECK(!in_h(e));
+  if (in_a(e)) return;
+  a_mask_[static_cast<std::size_t>(e)] = 1;
+  for (std::size_t i = 0; i < cuts_.cuts.size(); ++i) {
+    if (!covered_[i] && cut_covered_by(cuts_.cuts[i], *g_, e)) {
+      covered_[i] = 1;
+      --uncovered_;
+    }
+  }
+}
+
+std::vector<char> AugState::result_mask() const {
+  std::vector<char> out = h_mask_;
+  for (std::size_t e = 0; e < a_mask_.size(); ++e)
+    if (a_mask_[e]) out[e] = 1;
+  return out;
+}
+
+int rounded_ce_exponent(int ce, Weight w) {
+  DECK_CHECK(ce >= 1 && w >= 1);
+  int j = -62;
+  for (; j < 62; ++j) {
+    // Does 2^j > ce / w hold, i.e. w * 2^j > ce?
+    bool holds;
+    if (j >= 0) {
+      const int shift = j > 40 ? 40 : j;
+      holds = (w << shift) > ce;
+    } else {
+      const int shift = -j > 40 ? 40 : -j;
+      holds = w > (static_cast<Weight>(ce) << shift);
+    }
+    if (holds) break;
+  }
+  return j;
+}
+
+}  // namespace deck

@@ -1,0 +1,57 @@
+#pragma once
+
+// Shared Aug_k machinery (paper §2.1): cut bookkeeping for augmenting a
+// (k-1)-edge-connected H to k-edge-connectivity by covering all its cuts of
+// size k-1. Both the sequential greedy baseline and the distributed §4
+// algorithm (where every vertex performs this computation locally on its
+// global knowledge of H and A) build on this state.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/cut_enum.hpp"
+#include "graph/graph.hpp"
+
+namespace deck {
+
+class AugState {
+ public:
+  /// Enumerates the cuts of size `cut_size` of the subgraph h_mask of g.
+  /// `seed` drives the (shared) randomized enumeration for cut_size >= 3.
+  AugState(const Graph& g, std::vector<char> h_mask, int cut_size, std::uint64_t seed);
+
+  const Graph& graph() const { return *g_; }
+  int cut_size() const { return cuts_.cut_size; }
+  int num_cuts() const { return static_cast<int>(cuts_.cuts.size()); }
+  int num_uncovered() const { return uncovered_; }
+  bool all_covered() const { return uncovered_ == 0; }
+
+  bool in_h(EdgeId e) const { return h_mask_[static_cast<std::size_t>(e)] != 0; }
+  bool in_a(EdgeId e) const { return a_mask_[static_cast<std::size_t>(e)] != 0; }
+
+  /// |Ce|: uncovered cuts that edge e covers. O(#cuts).
+  int coverage(EdgeId e) const;
+
+  /// Adds e to the augmentation A and marks the cuts it covers.
+  void add_to_a(EdgeId e);
+
+  /// H ∪ A as an edge mask.
+  std::vector<char> result_mask() const;
+
+  const CutCollection& cuts() const { return cuts_; }
+  bool cut_is_covered(int i) const { return covered_[static_cast<std::size_t>(i)] != 0; }
+
+ private:
+  const Graph* g_;
+  std::vector<char> h_mask_;
+  std::vector<char> a_mask_;
+  CutCollection cuts_;
+  std::vector<char> covered_;
+  int uncovered_ = 0;
+};
+
+/// Rounded cost-effectiveness exponent: the minimum j with 2^j > ce / w.
+/// Requires ce >= 1 and w >= 1. (Paper: rounding to the next power of two.)
+int rounded_ce_exponent(int ce, Weight w);
+
+}  // namespace deck

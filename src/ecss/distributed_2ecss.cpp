@@ -1,0 +1,66 @@
+#include "ecss/distributed_2ecss.hpp"
+
+#include <algorithm>
+
+#include "congest/primitives.hpp"
+#include "decomp/segments.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+Ecss2Result distributed_2ecss(Network& net, const TapOptions& opt) {
+  net.begin_phase("2ecss.bfs");
+  const VertexId root = 0;
+  const RootedTree bfs = distributed_bfs(net, root);
+  const CommForest bfs_forest = CommForest::from_tree(bfs);
+
+  net.begin_phase("2ecss.mst");
+  MstResult mst = distributed_mst(net, bfs);
+
+  SegmentDecomposition dec(net, mst.tree, mst.fragment, mst.global_edges, bfs_forest, root);
+
+  TapResult tap = distributed_tap(net, dec, bfs_forest, root, opt);
+
+  Ecss2Result out;
+  out.edges = mst.mst_edges;
+  out.edges.insert(out.edges.end(), tap.augmentation.begin(), tap.augmentation.end());
+  std::sort(out.edges.begin(), out.edges.end());
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end()), out.edges.end());
+  for (EdgeId e : out.edges) out.weight += net.graph().edge(e).w;
+  out.tap_iterations = tap.iterations;
+  out.num_segments = dec.num_segments();
+  out.max_segment_diameter = dec.max_segment_diameter();
+  return out;
+}
+
+TapResult distributed_tap_standalone(Network& net, const TapInstance& inst,
+                                     const TapOptions& opt) {
+  const Graph& g = net.graph();
+  DECK_CHECK(g.num_vertices() == inst.g.num_vertices() && g.num_edges() == inst.g.num_edges());
+
+  net.begin_phase("tap.bfs");
+  const VertexId root = 0;
+  const RootedTree bfs = distributed_bfs(net, root);
+  const CommForest bfs_forest = CommForest::from_tree(bfs);
+
+  // Fragments for the *given* tree: run the distributed MST on a copy whose
+  // tree edges weigh 0 — the unique MST is the input tree, and the stage-1
+  // fragments / global edges come out as in §3.2. Rounds are charged through.
+  net.begin_phase("tap.fragments");
+  Graph forced(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    forced.add_edge(g.edge(e).u, g.edge(e).v,
+                    inst.tree_mask[static_cast<std::size_t>(e)] ? 0 : 1 + g.edge(e).w);
+  }
+  Network sub(forced);
+  const RootedTree sub_bfs = distributed_bfs(sub, root);
+  MstResult mst = distributed_mst(sub, sub_bfs);
+  net.charge(sub.rounds(), sub.messages());
+  for (EdgeId e : mst.mst_edges)
+    DECK_CHECK_MSG(inst.tree_mask[static_cast<std::size_t>(e)], "forced MST deviated from tree");
+
+  SegmentDecomposition dec(net, mst.tree, mst.fragment, mst.global_edges, bfs_forest, root);
+  return distributed_tap(net, dec, bfs_forest, root, opt);
+}
+
+}  // namespace deck

@@ -1,0 +1,36 @@
+#pragma once
+
+// Distributed weighted 2-ECSS (paper §3, Theorem 1.1): distributed MST,
+// segment decomposition, then the distributed weighted TAP augmentation.
+// O(log n)-approximation (1 for the MST step + O(log n) for TAP, Claim 2.1)
+// in O((D + sqrt n) log^2 n) rounds w.h.p.
+
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+#include "mst/distributed_mst.hpp"
+#include "tap/distributed_tap.hpp"
+#include "tap/tap_instance.hpp"
+
+namespace deck {
+
+struct Ecss2Result {
+  std::vector<EdgeId> edges;   // MST ∪ augmentation
+  Weight weight = 0;
+  int tap_iterations = 0;
+  int num_segments = 0;
+  int max_segment_diameter = 0;
+};
+
+/// Requires net.graph() 2-edge-connected with the paper's weight model.
+Ecss2Result distributed_2ecss(Network& net, const TapOptions& opt);
+
+/// Standalone distributed weighted TAP (Theorem 3.12) for a given tree:
+/// fragments are derived by running the distributed MST with the tree edges
+/// forced to weight zero (the unique MST is then the input tree), after
+/// which the 2-ECSS machinery runs unchanged.
+TapResult distributed_tap_standalone(Network& net, const TapInstance& inst,
+                                     const TapOptions& opt);
+
+}  // namespace deck

@@ -1,0 +1,300 @@
+#include "ecss/distributed_3ecss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "congest/primitives.hpp"
+#include "cycles/cycle_space.hpp"
+#include "decomp/segments.hpp"
+#include "ecss/aug_framework.hpp"
+#include "ecss/distributed_2ecss.hpp"
+#include "ecss/unweighted_2ecss.hpp"
+#include "mst/distributed_mst.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+
+namespace {
+
+void control_round(Network& net, const CommForest& bfs) {
+  std::vector<std::uint64_t> val(bfs.parent.size(), 0);
+  convergecast(net, bfs, val, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+  broadcast(net, bfs, val);
+}
+
+/// The §5 augmentation loop: covers all cut pairs of the 2-edge-connected
+/// subgraph ha_mask using cycle-space labels over `tree` (a spanning tree
+/// contained in ha_mask). Weighted per §5.4 when `weighted` is set.
+/// Returns the iteration count; extends ha_mask in place.
+int aug3_label_loop(Network& net, const RootedTree& tree, std::vector<char>& ha_mask,
+                    const Ecss3Options& opt, bool weighted) {
+  const Graph& g = net.graph();
+  const int n = g.num_vertices();
+  const int m = g.num_edges();
+  const CommForest forest = CommForest::from_tree(tree);
+
+  std::vector<char> is_tree(static_cast<std::size_t>(m), 0);
+  for (VertexId v = 0; v < n; ++v)
+    if (tree.parent_edge(v) != kNoEdge) is_tree[static_cast<std::size_t>(tree.parent_edge(v))] = 1;
+
+  Rng rng(opt.seed);
+  const int log_n = std::max(1, static_cast<int>(std::ceil(std::log2(std::max(2, n)))));
+  const int phase_len = std::max(1, opt.phase_m * log_n);
+  const int p_start_exp = static_cast<int>(std::ceil(std::log2(std::max(2, m))));
+
+  int cap_exp = std::numeric_limits<int>::max();  // Lemma 5.11 clamp
+  int p_exp = p_start_exp;
+  int iter_in_phase = 0;
+  int last_max = std::numeric_limits<int>::max();
+  int iterations = 0;
+
+  // Cached per-iteration state, recomputed when A changes (the paper
+  // resamples labels every iteration; with unchanged H∪A the recomputation
+  // yields the same counts w.h.p., so we cache and charge the rounds).
+  bool dirty = true;
+  std::vector<int> exponent(static_cast<std::size_t>(m), std::numeric_limits<int>::min());
+  std::vector<int> rho(static_cast<std::size_t>(m), 0);
+  bool three_connected_by_labels = false;
+
+  auto recompute = [&]() {
+    // (a) Sample an O(log n)-bit circulation of H∪A over the tree.
+    CycleSpace cs = sample_circulation_distributed(net, ha_mask, tree, opt.label_bits, rng);
+
+    // (b) Knowledge: root-path labels for every vertex (pipelined downcast;
+    // two passes to carry edge id + 128-bit label).
+    {
+      std::vector<KeyedItem> own(static_cast<std::size_t>(n));
+      for (VertexId v = 0; v < n; ++v)
+        if (tree.parent_edge(v) != kNoEdge)
+          own[static_cast<std::size_t>(v)] =
+              KeyedItem{static_cast<std::uint64_t>(tree.parent_edge(v)), 0, 0};
+      path_downcast(net, forest, own);
+      path_downcast(net, forest, own);
+    }
+
+    // (c) n_phi(t) per tree edge via the minimum-id covering edge of H∪A
+    // (Claim 5.9): selection by an ancestor-merge over the tree, then a
+    // count within that edge's fundamental cycle.
+    std::vector<std::vector<KeyedItem>> items(static_cast<std::size_t>(n));
+    std::vector<std::vector<EdgeId>> path_cache(static_cast<std::size_t>(m));
+    for (EdgeId e = 0; e < m; ++e) {
+      if (!ha_mask[static_cast<std::size_t>(e)] || is_tree[static_cast<std::size_t>(e)]) continue;
+      const Edge& ed = g.edge(e);
+      const VertexId l = tree.lca(ed.u, ed.v);
+      for (VertexId x : {ed.u, ed.v}) {
+        for (VertexId y = x; y != l; y = tree.parent(y)) {
+          items[static_cast<std::size_t>(x)].push_back(
+              KeyedItem{static_cast<std::uint64_t>(tree.depth(y) - 1),
+                        static_cast<std::uint64_t>(e), 0});
+        }
+      }
+    }
+    auto selected = ancestor_min_merge(net, forest, std::move(items));
+
+    std::vector<int> nphi(static_cast<std::size_t>(m), 0);  // per tree edge id
+    auto cycle_path = [&](EdgeId e) -> const std::vector<EdgeId>& {
+      auto& p = path_cache[static_cast<std::size_t>(e)];
+      if (p.empty()) p = tree.path_edges(g.edge(e).u, g.edge(e).v);
+      return p;
+    };
+    for (VertexId x = 0; x < n; ++x) {
+      const EdgeId t = tree.parent_edge(x);
+      if (t == kNoEdge) continue;
+      const auto& sel = selected[static_cast<std::size_t>(x)];
+      DECK_CHECK_MSG(sel.has_value(), "tree edge with no covering edge: H not 2-edge-connected");
+      const auto estar = static_cast<EdgeId>(sel->prio);
+      int cnt = cs.phi[static_cast<std::size_t>(estar)] == cs.phi[static_cast<std::size_t>(t)] ? 1 : 0;
+      for (EdgeId t2 : cycle_path(estar))
+        if (cs.phi[static_cast<std::size_t>(t2)] == cs.phi[static_cast<std::size_t>(t)]) ++cnt;
+      nphi[static_cast<std::size_t>(t)] = cnt;
+    }
+    // Downcast of (t, n_phi(t)) along root paths (pipelined).
+    {
+      std::vector<KeyedItem> own(static_cast<std::size_t>(n));
+      for (VertexId v = 0; v < n; ++v)
+        if (tree.parent_edge(v) != kNoEdge)
+          own[static_cast<std::size_t>(v)] = KeyedItem{
+              static_cast<std::uint64_t>(tree.parent_edge(v)),
+              static_cast<std::uint64_t>(nphi[static_cast<std::size_t>(tree.parent_edge(v))]), 0};
+      path_downcast(net, forest, own);
+    }
+
+    // (d) rho(e) per candidate edge (Claim 5.8), after a fundamental-path
+    // exchange over each non-H∪A edge (labels + counts: 3 words per hop).
+    {
+      std::vector<EdgeId> ex;
+      std::vector<std::vector<std::uint64_t>> fu, fv;
+      for (EdgeId e = 0; e < m; ++e) {
+        if (ha_mask[static_cast<std::size_t>(e)]) continue;
+        ex.push_back(e);
+        const Edge& ed = g.edge(e);
+        fu.emplace_back(static_cast<std::size_t>(3 * tree.depth(ed.u)), 0);
+        fv.emplace_back(static_cast<std::size_t>(3 * tree.depth(ed.v)), 0);
+      }
+      edge_exchange(net, ex, fu, fv);
+    }
+    int global_max = std::numeric_limits<int>::min();
+    for (EdgeId e = 0; e < m; ++e) {
+      exponent[static_cast<std::size_t>(e)] = std::numeric_limits<int>::min();
+      rho[static_cast<std::size_t>(e)] = 0;
+      if (ha_mask[static_cast<std::size_t>(e)]) continue;
+      const Edge& ed = g.edge(e);
+      std::map<BitLabel, int> on_path;
+      for (EdgeId t : tree.path_edges(ed.u, ed.v)) ++on_path[cs.phi[static_cast<std::size_t>(t)]];
+      long long r = 0;
+      for (EdgeId t : tree.path_edges(ed.u, ed.v)) {
+        const BitLabel& lab = cs.phi[static_cast<std::size_t>(t)];
+        auto it = on_path.find(lab);
+        if (it == on_path.end()) continue;  // label already accounted
+        const int here = it->second;
+        r += static_cast<long long>(here) * (nphi[static_cast<std::size_t>(t)] - here);
+        on_path.erase(it);
+      }
+      rho[static_cast<std::size_t>(e)] = static_cast<int>(std::min<long long>(r, 1 << 30));
+      if (r > 0) {
+        const Weight w = weighted ? std::max<Weight>(1, g.edge(e).w) : 1;
+        exponent[static_cast<std::size_t>(e)] =
+            rounded_ce_exponent(rho[static_cast<std::size_t>(e)], w);
+        global_max = std::max(global_max, exponent[static_cast<std::size_t>(e)]);
+      }
+    }
+
+    // Termination predicate (Claim 5.10): no tree edge in a cut pair.
+    three_connected_by_labels = true;
+    {
+      std::map<BitLabel, int> counts;
+      for (EdgeId e = 0; e < m; ++e)
+        if (ha_mask[static_cast<std::size_t>(e)]) ++counts[cs.phi[static_cast<std::size_t>(e)]];
+      for (EdgeId e = 0; e < m && three_connected_by_labels; ++e)
+        if (ha_mask[static_cast<std::size_t>(e)] && is_tree[static_cast<std::size_t>(e)] &&
+            counts[cs.phi[static_cast<std::size_t>(e)]] > 1)
+          three_connected_by_labels = false;
+    }
+    return global_max;
+  };
+
+  int computed_max = std::numeric_limits<int>::min();
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    if (dirty) {
+      computed_max = recompute();
+      dirty = false;
+    } else {
+      // The paper recomputes labels and counts every iteration; the values
+      // are unchanged without additions, so we only charge the rounds.
+      net.charge(static_cast<std::uint64_t>(4 * (tree.height() + 1)),
+                 4ULL * static_cast<std::uint64_t>(n));
+    }
+    control_round(net, forest);  // max rounded cost-effectiveness + termination bit
+    if (three_connected_by_labels) break;
+    DECK_CHECK_MSG(computed_max != std::numeric_limits<int>::min(),
+                   "cut pair with no covering edge: input not 3-edge-connected");
+
+    const int global_max = std::min(computed_max, cap_exp);  // Lemma 5.11 clamp
+    if (global_max != last_max) {
+      last_max = global_max;
+      p_exp = p_start_exp;
+      iter_in_phase = 0;
+    }
+
+    // Candidate activation (coin drawn at the smaller endpoint, 1 round).
+    std::vector<EdgeId> adds;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (ha_mask[static_cast<std::size_t>(e)]) continue;
+      const int ee = std::min(exponent[static_cast<std::size_t>(e)], cap_exp);
+      if (ee != global_max || rho[static_cast<std::size_t>(e)] <= 0) continue;
+      const std::uint64_t coin =
+          mix64(opt.seed ^ 0x3ec5ull ^ (static_cast<std::uint64_t>(iter) << 20) ^
+                static_cast<std::uint64_t>(e));
+      // Activation with probability 2^-p_exp: top p_exp bits all zero.
+      if (p_exp == 0 || (coin >> (64 - p_exp)) == 0) adds.push_back(e);
+    }
+    net.charge(1, adds.size() + 1);
+
+    for (EdgeId e : adds) ha_mask[static_cast<std::size_t>(e)] = 1;
+    if (!adds.empty()) dirty = true;
+    ++iterations;
+
+    if (p_exp == 0) {
+      // After a p = 1 iteration every remaining candidate joined; the
+      // maximum rounded cost-effectiveness must halve (Lemma 5.11).
+      cap_exp = global_max - 1;
+      dirty = true;
+      if (!weighted && cap_exp < 1) {
+        // rho >= 1 for any edge covering a cut pair (Claim 5.12): at this
+        // point everything useful was added; verify and stop.
+        computed_max = recompute();
+        control_round(net, forest);
+        break;
+      }
+      if (weighted && cap_exp < -2 * 62) break;  // exponent floor
+    }
+    if (++iter_in_phase >= phase_len && p_exp > 0) {
+      --p_exp;
+      iter_in_phase = 0;
+    }
+  }
+  return iterations;
+}
+
+}  // namespace
+
+Ecss3Result distributed_3ecss_unweighted(Network& net, const Ecss3Options& opt) {
+  const Graph& g = net.graph();
+  const int m = g.num_edges();
+  Ecss3Result result;
+
+  // Base: 2-approximate unweighted 2-ECSS, O(D) rounds (§5 / [1]).
+  net.begin_phase("3ecss.base");
+  auto base = unweighted_2ecss_2approx(net, 0);
+  std::vector<char> ha_mask(static_cast<std::size_t>(m), 0);
+  for (EdgeId e : base.edges) ha_mask[static_cast<std::size_t>(e)] = 1;
+  result.base_size = static_cast<int>(base.edges.size());
+
+  net.begin_phase("3ecss.aug");
+  result.iterations = aug3_label_loop(net, base.bfs, ha_mask, opt, /*weighted=*/false);
+
+  for (EdgeId e = 0; e < m; ++e)
+    if (ha_mask[static_cast<std::size_t>(e)]) result.edges.push_back(e);
+  result.size = static_cast<int>(result.edges.size());
+  return result;
+}
+
+Ecss3WeightedResult distributed_3ecss_weighted(Network& net, const Ecss3Options& opt) {
+  const Graph& g = net.graph();
+  const int m = g.num_edges();
+  Ecss3WeightedResult result;
+
+  // Base: weighted 2-ECSS = distributed MST + TAP (Theorem 1.1), with the
+  // MST as the label tree (§5.4: iterations cost O(h_MST)).
+  net.begin_phase("3ecss_w.base");
+  const VertexId root = 0;
+  const RootedTree bfs = distributed_bfs(net, root);
+  const CommForest bfs_forest = CommForest::from_tree(bfs);
+  MstResult mst = distributed_mst(net, bfs);
+  SegmentDecomposition dec(net, mst.tree, mst.fragment, mst.global_edges, bfs_forest, root);
+  TapOptions topt;
+  topt.seed = opt.seed ^ 0x2ec55ull;
+  const TapResult tap = distributed_tap(net, dec, bfs_forest, root, topt);
+
+  std::vector<char> ha_mask(static_cast<std::size_t>(m), 0);
+  for (EdgeId e : mst.mst_edges) ha_mask[static_cast<std::size_t>(e)] = 1;
+  for (EdgeId e : tap.augmentation) ha_mask[static_cast<std::size_t>(e)] = 1;
+  // Weight-0 edges are free cover for the augmentation step.
+  for (EdgeId e = 0; e < m; ++e)
+    if (g.edge(e).w == 0) ha_mask[static_cast<std::size_t>(e)] = 1;
+
+  net.begin_phase("3ecss_w.aug");
+  result.iterations = aug3_label_loop(net, mst.tree, ha_mask, opt, /*weighted=*/true);
+
+  for (EdgeId e = 0; e < m; ++e)
+    if (ha_mask[static_cast<std::size_t>(e)]) {
+      result.edges.push_back(e);
+      result.weight += g.edge(e).w;
+    }
+  return result;
+}
+
+}  // namespace deck

@@ -1,0 +1,57 @@
+#pragma once
+
+// Distributed unweighted 3-ECSS (paper §5, Theorem 1.3): O(D log^3 n)
+// rounds, O(log n)-approximation in expectation.
+//
+// Base: the O(D)-round 2-approximate unweighted 2-ECSS H (BFS tree +
+// highest-reach augmentation). Augmentation to 3-edge-connectivity runs the
+// §4 framework where the cuts are H∪A's *cut pairs*, detected with cycle
+// space sampling: each iteration samples an O(log n)-bit circulation
+// (Lemma 5.5, O(D)); an edge e computes its cost-effectiveness locally as
+//   rho(e) = sum over labels L on its fundamental path of
+//            n_{L,e} * (n_L - n_{L,e})                          (Claim 5.8)
+// using per-tree-edge counts n_phi(t) learned from a covering edge's
+// fundamental cycle (Claim 5.9) and pipelined up/down the BFS tree. Active
+// candidates join A directly (no MST filter is needed: all edges have unit
+// weight). Per Lemma 5.11 the maximum rounded cost-effectiveness is clamped
+// to be non-increasing, and forced to halve after a p = 1 iteration, so the
+// algorithm always terminates 3-edge-connected after O(log^3 n) iterations.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace deck {
+
+struct Ecss3Options {
+  std::uint64_t seed = 1;
+  int label_bits = 64;
+  int phase_m = 2;
+  bool fast_forward = true;
+  int max_iterations = 1 << 20;
+};
+
+struct Ecss3Result {
+  std::vector<EdgeId> edges;   // H ∪ A
+  int size = 0;
+  int iterations = 0;
+  int base_size = 0;           // |H| from the 2-approximation
+};
+
+/// Requires net.graph() 3-edge-connected (unit weights assumed).
+Ecss3Result distributed_3ecss_unweighted(Network& net, const Ecss3Options& opt);
+
+/// §5.4 remark: the same algorithm for *weighted* 3-ECSS. The base is the
+/// weighted 2-ECSS (distributed MST + TAP, Theorem 1.1) and the labels live
+/// on the MST, so each iteration costs O(h_MST) rounds instead of O(D) —
+/// the trade-off the paper discusses (worst case O(n log^3 n)).
+struct Ecss3WeightedResult {
+  std::vector<EdgeId> edges;
+  Weight weight = 0;
+  int iterations = 0;
+};
+Ecss3WeightedResult distributed_3ecss_weighted(Network& net, const Ecss3Options& opt);
+
+}  // namespace deck

@@ -1,0 +1,256 @@
+#include "ecss/distributed_kecss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "congest/primitives.hpp"
+#include "ecss/aug_framework.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/mst_seq.hpp"
+#include "mst/distributed_mst.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+
+namespace {
+
+/// Shares a list of edge ids with every vertex via the BFS pipeline
+/// (keyed upcast from the endpoints + pipelined broadcast), O(D + |list|).
+void share_edges_globally(Network& net, const CommForest& bfs, VertexId root,
+                          const Graph& g, const std::vector<EdgeId>& edges) {
+  const int n = g.num_vertices();
+  std::vector<std::vector<KeyedItem>> items(static_cast<std::size_t>(n));
+  for (EdgeId e : edges)
+    items[static_cast<std::size_t>(std::min(g.edge(e).u, g.edge(e).v))].push_back(
+        KeyedItem{static_cast<std::uint64_t>(e), 0, 0});
+  auto fin = keyed_min_upcast(net, bfs, std::move(items));
+  std::vector<std::vector<KeyedItem>> root_items(static_cast<std::size_t>(n));
+  root_items[static_cast<std::size_t>(root)] = fin[static_cast<std::size_t>(root)];
+  pipelined_broadcast(net, bfs, std::move(root_items));
+}
+
+/// O(D) control exchange (max/OR aggregation + broadcast of one word).
+void control_round(Network& net, const CommForest& bfs) {
+  std::vector<std::uint64_t> val(bfs.parent.size(), 0);
+  convergecast(net, bfs, val, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+  broadcast(net, bfs, val);
+}
+
+struct LevelOutcome {
+  std::vector<EdgeId> added;
+  int iterations = 0;
+};
+
+/// One §4 augmentation level: covers all cuts of size `level - 1` of the
+/// (level-1)-edge-connected subgraph `h`. Every vertex knows H (shared
+/// beforehand) and learns every addition, so cost-effectiveness is local.
+LevelOutcome run_aug_level(Network& net, const CommForest& bfs_forest, VertexId root,
+                           const std::vector<EdgeId>& h, int level, const KecssOptions& opt,
+                           std::uint64_t cut_seed) {
+  const Graph& g = net.graph();
+  const int n = g.num_vertices();
+  const int m = g.num_edges();
+  const int log_n = std::max(1, static_cast<int>(std::ceil(std::log2(std::max(2, n)))));
+  const int phase_len = std::max(1, opt.phase_m * log_n);
+  const int p_start_exp = static_cast<int>(std::ceil(std::log2(std::max(2, m))));
+
+  net.begin_phase("kecss.aug" + std::to_string(level));
+  // Shared enumeration seed (one O(D) broadcast).
+  control_round(net, bfs_forest);
+  AugState st(g, edge_mask(g, h), level - 1, cut_seed);
+
+  LevelOutcome out;
+
+  // Free cover: weight-0 edges pass through the Kruskal filter first.
+  {
+    std::vector<EdgeId> zero;
+    for (EdgeId e = 0; e < m; ++e)
+      if (!st.in_h(e) && g.edge(e).w == 0 && st.coverage(e) > 0) zero.push_back(e);
+    if (!zero.empty()) {
+      share_edges_globally(net, bfs_forest, root, g, zero);
+      for (EdgeId e : kruskal_filter(g, {}, zero)) {
+        st.add_to_a(e);
+        out.added.push_back(e);
+      }
+    }
+  }
+
+  int last_exp = std::numeric_limits<int>::max();
+  int p_exp = p_start_exp;  // activation probability = 2^-p_exp
+  int iter_in_phase = 0;
+
+  // Cost-effectiveness is a pure function of (H, A); cache it between
+  // iterations and refresh only after additions. (The per-iteration O(D)
+  // control exchanges are still charged each iteration.)
+  std::vector<int> exponent(static_cast<std::size_t>(m), std::numeric_limits<int>::min());
+  int global_max = std::numeric_limits<int>::min();
+  bool dirty = true;
+
+  while (!st.all_covered()) {
+    DECK_CHECK_MSG(out.iterations < opt.max_iterations_per_level, "Aug did not converge");
+    ++out.iterations;
+
+    // (1)-(2) Local cost-effectiveness; global max exponent (O(D)).
+    if (dirty) {
+      dirty = false;
+      global_max = std::numeric_limits<int>::min();
+      for (EdgeId e = 0; e < m; ++e) {
+        exponent[static_cast<std::size_t>(e)] = std::numeric_limits<int>::min();
+        if (st.in_h(e) || st.in_a(e)) continue;
+        const int ce = st.coverage(e);
+        if (ce == 0) continue;
+        const Weight w = std::max<Weight>(1, g.edge(e).w);
+        exponent[static_cast<std::size_t>(e)] = rounded_ce_exponent(ce, w);
+        global_max = std::max(global_max, exponent[static_cast<std::size_t>(e)]);
+      }
+    }
+    control_round(net, bfs_forest);
+    DECK_CHECK_MSG(global_max != std::numeric_limits<int>::min(),
+                   "uncovered cut with no covering edge: input not k-edge-connected");
+
+    // Schedule: a new (smaller) maximum resets p to 1/2^ceil(log m).
+    if (global_max != last_exp) {
+      last_exp = global_max;
+      p_exp = p_start_exp;
+      iter_in_phase = 0;
+    }
+
+    // (3) Candidate activation with probability 2^-p_exp (coin drawn by
+    // the smaller endpoint, shared over the edge: 1 round).
+    std::vector<EdgeId> actives;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (exponent[static_cast<std::size_t>(e)] != global_max) continue;
+      const std::uint64_t coin = mix64(opt.seed ^ 0x6b45ull ^
+                                       (static_cast<std::uint64_t>(level) << 48) ^
+                                       (static_cast<std::uint64_t>(out.iterations) << 24) ^
+                                       static_cast<std::uint64_t>(e));
+      // Activation with probability 2^-p_exp: top p_exp bits all zero.
+      if (p_exp == 0 || (coin >> (64 - p_exp)) == 0) actives.push_back(e);
+    }
+    net.charge(1, actives.size() + 1);
+
+    // (4) Activation share + Kruskal filter (== the §4 MST filter).
+    const bool skip = actives.empty() && opt.fast_forward;
+    if (!skip) {
+      share_edges_globally(net, bfs_forest, root, g, actives);
+      const auto joined = kruskal_filter(g, out.added, actives);
+      for (EdgeId e : joined) {
+        st.add_to_a(e);
+        out.added.push_back(e);
+      }
+      if (!actives.empty()) dirty = true;  // Claim 4.3: their cuts are now covered
+    }
+    // else: "no active candidate anywhere" piggybacks as one extra bit on
+    // the termination control round below — no additional cost.
+
+    // (5) Termination detection (O(D)); p schedule advance.
+    control_round(net, bfs_forest);
+    if (++iter_in_phase >= phase_len && p_exp > 0) {
+      p_exp = std::max(0, p_exp - 1);
+      iter_in_phase = 0;
+    }
+  }
+  return out;
+}
+
+/// Optimal connector (Aug for connectivity -> 1): distributed MST on a copy
+/// with the existing edges forced to weight 0; the non-H MST edges are the
+/// minimum-weight set connecting H's components.
+std::vector<EdgeId> run_connector_level(Network& net, const RootedTree& bfs,
+                                        const std::vector<EdgeId>& h) {
+  const Graph& g = net.graph();
+  std::vector<char> in_h = edge_mask(g, h);
+  Graph forced(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    forced.add_edge(g.edge(e).u, g.edge(e).v,
+                    in_h[static_cast<std::size_t>(e)] ? 0 : 1 + g.edge(e).w);
+  Network sub(forced);
+  const RootedTree sub_bfs = distributed_bfs(sub, bfs.roots()[0]);
+  MstResult mst = distributed_mst(sub, sub_bfs);
+  net.charge(sub.rounds(), sub.messages());
+  std::vector<EdgeId> added;
+  for (EdgeId e : mst.mst_edges)
+    if (!in_h[static_cast<std::size_t>(e)]) added.push_back(e);
+  return added;
+}
+
+}  // namespace
+
+KecssResult distributed_kecss(Network& net, int k, const KecssOptions& opt) {
+  DECK_CHECK(k >= 1);
+  const Graph& g = net.graph();
+  KecssResult result;
+
+  net.begin_phase("kecss.bfs");
+  const VertexId root = 0;
+  const RootedTree bfs = distributed_bfs(net, root);
+  const CommForest bfs_forest = CommForest::from_tree(bfs);
+
+  // Aug_1: distributed MST (optimal). Everyone then learns H.
+  net.begin_phase("kecss.aug1(mst)");
+  MstResult mst = distributed_mst(net, bfs);
+  std::vector<EdgeId> h = mst.mst_edges;
+  share_edges_globally(net, bfs_forest, root, g, h);
+
+  Rng seed_rng(opt.seed);
+  for (int level = 2; level <= k; ++level) {
+    const LevelOutcome out = run_aug_level(net, bfs_forest, root, h, level, opt, seed_rng());
+    h.insert(h.end(), out.added.begin(), out.added.end());
+    result.iterations += out.iterations;
+    result.iterations_per_aug.push_back(out.iterations);
+  }
+
+  std::sort(h.begin(), h.end());
+  h.erase(std::unique(h.begin(), h.end()), h.end());
+  result.edges = h;
+  for (EdgeId e : h) result.weight += g.edge(e).w;
+  return result;
+}
+
+AugmentResult distributed_augment(Network& net, const std::vector<EdgeId>& h_edges, int target_k,
+                                  const KecssOptions& opt) {
+  DECK_CHECK(target_k >= 1);
+  const Graph& g = net.graph();
+  AugmentResult result;
+
+  net.begin_phase("augment.setup");
+  const VertexId root = 0;
+  const RootedTree bfs = distributed_bfs(net, root);
+  const CommForest bfs_forest = CommForest::from_tree(bfs);
+  // Everyone learns the existing subgraph (O(D + |H|)).
+  share_edges_globally(net, bfs_forest, root, g, h_edges);
+
+  // Current connectivity of H — a local computation on global knowledge.
+  std::vector<EdgeId> h = h_edges;
+  int lambda = g.num_vertices() <= 1
+                   ? target_k
+                   : edge_connectivity(g, edge_mask(g, h));
+
+  if (lambda == 0 && target_k >= 1) {
+    net.begin_phase("augment.connector");
+    const auto added = run_connector_level(net, bfs, h);
+    for (EdgeId e : added) {
+      h.push_back(e);
+      result.added.push_back(e);
+    }
+    share_edges_globally(net, bfs_forest, root, g, added);
+    lambda = 1;
+  }
+
+  Rng seed_rng(opt.seed ^ 0xa46ull);
+  for (int level = lambda + 1; level <= target_k; ++level) {
+    const LevelOutcome out = run_aug_level(net, bfs_forest, root, h, level, opt, seed_rng());
+    h.insert(h.end(), out.added.begin(), out.added.end());
+    result.added.insert(result.added.end(), out.added.begin(), out.added.end());
+    result.iterations += out.iterations;
+  }
+
+  std::sort(result.added.begin(), result.added.end());
+  result.added.erase(std::unique(result.added.begin(), result.added.end()), result.added.end());
+  for (EdgeId e : result.added) result.added_weight += g.edge(e).w;
+  return result;
+}
+
+}  // namespace deck

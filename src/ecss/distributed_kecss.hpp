@@ -1,0 +1,61 @@
+#pragma once
+
+// Distributed weighted k-ECSS (paper §4, Theorem 1.2).
+//
+// Claim 2.1 stacks augmentations: Aug_1 is a distributed MST (the optimal
+// connectivity-1 augmentation, as in the 2-ECSS algorithm); Aug_i for i >= 2
+// follows §4: every vertex knows H and A in full (maintained by pipelined
+// broadcasts of all added edges, O(D + n_i) rounds per iteration and O(n)
+// total since A is a forest per Claim 4.1), so cost-effectiveness is a free
+// local computation over the enumerated cuts of size i-1. Candidates at the
+// maximum rounded cost-effectiveness activate with probability p, where p
+// doubles every M log n iterations (the "guessing" schedule of §4), and an
+// activated candidate joins A iff it survives the MST filter of Line 4 —
+// which, by Claims 4.1/4.2, equals a Kruskal pass over A ∪ {active
+// candidates} that every vertex runs identically on its global knowledge
+// (see DESIGN.md, "per-iteration MST → Kruskal filter").
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace deck {
+
+struct KecssOptions {
+  std::uint64_t seed = 1;
+  /// Phase length multiplier: p doubles every ceil(M * log2 n) iterations.
+  int phase_m = 2;
+  /// Skip the activation upcast + filter when no candidate activated
+  /// (detected by an O(D) convergecast). The paper's schedule still charges
+  /// the detection round cost.
+  bool fast_forward = true;
+  int max_iterations_per_level = 1 << 20;
+};
+
+struct KecssResult {
+  std::vector<EdgeId> edges;          // the k-ECSS H
+  Weight weight = 0;
+  int iterations = 0;                 // total Aug iterations across levels
+  std::vector<int> iterations_per_aug;  // indexed by i-2 for Aug_i
+};
+
+/// Requires net.graph() k-edge-connected (checked by callers/tests).
+KecssResult distributed_kecss(Network& net, int k, const KecssOptions& opt);
+
+/// Standalone Aug (Claim 2.1 building block): augments an *existing*
+/// subgraph H (given by edge ids; its connectivity lambda(H) is whatever it
+/// is) up to target_k-edge-connectivity, one §4 level per step
+/// lambda+1, ..., target_k. The level lambda(H)=0 -> 1 uses the MST filter
+/// over all of G (optimal connector). Requires net.graph() to be
+/// target_k-edge-connected. Returns only the added edges.
+struct AugmentResult {
+  std::vector<EdgeId> added;
+  Weight added_weight = 0;
+  int iterations = 0;
+};
+AugmentResult distributed_augment(Network& net, const std::vector<EdgeId>& h_edges, int target_k,
+                                  const KecssOptions& opt);
+
+}  // namespace deck

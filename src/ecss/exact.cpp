@@ -1,0 +1,72 @@
+#include "ecss/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "graph/edge_connectivity.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+namespace {
+
+struct Search {
+  const Graph* g;
+  int k;
+  std::vector<EdgeId> order;      // edges sorted by descending weight (decide big first)
+  std::vector<char> chosen;       // current partial selection (by edge id)
+  Weight chosen_w = 0;
+  Weight best = std::numeric_limits<Weight>::max();
+  std::vector<char> best_mask;
+
+  void dfs(std::size_t i) {
+    if (chosen_w >= best) return;
+    if (i == order.size()) {
+      if (is_k_edge_connected(*g, chosen, k) && chosen_w < best) {
+        best = chosen_w;
+        best_mask = chosen;
+      }
+      return;
+    }
+    // Optimistic completion: chosen + all undecided edges. If even that is
+    // not k-connected, no completion works.
+    std::vector<char> optimistic = chosen;
+    for (std::size_t j = i; j < order.size(); ++j)
+      optimistic[static_cast<std::size_t>(order[j])] = 1;
+    if (!is_k_edge_connected(*g, optimistic, k)) return;
+    const EdgeId e = order[i];
+    // Branch 1: drop e (preferred: we want minimal weight).
+    chosen[static_cast<std::size_t>(e)] = 0;
+    dfs(i + 1);
+    // Branch 2: keep e.
+    chosen[static_cast<std::size_t>(e)] = 1;
+    chosen_w += g->edge(e).w;
+    dfs(i + 1);
+    chosen_w -= g->edge(e).w;
+    chosen[static_cast<std::size_t>(e)] = 0;
+  }
+};
+
+}  // namespace
+
+std::vector<EdgeId> exact_kecss(const Graph& g, int k) {
+  DECK_CHECK_MSG(g.num_edges() <= 24, "exact k-ECSS limited to m <= 24");
+  DECK_CHECK_MSG(is_k_edge_connected(g, k), "input graph is not k-edge-connected");
+  Search s;
+  s.g = &g;
+  s.k = k;
+  s.order.resize(static_cast<std::size_t>(g.num_edges()));
+  std::iota(s.order.begin(), s.order.end(), 0);
+  std::sort(s.order.begin(), s.order.end(),
+            [&](EdgeId a, EdgeId b) { return g.edge(a).w > g.edge(b).w; });
+  s.chosen.assign(static_cast<std::size_t>(g.num_edges()), 0);
+  s.dfs(0);
+  DECK_CHECK(s.best != std::numeric_limits<Weight>::max());
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (s.best_mask[static_cast<std::size_t>(e)]) out.push_back(e);
+  return out;
+}
+
+}  // namespace deck

@@ -1,0 +1,17 @@
+#pragma once
+
+// Exact minimum-weight k-ECSS by branch and bound, for the small instances
+// used to report true approximation ratios (T1/T2). Prunes with the running
+// best, a degree-based lower bound on the undecided suffix, and feasibility
+// of the optimistic completion.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deck {
+
+/// Returns the optimal edge set; DECK_CHECKs m <= 24.
+std::vector<EdgeId> exact_kecss(const Graph& g, int k);
+
+}  // namespace deck

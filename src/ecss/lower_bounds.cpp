@@ -1,0 +1,33 @@
+#include "ecss/lower_bounds.hpp"
+
+#include <algorithm>
+
+#include "graph/mst_seq.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+Weight degree_lower_bound(const Graph& g, int k) {
+  DECK_CHECK(k >= 1);
+  Weight doubled = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::vector<Weight> ws;
+    for (const Adj& a : g.neighbors(v)) ws.push_back(g.edge(a.edge).w);
+    DECK_CHECK_MSG(static_cast<int>(ws.size()) >= k, "vertex degree below k: no k-ECSS exists");
+    std::sort(ws.begin(), ws.end());
+    for (int i = 0; i < k; ++i) doubled += ws[static_cast<std::size_t>(i)];
+  }
+  return (doubled + 1) / 2;
+}
+
+Weight kecss_lower_bound(const Graph& g, int k) {
+  Weight lb = degree_lower_bound(g, k);
+  // Spanning-connectivity bound: any k-ECSS contains a spanning tree, and
+  // the lightest possible spanning subgraph weight contribution is w(MST).
+  Weight mst_w = 0;
+  for (EdgeId e : kruskal_mst(g)) mst_w += g.edge(e).w;
+  lb = std::max(lb, mst_w);
+  return lb;
+}
+
+}  // namespace deck

@@ -1,0 +1,24 @@
+#pragma once
+
+// Lower bounds on the minimum k-ECSS weight, used to report approximation
+// ratios when the exact optimum is out of reach (T1/T2/T3).
+//
+//  * degree bound: every vertex needs >= k incident edges in any k-ECSS, so
+//    OPT >= ceil( sum_v (k cheapest incident weights) / 2 ).
+//  * unweighted count bound: any k-ECSS has >= ceil(k n / 2) edges.
+//  * spanning bound (k >= 1): OPT >= w(MST) since a k-ECSS is spanning
+//    connected.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deck {
+
+/// Degree-based weighted lower bound.
+Weight degree_lower_bound(const Graph& g, int k);
+
+/// max(degree bound, MST weight for k >= 1, ceil(kn/2) for unit weights).
+Weight kecss_lower_bound(const Graph& g, int k);
+
+}  // namespace deck

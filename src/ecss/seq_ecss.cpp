@@ -1,0 +1,57 @@
+#include "ecss/seq_ecss.hpp"
+
+#include "ecss/aug_framework.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/mst_seq.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+
+std::vector<EdgeId> greedy_aug(const Graph& g, const std::vector<char>& h_mask, int cut_size,
+                               std::uint64_t seed) {
+  AugState st(g, h_mask, cut_size, seed);
+  std::vector<EdgeId> added;
+  // Weight-0 edges are free cover.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (st.in_h(e) || g.edge(e).w != 0) continue;
+    if (st.coverage(e) > 0) {
+      st.add_to_a(e);
+      added.push_back(e);
+    }
+  }
+  while (!st.all_covered()) {
+    EdgeId best = kNoEdge;
+    long long best_num = 0;  // compare ce_a * w_b > ce_b * w_a
+    Weight best_w = 1;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (st.in_h(e) || st.in_a(e)) continue;
+      const int ce = st.coverage(e);
+      if (ce == 0) continue;
+      const Weight w = std::max<Weight>(1, g.edge(e).w);
+      if (best == kNoEdge || static_cast<long long>(ce) * best_w > best_num * w) {
+        best = e;
+        best_num = ce;
+        best_w = w;
+      }
+    }
+    DECK_CHECK_MSG(best != kNoEdge, "uncoverable cut: input not sufficiently connected");
+    st.add_to_a(best);
+    added.push_back(best);
+  }
+  return added;
+}
+
+std::vector<EdgeId> greedy_kecss(const Graph& g, int k, std::uint64_t seed) {
+  DECK_CHECK(k >= 1);
+  Rng rng(seed);
+  std::vector<EdgeId> h = kruskal_mst(g);  // optimal Aug_1
+  for (int i = 2; i <= k; ++i) {
+    const auto mask = edge_mask(g, h);
+    const auto added = greedy_aug(g, mask, i - 1, rng());
+    h.insert(h.end(), added.begin(), added.end());
+  }
+  return h;
+}
+
+}  // namespace deck

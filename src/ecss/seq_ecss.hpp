@@ -1,0 +1,24 @@
+#pragma once
+
+// Sequential greedy k-ECSS baseline: the §2.1 framework run with the classic
+// greedy set-cover rule (always take the edge of maximum cost-effectiveness).
+// Per Claim 2.1 this stacks k augmentations: MST first (the optimal Aug_1),
+// then greedy covers of the size-(i-1) cuts for i = 2..k. O(k log n)-approx.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deck {
+
+/// Greedy augmentation of h_mask (which must be (cut_size)-edge-connected)
+/// to (cut_size+1)-edge-connectivity; returns the added edges.
+std::vector<EdgeId> greedy_aug(const Graph& g, const std::vector<char>& h_mask, int cut_size,
+                               std::uint64_t seed);
+
+/// Full greedy k-ECSS; returns the selected edge set. Requires g to be
+/// k-edge-connected.
+std::vector<EdgeId> greedy_kecss(const Graph& g, int k, std::uint64_t seed);
+
+}  // namespace deck

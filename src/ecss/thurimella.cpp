@@ -1,0 +1,54 @@
+#include "ecss/thurimella.hpp"
+
+#include "congest/primitives.hpp"
+#include "graph/mst_seq.hpp"
+#include "graph/union_find.hpp"
+#include "mst/distributed_mst.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+std::vector<EdgeId> sparse_certificate(const Graph& g, int k) {
+  DECK_CHECK(k >= 1);
+  std::vector<char> used(static_cast<std::size_t>(g.num_edges()), 0);
+  std::vector<EdgeId> cert;
+  for (int i = 0; i < k; ++i) {
+    UnionFind uf(g.num_vertices());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (used[static_cast<std::size_t>(e)]) continue;
+      if (uf.unite(g.edge(e).u, g.edge(e).v)) {
+        used[static_cast<std::size_t>(e)] = 1;
+        cert.push_back(e);
+      }
+    }
+  }
+  return cert;
+}
+
+std::vector<EdgeId> sparse_certificate_distributed(Network& net, int k) {
+  // The remainder after removing forests may be disconnected (a forest can
+  // take several edges of one cut), so each round runs the distributed MST
+  // over the whole graph with remaining edges light (weight 1) and already-
+  // certified edges heavy (weight 2): the light edges the MST selects are
+  // exactly a maximal spanning forest of the remainder.
+  const Graph& g = net.graph();
+  std::vector<char> used(static_cast<std::size_t>(g.num_edges()), 0);
+  std::vector<EdgeId> cert;
+  for (int i = 0; i < k; ++i) {
+    Graph weighted(g.num_vertices());
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      weighted.add_edge(g.edge(e).u, g.edge(e).v, used[static_cast<std::size_t>(e)] ? 2 : 1);
+    Network sub(weighted);
+    RootedTree bfs = distributed_bfs(sub, 0);
+    MstResult mst = distributed_mst(sub, bfs);
+    net.charge(sub.rounds(), sub.messages());
+    for (EdgeId e : mst.mst_edges) {
+      if (used[static_cast<std::size_t>(e)]) continue;  // heavy filler, not forest
+      used[static_cast<std::size_t>(e)] = 1;
+      cert.push_back(e);
+    }
+  }
+  return cert;
+}
+
+}  // namespace deck

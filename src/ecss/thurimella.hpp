@@ -1,0 +1,24 @@
+#pragma once
+
+// Thurimella sparse certificates [36]: k successive maximal spanning forests
+// form a k-edge-connected spanning subgraph with <= k(n-1) edges — the
+// classic 2-approximation for *unweighted* k-ECSS the paper improves on for
+// the weighted case, and a baseline for T3/T2.
+
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace deck {
+
+/// Sequential certificate: union of k edge-disjoint spanning forests.
+/// Requires g to be k-edge-connected (each forest is then a spanning tree).
+std::vector<EdgeId> sparse_certificate(const Graph& g, int k);
+
+/// Distributed variant: runs k distributed MSTs on the remaining edges
+/// (weights = edge ids, any spanning tree works), charging rounds to `net`.
+/// Matches the O(k(D + sqrt n log* n)) bound of [36] up to log factors.
+std::vector<EdgeId> sparse_certificate_distributed(Network& net, int k);
+
+}  // namespace deck

@@ -1,0 +1,70 @@
+#include "ecss/unweighted_2ecss.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "congest/primitives.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+Unweighted2EcssResult unweighted_2ecss_2approx(Network& net, VertexId root) {
+  const Graph& g = net.graph();
+  const int n = g.num_vertices();
+  Unweighted2EcssResult out;
+  out.bfs = distributed_bfs(net, root);
+  const CommForest forest = CommForest::from_tree(out.bfs);
+
+  std::vector<char> is_tree(static_cast<std::size_t>(g.num_edges()), 0);
+  for (VertexId v = 0; v < n; ++v)
+    if (out.bfs.parent_edge(v) != kNoEdge) is_tree[static_cast<std::size_t>(out.bfs.parent_edge(v))] = 1;
+
+  // Root-path exchange across every non-tree edge so both endpoints learn
+  // the LCA depth (payload = own depth in words; pipelined, O(D) rounds).
+  {
+    std::vector<EdgeId> ex;
+    std::vector<std::vector<std::uint64_t>> fu, fv;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (is_tree[static_cast<std::size_t>(e)]) continue;
+      ex.push_back(e);
+      fu.emplace_back(static_cast<std::size_t>(out.bfs.depth(g.edge(e).u)), 0);
+      fv.emplace_back(static_cast<std::size_t>(out.bfs.depth(g.edge(e).v)), 0);
+    }
+    edge_exchange(net, ex, fu, fv);
+  }
+
+  // Per-vertex: minimum LCA depth over non-tree edges into the subtree,
+  // carrying the winning edge id. Encode (depth << 32) | edge.
+  constexpr std::uint64_t kNone = ~0ULL;
+  std::vector<std::uint64_t> val(static_cast<std::size_t>(n), kNone);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (is_tree[static_cast<std::size_t>(e)]) continue;
+    const Edge& ed = g.edge(e);
+    const VertexId l = out.bfs.lca(ed.u, ed.v);
+    const std::uint64_t enc =
+        (static_cast<std::uint64_t>(out.bfs.depth(l)) << 32) | static_cast<std::uint64_t>(e);
+    for (VertexId x : {ed.u, ed.v}) {
+      val[static_cast<std::size_t>(x)] = std::min(val[static_cast<std::size_t>(x)], enc);
+    }
+  }
+  val = convergecast(net, forest, std::move(val),
+                     [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
+
+  std::set<EdgeId> aug;
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    const std::uint64_t enc = val[static_cast<std::size_t>(v)];
+    DECK_CHECK_MSG(enc != kNone, "graph is not 2-edge-connected: subtree has no exit");
+    const auto lca_depth = static_cast<int>(enc >> 32);
+    DECK_CHECK_MSG(lca_depth < out.bfs.depth(v),
+                   "graph is not 2-edge-connected: no edge leaves the subtree");
+    aug.insert(static_cast<EdgeId>(enc & 0xffffffffULL));
+  }
+
+  for (VertexId v = 0; v < n; ++v)
+    if (out.bfs.parent_edge(v) != kNoEdge) out.edges.push_back(out.bfs.parent_edge(v));
+  out.edges.insert(out.edges.end(), aug.begin(), aug.end());
+  return out;
+}
+
+}  // namespace deck

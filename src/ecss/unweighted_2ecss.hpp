@@ -1,0 +1,29 @@
+#pragma once
+
+// O(D)-round 2-approximation for unweighted 2-ECSS (Censor-Hillel–Dory [1],
+// used by §5 to build the 2-edge-connected base H of the 3-ECSS algorithm).
+//
+// BFS tree T plus, for every non-root vertex v, the "highest-reaching"
+// non-tree edge out of v's subtree (minimum BFS depth of the endpoints'
+// LCA). Each such edge covers (v, p(v)); the union has <= 2(n-1) edges,
+// and any 2-ECSS needs >= n edges, giving the factor 2. The subtree minima
+// are one convergecast; LCA depths come from root-path exchanges over the
+// non-tree edges (pipelined, O(D) rounds).
+
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+
+namespace deck {
+
+struct Unweighted2EcssResult {
+  std::vector<EdgeId> edges;   // tree + augmentation
+  RootedTree bfs;              // the BFS tree (reused by 3-ECSS for labels)
+};
+
+/// Requires net.graph() 2-edge-connected. Charges O(D) rounds.
+Unweighted2EcssResult unweighted_2ecss_2approx(Network& net, VertexId root = 0);
+
+}  // namespace deck

@@ -1,0 +1,53 @@
+#include "graph/block_forest.hpp"
+
+#include "support/check.hpp"
+
+namespace deck {
+
+BlockForest::BlockForest(const Graph& g, const std::vector<char>& in_subgraph)
+    : info_(find_bridges(g, in_subgraph)), block_graph_(info_.num_blocks) {
+  for (EdgeId b : info_.bridges) {
+    const Edge& e = g.edge(b);
+    const EdgeId fe = block_graph_.add_edge(block_of(e.u), block_of(e.v), 1);
+    DECK_CHECK(fe == static_cast<EdgeId>(forest_edge_to_bridge_.size()));
+    forest_edge_to_bridge_.push_back(b);
+  }
+
+  // Root every tree of the block forest (BFS from each unseen block).
+  std::vector<VertexId> parent(static_cast<std::size_t>(num_blocks()), kNoVertex);
+  std::vector<EdgeId> parent_edge(static_cast<std::size_t>(num_blocks()), kNoEdge);
+  std::vector<char> seen(static_cast<std::size_t>(num_blocks()), 0);
+  for (int r = 0; r < num_blocks(); ++r) {
+    if (seen[static_cast<std::size_t>(r)]) continue;
+    seen[static_cast<std::size_t>(r)] = 1;
+    std::vector<VertexId> q{r};
+    for (std::size_t h = 0; h < q.size(); ++h) {
+      const VertexId v = q[h];
+      for (const Adj& a : block_graph_.neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(a.to)]) {
+          seen[static_cast<std::size_t>(a.to)] = 1;
+          parent[static_cast<std::size_t>(a.to)] = v;
+          parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
+          q.push_back(a.to);
+        }
+      }
+    }
+  }
+  forest_ = RootedTree(std::move(parent), std::move(parent_edge));
+}
+
+std::vector<EdgeId> BlockForest::bridges_covered_by(VertexId u, VertexId v) const {
+  const int bu = block_of(u), bv = block_of(v);
+  if (bu == bv) return {};
+  std::vector<EdgeId> out;
+  for (EdgeId fe : forest_.path_edges(bu, bv)) out.push_back(bridge_of_forest_edge(fe));
+  return out;
+}
+
+int BlockForest::num_bridges_covered_by(VertexId u, VertexId v) const {
+  const int bu = block_of(u), bv = block_of(v);
+  if (bu == bv) return 0;
+  return forest_.path_length(bu, bv);
+}
+
+}  // namespace deck

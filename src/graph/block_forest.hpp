@@ -1,0 +1,50 @@
+#pragma once
+
+// Bridge-block forest of a (sub)graph H.
+//
+// Contracting every 2-edge-connected component of H to a single node leaves
+// a forest whose edges are exactly H's bridges. A non-H edge e = {u,v}
+// covers (in the sense of Definition 2.1) precisely the bridges on the
+// forest path between u's and v's blocks. This powers the sequential Aug_2
+// cut enumeration and all bridge-coverage counting.
+
+#include <vector>
+
+#include "graph/bridges.hpp"
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+
+namespace deck {
+
+class BlockForest {
+ public:
+  /// Builds the bridge-block forest of the subgraph of g selected by
+  /// `in_subgraph`.
+  BlockForest(const Graph& g, const std::vector<char>& in_subgraph);
+
+  int num_blocks() const { return info_.num_blocks; }
+  int block_of(VertexId v) const { return info_.block[static_cast<std::size_t>(v)]; }
+  const std::vector<EdgeId>& bridges() const { return info_.bridges; }
+
+  /// Host-graph bridge edge ids on the forest path between the blocks of u
+  /// and v (empty when same block). Precondition: same forest tree.
+  std::vector<EdgeId> bridges_covered_by(VertexId u, VertexId v) const;
+
+  /// Number of bridges covered by {u,v}; O(log) via depths.
+  int num_bridges_covered_by(VertexId u, VertexId v) const;
+
+  /// The rooted forest over blocks; parent edges map to host bridge ids via
+  /// bridge_of_forest_edge().
+  const RootedTree& forest() const { return forest_; }
+  EdgeId bridge_of_forest_edge(EdgeId forest_edge) const {
+    return forest_edge_to_bridge_[static_cast<std::size_t>(forest_edge)];
+  }
+
+ private:
+  BridgeInfo info_;
+  Graph block_graph_;
+  std::vector<EdgeId> forest_edge_to_bridge_;
+  RootedTree forest_;
+};
+
+}  // namespace deck

@@ -1,0 +1,91 @@
+#include "graph/bridges.hpp"
+
+#include <algorithm>
+
+#include "graph/traversal.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+namespace {
+
+struct Frame {
+  VertexId v;
+  EdgeId in_edge;      // edge used to enter v (kNoEdge at roots)
+  std::size_t next;    // next adjacency index to explore
+};
+
+}  // namespace
+
+BridgeInfo find_bridges(const Graph& g, const std::vector<char>& in_subgraph) {
+  DECK_CHECK(static_cast<int>(in_subgraph.size()) == g.num_edges());
+  const int n = g.num_vertices();
+  BridgeInfo info;
+  info.is_bridge.assign(static_cast<std::size_t>(g.num_edges()), 0);
+  info.block.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<int> tin(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  int timer = 0;
+
+  std::vector<Frame> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (tin[static_cast<std::size_t>(root)] != -1) continue;
+    stack.push_back({root, kNoEdge, 0});
+    tin[static_cast<std::size_t>(root)] = low[static_cast<std::size_t>(root)] = timer++;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto nbrs = g.neighbors(f.v);
+      if (f.next < nbrs.size()) {
+        const Adj a = nbrs[f.next++];
+        if (!in_subgraph[static_cast<std::size_t>(a.edge)]) continue;
+        if (a.edge == f.in_edge) continue;  // do not reuse the entry edge
+        if (tin[static_cast<std::size_t>(a.to)] == -1) {
+          tin[static_cast<std::size_t>(a.to)] = low[static_cast<std::size_t>(a.to)] = timer++;
+          stack.push_back({a.to, a.edge, 0});
+        } else {
+          low[static_cast<std::size_t>(f.v)] =
+              std::min(low[static_cast<std::size_t>(f.v)], tin[static_cast<std::size_t>(a.to)]);
+        }
+      } else {
+        const Frame done = f;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& par = stack.back();
+          low[static_cast<std::size_t>(par.v)] =
+              std::min(low[static_cast<std::size_t>(par.v)], low[static_cast<std::size_t>(done.v)]);
+          if (low[static_cast<std::size_t>(done.v)] > tin[static_cast<std::size_t>(par.v)]) {
+            info.is_bridge[static_cast<std::size_t>(done.in_edge)] = 1;
+          }
+        }
+      }
+    }
+  }
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (info.is_bridge[static_cast<std::size_t>(e)]) info.bridges.push_back(e);
+
+  // Blocks: components after deleting bridges.
+  Graph no_bridges(n);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!in_subgraph[static_cast<std::size_t>(e)]) continue;
+    if (info.is_bridge[static_cast<std::size_t>(e)]) continue;
+    no_bridges.add_edge(g.edge(e).u, g.edge(e).v, g.edge(e).w);
+  }
+  info.block = connected_components(no_bridges);
+  info.num_blocks = 0;
+  for (int b : info.block) info.num_blocks = std::max(info.num_blocks, b + 1);
+  return info;
+}
+
+BridgeInfo find_bridges(const Graph& g) {
+  return find_bridges(g, std::vector<char>(static_cast<std::size_t>(g.num_edges()), 1));
+}
+
+bool is_two_edge_connected(const Graph& g, const std::vector<char>& in_subgraph) {
+  if (!is_spanning_connected(g, in_subgraph)) return false;
+  const BridgeInfo info = find_bridges(g, in_subgraph);
+  return info.bridges.empty();
+}
+
+}  // namespace deck

@@ -1,0 +1,32 @@
+#pragma once
+
+// Bridges and 2-edge-connected components (Tarjan low-link, iterative).
+//
+// A bridge of H is exactly a cut of size 1 (§2 of the paper): the cuts the
+// Aug_2 step must cover. The 2-edge-connected-component labelling yields the
+// bridge-block forest used to count which bridges an edge covers.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deck {
+
+struct BridgeInfo {
+  std::vector<EdgeId> bridges;        // edge ids that are bridges
+  std::vector<char> is_bridge;        // per edge id
+  std::vector<int> block;             // per vertex: 2-edge-connected component label
+  int num_blocks = 0;
+};
+
+/// Computes bridges/blocks of the subgraph of g induced by `in_subgraph`
+/// (pass all-ones to analyse g itself). Works on disconnected inputs.
+BridgeInfo find_bridges(const Graph& g, const std::vector<char>& in_subgraph);
+
+BridgeInfo find_bridges(const Graph& g);
+
+/// True iff the selected subgraph is spanning-connected and bridgeless
+/// (i.e. 2-edge-connected when n >= 2).
+bool is_two_edge_connected(const Graph& g, const std::vector<char>& in_subgraph);
+
+}  // namespace deck

@@ -1,0 +1,206 @@
+#include "graph/cut_enum.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "graph/bridges.hpp"
+#include "graph/tree.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+
+namespace {
+
+/// Side vector of the cut {bridge}: the component of u after removing it.
+std::vector<char> bridge_side(const Graph& g, const std::vector<char>& h_mask, EdgeId bridge) {
+  const int n = g.num_vertices();
+  std::vector<char> side(static_cast<std::size_t>(n), 0);
+  std::queue<VertexId> q;
+  const VertexId s = g.edge(bridge).u;
+  side[static_cast<std::size_t>(s)] = 1;
+  q.push(s);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (const Adj& a : g.neighbors(v)) {
+      if (!h_mask[static_cast<std::size_t>(a.edge)] || a.edge == bridge) continue;
+      if (!side[static_cast<std::size_t>(a.to)]) {
+        side[static_cast<std::size_t>(a.to)] = 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return side;
+}
+
+CutCollection cuts_size_one(const Graph& g, const std::vector<char>& h_mask) {
+  CutCollection out;
+  out.cut_size = 1;
+  const BridgeInfo info = find_bridges(g, h_mask);
+  for (EdgeId b : info.bridges) {
+    VertexCut cut;
+    cut.side = bridge_side(g, h_mask, b);
+    cut.edges = {b};
+    out.cuts.push_back(std::move(cut));
+  }
+  return out;
+}
+
+/// Spanning tree of the selected subgraph rooted at 0 (host edge ids).
+RootedTree spanning_tree_of(const Graph& g, const std::vector<char>& h_mask) {
+  const int n = g.num_vertices();
+  std::vector<VertexId> parent(static_cast<std::size_t>(n), kNoVertex);
+  std::vector<EdgeId> parent_edge(static_cast<std::size_t>(n), kNoEdge);
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::queue<VertexId> q;
+  seen[0] = 1;
+  q.push(0);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (const Adj& a : g.neighbors(v)) {
+      if (!h_mask[static_cast<std::size_t>(a.edge)]) continue;
+      if (!seen[static_cast<std::size_t>(a.to)]) {
+        seen[static_cast<std::size_t>(a.to)] = 1;
+        parent[static_cast<std::size_t>(a.to)] = v;
+        parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
+        q.push(a.to);
+      }
+    }
+  }
+  return RootedTree(std::move(parent), std::move(parent_edge));
+}
+
+struct Hash128 {
+  std::uint64_t a = 0, b = 0;
+  void mix_in(EdgeId e) {
+    a ^= mix64(0x5851f42d4c957f2dULL ^ static_cast<std::uint64_t>(e));
+    b ^= mix64(0x14057b7ef767814fULL + static_cast<std::uint64_t>(e));
+  }
+  bool operator<(const Hash128& o) const { return a != o.a ? a < o.a : b < o.b; }
+  bool operator==(const Hash128& o) const { return a == o.a && b == o.b; }
+  bool zero() const { return a == 0 && b == 0; }
+};
+
+/// Cut pairs (c = 2) of a 2-edge-connected selection, via covering classes
+/// (Claim 5.6). Returns sides per the subtree-XOR argument documented in
+/// cut_enum.hpp.
+CutCollection cuts_size_two(const Graph& g, const std::vector<char>& h_mask) {
+  CutCollection out;
+  out.cut_size = 2;
+  const int n = g.num_vertices();
+  const RootedTree tree = spanning_tree_of(g, h_mask);
+
+  // For each tree edge (identified by its deeper endpoint), accumulate the
+  // XOR-hash of covering non-tree edges plus the count and the last cover.
+  std::vector<Hash128> h(static_cast<std::size_t>(n));
+  std::vector<int> cover_cnt(static_cast<std::size_t>(n), 0);
+  std::vector<EdgeId> last_cover(static_cast<std::size_t>(n), kNoEdge);
+
+  std::vector<char> is_tree_edge(static_cast<std::size_t>(g.num_edges()), 0);
+  for (VertexId v = 0; v < n; ++v)
+    if (tree.parent_edge(v) != kNoEdge) is_tree_edge[static_cast<std::size_t>(tree.parent_edge(v))] = 1;
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!h_mask[static_cast<std::size_t>(e)] || is_tree_edge[static_cast<std::size_t>(e)]) continue;
+    const Edge& ed = g.edge(e);
+    const VertexId a = tree.lca(ed.u, ed.v);
+    for (VertexId x = ed.u; x != a; x = tree.parent(x)) {
+      h[static_cast<std::size_t>(x)].mix_in(e);
+      ++cover_cnt[static_cast<std::size_t>(x)];
+      last_cover[static_cast<std::size_t>(x)] = e;
+    }
+    for (VertexId x = ed.v; x != a; x = tree.parent(x)) {
+      h[static_cast<std::size_t>(x)].mix_in(e);
+      ++cover_cnt[static_cast<std::size_t>(x)];
+      last_cover[static_cast<std::size_t>(x)] = e;
+    }
+  }
+
+  auto subtree_xor_side = [&](VertexId x, VertexId y) {
+    std::vector<char> side(static_cast<std::size_t>(n), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      const bool in_x = tree.is_ancestor(x, v);
+      const bool in_y = y != kNoVertex && tree.is_ancestor(y, v);
+      side[static_cast<std::size_t>(v)] = in_x != in_y;
+    }
+    return side;
+  };
+
+  // Pairs {tree edge, its unique covering non-tree edge}.
+  for (VertexId x = 0; x < n; ++x) {
+    if (tree.parent_edge(x) == kNoEdge) continue;
+    if (cover_cnt[static_cast<std::size_t>(x)] == 1) {
+      VertexCut cut;
+      cut.side = subtree_xor_side(x, kNoVertex);
+      cut.edges = {tree.parent_edge(x), last_cover[static_cast<std::size_t>(x)]};
+      std::sort(cut.edges.begin(), cut.edges.end());
+      out.cuts.push_back(std::move(cut));
+    }
+  }
+
+  // Pairs of tree edges with identical covering classes.
+  std::map<Hash128, std::vector<VertexId>> classes;
+  for (VertexId x = 0; x < n; ++x) {
+    if (tree.parent_edge(x) == kNoEdge) continue;
+    if (cover_cnt[static_cast<std::size_t>(x)] == 0) continue;  // would be a bridge; excluded
+    classes[h[static_cast<std::size_t>(x)]].push_back(x);
+  }
+  for (const auto& [key, members] : classes) {
+    for (std::size_t i = 0; i < members.size(); ++i)
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        VertexCut cut;
+        cut.side = subtree_xor_side(members[i], members[j]);
+        cut.edges = {tree.parent_edge(members[i]), tree.parent_edge(members[j])};
+        std::sort(cut.edges.begin(), cut.edges.end());
+        out.cuts.push_back(std::move(cut));
+      }
+  }
+  return out;
+}
+
+}  // namespace
+
+CutCollection enumerate_cuts(const Graph& g, const std::vector<char>& h_mask, int c,
+                             std::uint64_t seed) {
+  DECK_CHECK(c >= 1);
+  if (c == 1) return cuts_size_one(g, h_mask);
+  if (c == 2) return cuts_size_two(g, h_mask);
+  CutCollection out;
+  out.cut_size = c;
+  out.cuts = enumerate_min_cuts_karger(g, h_mask, c, seed);
+  return out;
+}
+
+int count_uncovered(const CutCollection& cuts, const Graph& g, const std::vector<char>& a_mask) {
+  int cnt = 0;
+  for (const auto& cut : cuts.cuts) {
+    bool covered = false;
+    for (EdgeId e = 0; e < g.num_edges() && !covered; ++e) {
+      if (a_mask[static_cast<std::size_t>(e)] && cut_covered_by(cut, g, e)) covered = true;
+    }
+    if (!covered) ++cnt;
+  }
+  return cnt;
+}
+
+std::vector<char> covered_flags(const CutCollection& cuts, const Graph& g,
+                                const std::vector<char>& a_mask) {
+  std::vector<char> flags(cuts.cuts.size(), 0);
+  std::vector<EdgeId> a_edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (a_mask[static_cast<std::size_t>(e)]) a_edges.push_back(e);
+  for (std::size_t i = 0; i < cuts.cuts.size(); ++i) {
+    for (EdgeId e : a_edges) {
+      if (cut_covered_by(cuts.cuts[i], g, e)) {
+        flags[i] = 1;
+        break;
+      }
+    }
+  }
+  return flags;
+}
+
+}  // namespace deck

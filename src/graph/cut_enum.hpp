@@ -1,0 +1,51 @@
+#pragma once
+
+// Enumeration of all cuts of size (k-1) of a (k-1)-edge-connected subgraph H
+// — the cut sets the Aug_k step (§2.1, §4) must cover.
+//
+// Dispatch by cut size c = k-1:
+//   c = 1 : bridges (deterministic, Tarjan).
+//   c = 2 : cut pairs via the covering-class characterisation of Claim 5.6
+//           (two tree edges form a cut pair iff covered by the same non-tree
+//           edges; a tree edge forms a pair with its unique covering edge).
+//           Deterministic up to a 128-bit hashing of covering sets, checked
+//           against brute force in tests.
+//   c >= 3: Karger contraction enumeration with an explicit seed (w.h.p.
+//           complete; the same seed is used at all simulated vertices).
+//
+// Every cut carries its vertex side, so "edge e covers cut C" is the O(1)
+// test side[u] != side[v] (Definition 2.1: e reconnects H \ C iff it crosses).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/karger.hpp"
+
+namespace deck {
+
+struct CutCollection {
+  int cut_size = 0;               // c = k-1
+  std::vector<VertexCut> cuts;
+};
+
+/// Enumerates the cuts of size `c` of the selected subgraph H (which must be
+/// c-edge-connected for the result to be the *minimum* cuts; callers in the
+/// Aug framework guarantee this). `seed` feeds the randomized path (c >= 3).
+CutCollection enumerate_cuts(const Graph& g, const std::vector<char>& h_mask, int c,
+                             std::uint64_t seed);
+
+/// True iff edge e covers cut. (Definition 2.1.)
+inline bool cut_covered_by(const VertexCut& cut, const Graph& g, EdgeId e) {
+  const Edge& ed = g.edge(e);
+  return cut.side[static_cast<std::size_t>(ed.u)] != cut.side[static_cast<std::size_t>(ed.v)];
+}
+
+/// Number of cuts in `cuts` not covered by any edge of `a_mask`.
+int count_uncovered(const CutCollection& cuts, const Graph& g, const std::vector<char>& a_mask);
+
+/// Per-cut covered flags given the augmentation mask.
+std::vector<char> covered_flags(const CutCollection& cuts, const Graph& g,
+                                const std::vector<char>& a_mask);
+
+}  // namespace deck

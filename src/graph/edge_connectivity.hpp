@@ -1,0 +1,33 @@
+#pragma once
+
+// Exact edge connectivity and k-edge-connectivity verification.
+//
+// lambda(G) = min over t != s of lambda(s, t) for any fixed s — we use
+// Dinic with unit capacities. The early-exit variant for verifying
+// "lambda >= k" stops each flow once k paths are found, which keeps
+// verification cheap even on the larger benchmark graphs.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deck {
+
+/// Exact global edge connectivity of the selected subgraph.
+/// Returns 0 if disconnected or n < 2.
+int edge_connectivity(const Graph& g, const std::vector<char>& in_subgraph);
+
+int edge_connectivity(const Graph& g);
+
+/// True iff the selected subgraph is spanning and k-edge-connected.
+bool is_k_edge_connected(const Graph& g, const std::vector<char>& in_subgraph, int k);
+
+bool is_k_edge_connected(const Graph& g, int k);
+
+/// Convenience: subgraph given as a list of edge ids.
+bool is_k_edge_connected_subset(const Graph& g, const std::vector<EdgeId>& edges, int k);
+
+/// Edge-id mask from a list.
+std::vector<char> edge_mask(const Graph& g, const std::vector<EdgeId>& edges);
+
+}  // namespace deck

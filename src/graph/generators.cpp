@@ -1,0 +1,160 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "graph/traversal.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+Graph circulant(int n, int r) {
+  DECK_CHECK(n >= 3 && r >= 1 && 2 * r < n);
+  Graph g(n);
+  for (int v = 0; v < n; ++v) {
+    for (int j = 1; j <= r; ++j) {
+      const int u = (v + j) % n;
+      if (!g.has_edge(v, u)) g.add_edge(v, u, 1);
+    }
+  }
+  return g;
+}
+
+Graph harary(int n, int k) {
+  DECK_CHECK(n > k && k >= 1);
+  if (k == 1) {
+    Graph g(n);
+    for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, 1);
+    return g;
+  }
+  Graph g = circulant(n, k / 2 >= 1 ? k / 2 : 1);
+  if (k % 2 == 1) {
+    if (k == 1) return g;
+    // Odd k: add diagonals v -> v + n/2.
+    for (int v = 0; v < (n + 1) / 2; ++v) {
+      const int u = (v + n / 2) % n;
+      if (u != v && !g.has_edge(v, u)) g.add_edge(v, u, 1);
+    }
+  }
+  return g;
+}
+
+Graph hypercube(int d) {
+  DECK_CHECK(d >= 1 && d <= 20);
+  const int n = 1 << d;
+  Graph g(n);
+  for (int v = 0; v < n; ++v)
+    for (int b = 0; b < d; ++b) {
+      const int u = v ^ (1 << b);
+      if (u > v) g.add_edge(v, u, 1);
+    }
+  return g;
+}
+
+Graph torus(int rows, int cols) {
+  DECK_CHECK(rows >= 3 && cols >= 3);
+  Graph g(rows * cols);
+  auto id = [&](int r, int c) { return ((r + rows) % rows) * cols + ((c + cols) % cols); };
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (!g.has_edge(id(r, c), id(r, c + 1))) g.add_edge(id(r, c), id(r, c + 1), 1);
+      if (!g.has_edge(id(r, c), id(r + 1, c))) g.add_edge(id(r, c), id(r + 1, c), 1);
+    }
+  return g;
+}
+
+Graph random_kec(int n, int k, int extra, Rng& rng) {
+  DECK_CHECK(k >= 1);
+  const int r = std::max(1, (k + 1) / 2);
+  DECK_CHECK_MSG(2 * r < n, "n too small for requested connectivity");
+  Graph g = circulant(n, r);
+  if (k % 2 == 1 && k > 1) {
+    // Upgrade to full Harary to get odd connectivity exactly.
+    g = harary(n, k);
+  }
+  int added = 0, attempts = 0;
+  while (added < extra && attempts < 50 * extra + 100) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v, 1);
+    ++added;
+  }
+  return g;
+}
+
+Graph random_near_regular(int n, int d, Rng& rng) {
+  DECK_CHECK(n > d && d >= 2);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<VertexId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+    for (int v = 0; v < n; ++v)
+      for (int i = 0; i < d; ++i) stubs.push_back(v);
+    rng.shuffle(stubs);
+    Graph g(n);
+    std::set<std::pair<VertexId, VertexId>> used;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      VertexId u = stubs[i], v = stubs[i + 1];
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      if (used.count({u, v})) continue;
+      used.insert({u, v});
+      g.add_edge(u, v, 1);
+    }
+    if (is_connected(g)) return g;
+  }
+  DECK_CHECK_MSG(false, "failed to generate a connected near-regular graph");
+  return Graph(0);
+}
+
+Graph ring_of_cliques(int cliques, int size, int links, Rng& rng) {
+  DECK_CHECK(cliques >= 3 && size >= 2 && links >= 1 && links <= size * size);
+  const int n = cliques * size;
+  Graph g(n);
+  auto id = [&](int c, int i) { return c * size + i; };
+  for (int c = 0; c < cliques; ++c)
+    for (int i = 0; i < size; ++i)
+      for (int j = i + 1; j < size; ++j) g.add_edge(id(c, i), id(c, j), 1);
+  for (int c = 0; c < cliques; ++c) {
+    const int next = (c + 1) % cliques;
+    int made = 0, attempts = 0;
+    while (made < links && attempts < 100 * links) {
+      ++attempts;
+      const auto i = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(size)));
+      const auto j = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(size)));
+      if (g.has_edge(id(c, i), id(next, j))) continue;
+      g.add_edge(id(c, i), id(next, j), 1);
+      ++made;
+    }
+    DECK_CHECK(made == links);
+  }
+  return g;
+}
+
+Graph with_weights(const Graph& g, WeightModel model, Rng& rng) {
+  Graph out(g.num_vertices());
+  const auto n64 = static_cast<std::uint64_t>(std::max(2, g.num_vertices()));
+  for (const Edge& e : g.edges()) {
+    Weight w = 1;
+    switch (model) {
+      case WeightModel::kUnit:
+        w = 1;
+        break;
+      case WeightModel::kUniform:
+        w = static_cast<Weight>(1 + rng.next_below(n64));
+        break;
+      case WeightModel::kPolynomial:
+        w = static_cast<Weight>(1 + rng.next_below(n64 * n64));
+        break;
+      case WeightModel::kZeroHeavy:
+        w = rng.next_bool(0.1) ? 0 : static_cast<Weight>(1 + rng.next_below(n64));
+        break;
+    }
+    out.add_edge(e.u, e.v, w);
+  }
+  return out;
+}
+
+}  // namespace deck

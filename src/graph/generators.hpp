@@ -1,0 +1,63 @@
+#pragma once
+
+// Graph families used by tests, examples and benchmarks.
+//
+// Every generator returns a graph that is k-edge-connected by construction
+// (stated per generator); weights are assigned separately so the same
+// topology serves weighted and unweighted experiments. All generators are
+// deterministic given their seed.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+
+/// Circulant graph C_n(1..r): vertex i adjacent to i±1, ..., i±r (mod n).
+/// 2r-edge-connected, diameter ~ n/(2r). The classic Harary graph H_{2r,n}.
+Graph circulant(int n, int r);
+
+/// Harary graph H_{k,n}: minimal k-connected graph, k·n/2 (rounded up) edges.
+/// For even k this is circulant(n, k/2); for odd k, diagonals are added.
+Graph harary(int n, int k);
+
+/// d-dimensional hypercube: n = 2^d vertices, d-edge-connected, diameter d.
+Graph hypercube(int d);
+
+/// rows x cols torus grid: 4-edge-connected (rows, cols >= 3),
+/// diameter ~ (rows+cols)/2. Lets benchmarks sweep D at fixed n.
+Graph torus(int rows, int cols);
+
+/// Random graph guaranteed k-edge-connected: circulant(n, ceil(k/2)) backbone
+/// plus `extra` uniformly random additional edges (deduplicated).
+Graph random_kec(int n, int k, int extra, Rng& rng);
+
+/// Random d-regular-ish multigraph via pairing, simplified and deduplicated;
+/// retries until connected. d >= 3 gives expander-like low diameter. The
+/// result is d-regular except where dedup removed a pairing; k-edge-
+/// connectivity is *not* guaranteed — intended for tests that verify first.
+Graph random_near_regular(int n, int d, Rng& rng);
+
+/// `cliques` cliques of size `size`, neighbouring cliques joined by `links`
+/// parallel-free random links. With links >= k and size > k the graph is
+/// k-edge-connected with a long cycle structure (high diameter).
+Graph ring_of_cliques(int cliques, int size, int links, Rng& rng);
+
+/// Weight models for experiments.
+enum class WeightModel {
+  kUnit,        // all 1
+  kUniform,     // uniform in [1, n]
+  kPolynomial,  // uniform in [1, n^2] — stresses the log(w_max/w_min) factor
+  kZeroHeavy,   // 10% zeros, rest uniform in [1, n] (exercises w=0 paths)
+};
+
+/// Returns a copy of g with weights assigned by the model.
+Graph with_weights(const Graph& g, WeightModel model, Rng& rng);
+
+/// TAP instance helper: a random spanning tree of g is selected; tree edges
+/// keep weight 0 stand-in (the tree is *given* in TAP) and non-tree edges
+/// keep their weights. Returned as (graph copy, tree edge ids).
+struct TapInstance;  // defined in tap/tap_instance.hpp
+
+}  // namespace deck

@@ -1,0 +1,67 @@
+#include "graph/gomory_hu.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/dinic.hpp"
+#include "graph/traversal.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+std::int64_t GomoryHuTree::min_cut(VertexId u, VertexId v) const {
+  DECK_CHECK(u != v);
+  // Walk both vertices to the root, tracking the minimum edge. Depths are
+  // implicit; lift the deeper one by comparing visited sets.
+  // Simple two-phase: collect u's ancestor chain, then walk v upward.
+  std::vector<VertexId> chain;
+  for (VertexId x = u; x != kNoVertex; x = parent[static_cast<std::size_t>(x)]) chain.push_back(x);
+  std::vector<char> on_chain(parent.size(), 0);
+  for (VertexId x : chain) on_chain[static_cast<std::size_t>(x)] = 1;
+
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  VertexId meet = v;
+  while (!on_chain[static_cast<std::size_t>(meet)]) {
+    best = std::min(best, flow[static_cast<std::size_t>(meet)]);
+    meet = parent[static_cast<std::size_t>(meet)];
+    DECK_CHECK(meet != kNoVertex);
+  }
+  for (VertexId x = u; x != meet; x = parent[static_cast<std::size_t>(x)]) {
+    best = std::min(best, flow[static_cast<std::size_t>(x)]);
+  }
+  return best;
+}
+
+GomoryHuTree gomory_hu(const Graph& g, const std::vector<char>& in_subgraph) {
+  const int n = g.num_vertices();
+  DECK_CHECK(n >= 2);
+  DECK_CHECK_MSG(is_spanning_connected(g, in_subgraph), "gomory_hu requires a connected selection");
+
+  GomoryHuTree t;
+  t.parent.assign(static_cast<std::size_t>(n), 0);
+  t.parent[0] = kNoVertex;
+  t.flow.assign(static_cast<std::size_t>(n), 0);
+
+  Dinic base(n);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!in_subgraph[static_cast<std::size_t>(e)]) continue;
+    base.add_undirected(g.edge(e).u, g.edge(e).v, 1);
+  }
+
+  for (VertexId i = 1; i < n; ++i) {
+    const VertexId p = t.parent[static_cast<std::size_t>(i)];
+    t.flow[static_cast<std::size_t>(i)] = base.max_flow(i, p);
+    const auto side = base.min_cut_side(i);
+    for (VertexId j = i + 1; j < n; ++j) {
+      if (side[static_cast<std::size_t>(j)] && t.parent[static_cast<std::size_t>(j)] == p)
+        t.parent[static_cast<std::size_t>(j)] = i;
+    }
+  }
+  return t;
+}
+
+GomoryHuTree gomory_hu(const Graph& g) {
+  return gomory_hu(g, std::vector<char>(static_cast<std::size_t>(g.num_edges()), 1));
+}
+
+}  // namespace deck

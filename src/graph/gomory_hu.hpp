@@ -1,0 +1,31 @@
+#pragma once
+
+// Gomory–Hu tree (Gusfield's variant): encodes all-pairs minimum s-t cut
+// values of an undirected unit-capacity graph with n-1 max-flow
+// computations. lambda(u, v) = min edge weight on the tree path u..v.
+//
+// Substrate role: an independent oracle for edge connectivity used by the
+// test suite to cross-validate Dinic and Stoer–Wagner, and a building block
+// for experiments that need many pairwise connectivities cheaply.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deck {
+
+struct GomoryHuTree {
+  std::vector<VertexId> parent;      // parent[0] = kNoVertex
+  std::vector<std::int64_t> flow;    // flow[v] = lambda(v, parent[v])
+
+  /// Minimum u-v cut value from the tree (min edge on the path).
+  std::int64_t min_cut(VertexId u, VertexId v) const;
+};
+
+/// Builds the tree for the subgraph selected by in_subgraph (unit
+/// capacities). Requires a connected selection over n >= 2 vertices.
+GomoryHuTree gomory_hu(const Graph& g, const std::vector<char>& in_subgraph);
+
+GomoryHuTree gomory_hu(const Graph& g);
+
+}  // namespace deck

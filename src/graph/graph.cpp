@@ -1,0 +1,56 @@
+#include "graph/graph.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace deck {
+
+Graph::Graph(int n) : n_(n), adj_(static_cast<std::size_t>(n)) { DECK_CHECK(n >= 0); }
+
+EdgeId Graph::add_edge(VertexId u, VertexId v, Weight w) {
+  DECK_CHECK_MSG(u >= 0 && u < n_ && v >= 0 && v < n_, "endpoint out of range");
+  DECK_CHECK_MSG(u != v, "self-loop rejected");
+  DECK_CHECK_MSG(w >= 0, "negative weight rejected");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, w});
+  adj_[static_cast<std::size_t>(u)].push_back(Adj{v, id});
+  adj_[static_cast<std::size_t>(v)].push_back(Adj{u, id});
+  return id;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const { return find_edge(u, v) != kNoEdge; }
+
+EdgeId Graph::find_edge(VertexId u, VertexId v) const {
+  if (u < 0 || u >= n_ || v < 0 || v >= n_) return kNoEdge;
+  const auto& a = adj_[static_cast<std::size_t>(u)];
+  const auto& b = adj_[static_cast<std::size_t>(v)];
+  const auto& shorter = a.size() <= b.size() ? a : b;
+  const VertexId target = a.size() <= b.size() ? v : u;
+  for (const Adj& e : shorter)
+    if (e.to == target) return e.edge;
+  return kNoEdge;
+}
+
+Weight Graph::total_weight() const {
+  Weight t = 0;
+  for (const Edge& e : edges_) t += e.w;
+  return t;
+}
+
+Graph Graph::edge_subgraph(std::span<const EdgeId> keep) const {
+  Graph g(n_);
+  for (EdgeId e : keep) {
+    const Edge& ed = edge(e);
+    g.add_edge(ed.u, ed.v, ed.w);
+  }
+  return g;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << n_ << ", m=" << num_edges() << ", W=" << total_weight() << ")";
+  return os.str();
+}
+
+}  // namespace deck

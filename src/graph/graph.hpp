@@ -1,0 +1,82 @@
+#pragma once
+
+// Core graph types.
+//
+// Graphs in this library are undirected, weighted, and simple (no parallel
+// edges, no self-loops) unless noted. Vertices are 0..n-1; edges have stable
+// integer ids 0..m-1 in insertion order. Weights are non-negative integers,
+// polynomial in n, matching the paper's model (§1.3): a weight fits in one
+// O(log n)-bit message word.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace deck {
+
+using VertexId = std::int32_t;
+using EdgeId = std::int32_t;
+using Weight = std::int64_t;
+
+inline constexpr VertexId kNoVertex = -1;
+inline constexpr EdgeId kNoEdge = -1;
+
+struct Edge {
+  VertexId u = kNoVertex;
+  VertexId v = kNoVertex;
+  Weight w = 0;
+
+  /// The endpoint that is not `x`. Precondition: x is an endpoint.
+  VertexId other(VertexId x) const { return x == u ? v : u; }
+};
+
+/// (neighbor, edge id) adjacency entry.
+struct Adj {
+  VertexId to;
+  EdgeId edge;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int n);
+
+  /// Adds an undirected edge; returns its id. Rejects self-loops. Parallel
+  /// edges are rejected unless allow_parallel was set (they are never needed
+  /// by the algorithms but generators use the check to dedupe).
+  EdgeId add_edge(VertexId u, VertexId v, Weight w = 1);
+
+  /// True iff some edge {u,v} exists (O(deg)).
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Finds the id of edge {u,v}, or kNoEdge.
+  EdgeId find_edge(VertexId u, VertexId v) const;
+
+  int num_vertices() const { return n_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const Edge& edge(EdgeId e) const { return edges_[static_cast<std::size_t>(e)]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  std::span<const Adj> neighbors(VertexId v) const {
+    return {adj_[static_cast<std::size_t>(v)].data(), adj_[static_cast<std::size_t>(v)].size()};
+  }
+  int degree(VertexId v) const { return static_cast<int>(adj_[static_cast<std::size_t>(v)].size()); }
+
+  Weight total_weight() const;
+
+  /// Subgraph on the same vertex set induced by the given edge ids.
+  /// Edge ids in the result are re-numbered 0..k-1; `keep` order preserved.
+  Graph edge_subgraph(std::span<const EdgeId> keep) const;
+
+  /// Human-readable one-line summary, e.g. "Graph(n=16, m=48, W=112)".
+  std::string summary() const;
+
+ private:
+  int n_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Adj>> adj_;
+};
+
+}  // namespace deck

@@ -1,0 +1,68 @@
+#include "graph/io.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace deck {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) os << e.u << ' ' << e.v << ' ' << e.w << '\n';
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  write_edge_list(os, g);
+  return os.str();
+}
+
+Graph read_edge_list(std::istream& is) {
+  auto next_line = [&is](std::string& line) {
+    while (std::getline(is, line)) {
+      const auto pos = line.find_first_not_of(" \t\r");
+      if (pos == std::string::npos) continue;
+      if (line[pos] == '#') continue;
+      return true;
+    }
+    return false;
+  };
+  std::string line;
+  DECK_CHECK_MSG(next_line(line), "edge list: missing header");
+  std::istringstream header(line);
+  int n = -1, m = -1;
+  header >> n >> m;
+  DECK_CHECK_MSG(n >= 0 && m >= 0, "edge list: malformed header");
+  Graph g(n);
+  for (int i = 0; i < m; ++i) {
+    DECK_CHECK_MSG(next_line(line), "edge list: truncated");
+    std::istringstream row(line);
+    long long u = -1, v = -1, w = 1;
+    row >> u >> v >> w;
+    DECK_CHECK_MSG(!row.fail(), "edge list: malformed edge line");
+    g.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v), static_cast<Weight>(w));
+  }
+  return g;
+}
+
+Graph graph_from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  return read_edge_list(is);
+}
+
+std::string to_dot(const Graph& g, const std::vector<EdgeId>& highlight) {
+  std::set<EdgeId> hl(highlight.begin(), highlight.end());
+  std::ostringstream os;
+  os << "graph deck {\n  node [shape=circle];\n";
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    os << "  " << ed.u << " -- " << ed.v << " [label=\"" << ed.w << '"';
+    if (hl.count(e)) os << ", color=red, penwidth=2.5";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace deck

@@ -1,0 +1,31 @@
+#pragma once
+
+// Graph serialization: a line-based weighted edge-list format for loading
+// experiment inputs, and Graphviz DOT export (with optional edge-subset
+// highlighting) for inspecting solutions.
+//
+// Edge-list format:
+//   line 1: "n m"
+//   next m lines: "u v w"
+// Comments start with '#'; blank lines are skipped.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deck {
+
+/// Writes the edge-list format.
+void write_edge_list(std::ostream& os, const Graph& g);
+std::string to_edge_list(const Graph& g);
+
+/// Parses the edge-list format; throws std::logic_error on malformed input.
+Graph read_edge_list(std::istream& is);
+Graph graph_from_edge_list(const std::string& text);
+
+/// DOT export; edges in `highlight` are drawn bold/red (e.g. a k-ECSS).
+std::string to_dot(const Graph& g, const std::vector<EdgeId>& highlight = {});
+
+}  // namespace deck

@@ -1,0 +1,43 @@
+#pragma once
+
+// Randomized enumeration of all global minimum cuts (Karger contraction).
+//
+// A (k-1)-edge-connected graph has at most n(n-1)/2 minimum cuts (the paper
+// cites Karger [19] and Dinitz–Karzanov–Lomonosov [6] for this bound). Each
+// run of random contraction outputs any fixed minimum cut with probability
+// >= 2/(n(n-1)); repeating O(n^2 log n) times collects all of them w.h.p.
+// The Aug_k algorithm (§4) runs this *locally at every vertex with a shared
+// broadcast seed*, so all vertices enumerate the identical cut set — matching
+// the paper's "each vertex computes cost-effectiveness locally from full
+// knowledge of H" step, including its w.h.p. guarantee.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+
+/// One global cut, represented by its vertex side (canonical: side[0] == 0)
+/// and the crossing edge ids, sorted.
+struct VertexCut {
+  std::vector<char> side;
+  std::vector<EdgeId> edges;
+};
+
+/// Enumerates distinct minimum cuts of the selected subgraph (unit
+/// capacities) of value exactly `lambda`. Deterministic given `seed`.
+/// `trials` defaults to a multiple of n^2 log n chosen for w.h.p. coverage.
+std::vector<VertexCut> enumerate_min_cuts_karger(const Graph& g,
+                                                 const std::vector<char>& in_subgraph,
+                                                 int lambda, std::uint64_t seed,
+                                                 int trials = -1);
+
+/// Exhaustive enumeration over all 2^(n-1) vertex bipartitions; exact, for
+/// cross-checking on tiny graphs (n <= ~20).
+std::vector<VertexCut> enumerate_min_cuts_brute(const Graph& g,
+                                                const std::vector<char>& in_subgraph,
+                                                int lambda);
+
+}  // namespace deck

@@ -1,0 +1,52 @@
+#include "graph/mst_seq.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/union_find.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+std::vector<EdgeId> kruskal_mst(const Graph& g) {
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) { return mst_less(g, a, b); });
+  UnionFind uf(g.num_vertices());
+  std::vector<EdgeId> out;
+  for (EdgeId e : order) {
+    if (uf.unite(g.edge(e).u, g.edge(e).v)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<EdgeId> kruskal_filter(const Graph& g, const std::vector<EdgeId>& base,
+                                   std::vector<EdgeId> candidates) {
+  UnionFind uf(g.num_vertices());
+  for (EdgeId e : base) uf.unite(g.edge(e).u, g.edge(e).v);
+  std::sort(candidates.begin(), candidates.end(),
+            [&](EdgeId a, EdgeId b) { return mst_less(g, a, b); });
+  std::vector<EdgeId> joined;
+  for (EdgeId e : candidates) {
+    if (uf.unite(g.edge(e).u, g.edge(e).v)) joined.push_back(e);
+  }
+  return joined;
+}
+
+RootedTree mst_tree(const Graph& g, VertexId root) {
+  const auto mst = kruskal_mst(g);
+  DECK_CHECK_MSG(static_cast<int>(mst.size()) == g.num_vertices() - 1, "graph is not connected");
+  Graph t = g.edge_subgraph(mst);
+  RootedTree bt = bfs_tree(t, root);
+  // Translate parent edge ids back into the host graph's ids.
+  std::vector<VertexId> parent(static_cast<std::size_t>(g.num_vertices()));
+  std::vector<EdgeId> parent_edge(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    parent[static_cast<std::size_t>(v)] = bt.parent(v);
+    const EdgeId pe = bt.parent_edge(v);
+    parent_edge[static_cast<std::size_t>(v)] = pe == kNoEdge ? kNoEdge : mst[static_cast<std::size_t>(pe)];
+  }
+  return RootedTree(std::move(parent), std::move(parent_edge));
+}
+
+}  // namespace deck

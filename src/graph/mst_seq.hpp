@@ -1,0 +1,36 @@
+#pragma once
+
+// Sequential MST (Kruskal) with the canonical tie-breaking used throughout
+// the library.
+//
+// All MST computations — sequential and distributed — compare edges by the
+// lexicographic key (w, id). Weights are made effectively unique this way,
+// so the MST is unique and the distributed algorithm can be verified
+// edge-for-edge against Kruskal.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+
+namespace deck {
+
+/// Canonical strict order on edges: weight, then edge id.
+inline bool mst_less(const Graph& g, EdgeId a, EdgeId b) {
+  const Weight wa = g.edge(a).w, wb = g.edge(b).w;
+  return wa != wb ? wa < wb : a < b;
+}
+
+/// Edge ids of the minimum spanning forest under the canonical order.
+std::vector<EdgeId> kruskal_mst(const Graph& g);
+
+/// Kruskal on an explicit candidate edge list (processed in the canonical
+/// order), seeded with pre-joined edge set `base` (all of base is united
+/// first regardless of weight). Returns the candidates that joined.
+std::vector<EdgeId> kruskal_filter(const Graph& g, const std::vector<EdgeId>& base,
+                                   std::vector<EdgeId> candidates);
+
+/// Rooted tree view of the MST (root = vertex 0). Requires g connected.
+RootedTree mst_tree(const Graph& g, VertexId root = 0);
+
+}  // namespace deck

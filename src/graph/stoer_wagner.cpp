@@ -1,0 +1,89 @@
+#include "graph/stoer_wagner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/traversal.hpp"
+
+namespace deck {
+
+GlobalMinCut stoer_wagner_min_cut(const Graph& g, const std::vector<char>& in_subgraph) {
+  const int n = g.num_vertices();
+  GlobalMinCut best;
+  best.side.assign(static_cast<std::size_t>(n), 0);
+  if (n < 2) return best;
+
+  if (!is_spanning_connected(g, in_subgraph)) {
+    // Disconnected selection: cut value 0, side = one component of selection.
+    Graph sel(n);
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      if (in_subgraph[static_cast<std::size_t>(e)]) sel.add_edge(g.edge(e).u, g.edge(e).v, 1);
+    const auto cc = connected_components(sel);
+    for (int v = 0; v < n; ++v) best.side[static_cast<std::size_t>(v)] = cc[static_cast<std::size_t>(v)] == 0;
+    best.value = 0;
+    return best;
+  }
+
+  // Dense adjacency of unit capacities between contracted super-vertices.
+  std::vector<std::vector<std::int64_t>> w(static_cast<std::size_t>(n),
+                                           std::vector<std::int64_t>(static_cast<std::size_t>(n), 0));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!in_subgraph[static_cast<std::size_t>(e)]) continue;
+    const Edge& ed = g.edge(e);
+    w[static_cast<std::size_t>(ed.u)][static_cast<std::size_t>(ed.v)] += 1;
+    w[static_cast<std::size_t>(ed.v)][static_cast<std::size_t>(ed.u)] += 1;
+  }
+
+  std::vector<std::vector<VertexId>> members(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) members[static_cast<std::size_t>(v)] = {v};
+  std::vector<int> active;
+  for (int v = 0; v < n; ++v) active.push_back(v);
+
+  best.value = std::numeric_limits<std::int64_t>::max();
+
+  while (active.size() > 1) {
+    // Maximum adjacency ordering.
+    std::vector<std::int64_t> conn(static_cast<std::size_t>(n), 0);
+    std::vector<char> added(static_cast<std::size_t>(n), 0);
+    int prev = -1, last = -1;
+    std::int64_t last_conn = 0;
+    for (std::size_t step = 0; step < active.size(); ++step) {
+      int pick = -1;
+      for (int v : active) {
+        if (added[static_cast<std::size_t>(v)]) continue;
+        if (pick == -1 || conn[static_cast<std::size_t>(v)] > conn[static_cast<std::size_t>(pick)]) pick = v;
+      }
+      added[static_cast<std::size_t>(pick)] = 1;
+      prev = last;
+      last = pick;
+      last_conn = conn[static_cast<std::size_t>(pick)];
+      for (int v : active)
+        if (!added[static_cast<std::size_t>(v)]) conn[static_cast<std::size_t>(v)] += w[static_cast<std::size_t>(pick)][static_cast<std::size_t>(v)];
+    }
+
+    // Cut-of-the-phase: {last} vs rest.
+    if (last_conn < best.value) {
+      best.value = last_conn;
+      std::fill(best.side.begin(), best.side.end(), 0);
+      for (VertexId v : members[static_cast<std::size_t>(last)]) best.side[static_cast<std::size_t>(v)] = 1;
+    }
+
+    // Contract last into prev.
+    for (int v : active) {
+      if (v == last || v == prev) continue;
+      w[static_cast<std::size_t>(prev)][static_cast<std::size_t>(v)] += w[static_cast<std::size_t>(last)][static_cast<std::size_t>(v)];
+      w[static_cast<std::size_t>(v)][static_cast<std::size_t>(prev)] = w[static_cast<std::size_t>(prev)][static_cast<std::size_t>(v)];
+    }
+    auto& pm = members[static_cast<std::size_t>(prev)];
+    auto& lm = members[static_cast<std::size_t>(last)];
+    pm.insert(pm.end(), lm.begin(), lm.end());
+    active.erase(std::find(active.begin(), active.end(), last));
+  }
+  return best;
+}
+
+GlobalMinCut stoer_wagner_min_cut(const Graph& g) {
+  return stoer_wagner_min_cut(g, std::vector<char>(static_cast<std::size_t>(g.num_edges()), 1));
+}
+
+}  // namespace deck

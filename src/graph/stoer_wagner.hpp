@@ -1,0 +1,27 @@
+#pragma once
+
+// Stoer–Wagner deterministic global minimum cut (weighted).
+//
+// Used as an independent oracle against Dinic-based connectivity in tests,
+// and to obtain one witness minimum cut with its vertex side.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deck {
+
+struct GlobalMinCut {
+  std::int64_t value = 0;         // total capacity crossing the cut
+  std::vector<char> side;         // side[v] = 1 for vertices on one shore
+};
+
+/// Global min cut of the selected subgraph with unit edge capacities
+/// (i.e. edge connectivity with a witness). Requires n >= 2 and a connected
+/// selection; returns value 0 with a component side otherwise.
+GlobalMinCut stoer_wagner_min_cut(const Graph& g, const std::vector<char>& in_subgraph);
+
+GlobalMinCut stoer_wagner_min_cut(const Graph& g);
+
+}  // namespace deck

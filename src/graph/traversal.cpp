@@ -1,0 +1,98 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace deck {
+
+std::vector<int> connected_components(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  int next = 0;
+  std::queue<VertexId> q;
+  for (VertexId s = 0; s < n; ++s) {
+    if (comp[static_cast<std::size_t>(s)] != -1) continue;
+    comp[static_cast<std::size_t>(s)] = next;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      for (const Adj& a : g.neighbors(v)) {
+        if (comp[static_cast<std::size_t>(a.to)] == -1) {
+          comp[static_cast<std::size_t>(a.to)] = next;
+          q.push(a.to);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+int num_components(const Graph& g) {
+  const auto comp = connected_components(g);
+  int mx = -1;
+  for (int c : comp) mx = std::max(mx, c);
+  return mx + 1;
+}
+
+bool is_connected(const Graph& g) { return g.num_vertices() <= 1 || num_components(g) == 1; }
+
+bool is_spanning_connected(const Graph& g, const std::vector<char>& edge_in_subgraph) {
+  DECK_CHECK(static_cast<int>(edge_in_subgraph.size()) == g.num_edges());
+  const int n = g.num_vertices();
+  if (n <= 1) return true;
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::queue<VertexId> q;
+  seen[0] = 1;
+  q.push(0);
+  int reached = 1;
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (const Adj& a : g.neighbors(v)) {
+      if (!edge_in_subgraph[static_cast<std::size_t>(a.edge)]) continue;
+      if (!seen[static_cast<std::size_t>(a.to)]) {
+        seen[static_cast<std::size_t>(a.to)] = 1;
+        ++reached;
+        q.push(a.to);
+      }
+    }
+  }
+  return reached == n;
+}
+
+std::vector<int> bfs_distances(const Graph& g, VertexId src) {
+  const int n = g.num_vertices();
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  std::queue<VertexId> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (const Adj& a : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(a.to)] == -1) {
+        dist[static_cast<std::size_t>(a.to)] = dist[static_cast<std::size_t>(v)] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return dist;
+}
+
+int diameter(const Graph& g) {
+  int d = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (int x : dist) {
+      if (x == -1) return -1;
+      d = std::max(d, x);
+    }
+  }
+  return d;
+}
+
+}  // namespace deck

@@ -1,0 +1,28 @@
+#pragma once
+
+// Sequential traversal helpers: connectivity, components, eccentricity and
+// diameter (exact BFS-from-every-vertex for the modest sizes used here).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deck {
+
+/// Component label (0-based) per vertex.
+std::vector<int> connected_components(const Graph& g);
+
+int num_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// True iff the subgraph induced by `in_subgraph[e]` spans and connects g.
+bool is_spanning_connected(const Graph& g, const std::vector<char>& edge_in_subgraph);
+
+/// Hop distances from src (-1 = unreachable).
+std::vector<int> bfs_distances(const Graph& g, VertexId src);
+
+/// Exact hop diameter; -1 for disconnected graphs. O(n·m).
+int diameter(const Graph& g);
+
+}  // namespace deck

@@ -1,0 +1,147 @@
+#include "graph/tree.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace deck {
+
+RootedTree::RootedTree(std::vector<VertexId> parent, std::vector<EdgeId> parent_edge)
+    : parent_(std::move(parent)), parent_edge_(std::move(parent_edge)) {
+  const auto n = parent_.size();
+  DECK_CHECK(parent_edge_.size() == n);
+  children_.assign(n, {});
+  depth_.assign(n, 0);
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const VertexId p = parent_[v];
+    if (p == kNoVertex) {
+      roots_.push_back(static_cast<VertexId>(v));
+    } else {
+      DECK_CHECK(p >= 0 && static_cast<std::size_t>(p) < n);
+      children_[static_cast<std::size_t>(p)].push_back(static_cast<VertexId>(v));
+    }
+  }
+
+  // Iterative preorder DFS to fill depth, tin/tout, preorder.
+  pre_.reserve(n);
+  int clock = 0;
+  std::vector<std::pair<VertexId, std::size_t>> stack;  // (vertex, next child index)
+  for (VertexId r : roots_) {
+    stack.emplace_back(r, 0);
+    depth_[static_cast<std::size_t>(r)] = 0;
+    tin_[static_cast<std::size_t>(r)] = clock++;
+    pre_.push_back(r);
+    while (!stack.empty()) {
+      auto& [v, ci] = stack.back();
+      const auto& ch = children_[static_cast<std::size_t>(v)];
+      if (ci < ch.size()) {
+        const VertexId c = ch[ci++];
+        depth_[static_cast<std::size_t>(c)] = depth_[static_cast<std::size_t>(v)] + 1;
+        tin_[static_cast<std::size_t>(c)] = clock++;
+        pre_.push_back(c);
+        stack.emplace_back(c, 0);
+      } else {
+        tout_[static_cast<std::size_t>(v)] = clock++;
+        stack.pop_back();
+      }
+    }
+  }
+  DECK_CHECK_MSG(pre_.size() == n, "parent pointers contain a cycle");
+
+  // Binary lifting table.
+  int levels = 1;
+  while ((1 << levels) < static_cast<int>(n) + 1) ++levels;
+  up_.assign(static_cast<std::size_t>(levels), std::vector<VertexId>(n, kNoVertex));
+  for (std::size_t v = 0; v < n; ++v) up_[0][v] = parent_[v];
+  for (int l = 1; l < levels; ++l)
+    for (std::size_t v = 0; v < n; ++v) {
+      const VertexId mid = up_[static_cast<std::size_t>(l - 1)][v];
+      up_[static_cast<std::size_t>(l)][v] =
+          mid == kNoVertex ? kNoVertex : up_[static_cast<std::size_t>(l - 1)][static_cast<std::size_t>(mid)];
+    }
+}
+
+int RootedTree::height() const {
+  int h = 0;
+  for (int d : depth_) h = std::max(h, d);
+  return h;
+}
+
+bool RootedTree::is_ancestor(VertexId a, VertexId b) const {
+  return tin_[static_cast<std::size_t>(a)] <= tin_[static_cast<std::size_t>(b)] &&
+         tout_[static_cast<std::size_t>(b)] <= tout_[static_cast<std::size_t>(a)];
+}
+
+VertexId RootedTree::lca(VertexId u, VertexId v) const {
+  if (is_ancestor(u, v)) return u;
+  if (is_ancestor(v, u)) return v;
+  VertexId x = u;
+  for (int l = static_cast<int>(up_.size()) - 1; l >= 0; --l) {
+    const VertexId cand = up_[static_cast<std::size_t>(l)][static_cast<std::size_t>(x)];
+    if (cand != kNoVertex && !is_ancestor(cand, v)) x = cand;
+  }
+  const VertexId p = parent_[static_cast<std::size_t>(x)];
+  DECK_CHECK_MSG(p != kNoVertex, "lca of vertices in different trees");
+  return p;
+}
+
+int RootedTree::path_length(VertexId u, VertexId v) const {
+  const VertexId a = lca(u, v);
+  return depth(u) + depth(v) - 2 * depth(a);
+}
+
+std::vector<EdgeId> RootedTree::edges_up_to(VertexId u, VertexId a) const {
+  DECK_CHECK(is_ancestor(a, u));
+  std::vector<EdgeId> out;
+  VertexId x = u;
+  while (x != a) {
+    out.push_back(parent_edge_[static_cast<std::size_t>(x)]);
+    x = parent_[static_cast<std::size_t>(x)];
+  }
+  return out;
+}
+
+std::vector<EdgeId> RootedTree::path_edges(VertexId u, VertexId v) const {
+  const VertexId a = lca(u, v);
+  std::vector<EdgeId> out = edges_up_to(u, a);
+  std::vector<EdgeId> side = edges_up_to(v, a);
+  out.insert(out.end(), side.rbegin(), side.rend());
+  return out;
+}
+
+std::vector<EdgeId> RootedTree::all_edges() const {
+  std::vector<EdgeId> out;
+  out.reserve(parent_.size());
+  for (std::size_t v = 0; v < parent_.size(); ++v)
+    if (parent_[v] != kNoVertex) out.push_back(parent_edge_[v]);
+  return out;
+}
+
+RootedTree bfs_tree(const Graph& g, VertexId root) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<VertexId> parent(n, kNoVertex);
+  std::vector<EdgeId> parent_edge(n, kNoEdge);
+  std::vector<char> seen(n, 0);
+  std::queue<VertexId> q;
+  seen[static_cast<std::size_t>(root)] = 1;
+  q.push(root);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (const Adj& a : g.neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(a.to)]) {
+        seen[static_cast<std::size_t>(a.to)] = 1;
+        parent[static_cast<std::size_t>(a.to)] = v;
+        parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
+        q.push(a.to);
+      }
+    }
+  }
+  return RootedTree(std::move(parent), std::move(parent_edge));
+}
+
+}  // namespace deck

@@ -1,0 +1,80 @@
+#pragma once
+
+// Rooted tree/forest view over a subset of graph edges.
+//
+// Used everywhere: BFS trees, MSTs, segment forests. Stores per-vertex
+// parent, parent edge id (into the host graph), depth, children, and an
+// Euler tour (tin/tout) enabling O(1) ancestor tests and O(log n) LCA via
+// binary lifting. These sequential utilities serve local computation and
+// verification; distributed algorithms only use knowledge their vertices
+// legitimately acquired.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deck {
+
+class RootedTree {
+ public:
+  RootedTree() = default;
+
+  /// Builds a rooted forest from parent pointers. parent[root] == kNoVertex.
+  /// parent_edge[v] is the host-graph edge id of {v, parent[v]} (kNoEdge for
+  /// roots).
+  RootedTree(std::vector<VertexId> parent, std::vector<EdgeId> parent_edge);
+
+  int num_vertices() const { return static_cast<int>(parent_.size()); }
+
+  VertexId parent(VertexId v) const { return parent_[static_cast<std::size_t>(v)]; }
+  EdgeId parent_edge(VertexId v) const { return parent_edge_[static_cast<std::size_t>(v)]; }
+  int depth(VertexId v) const { return depth_[static_cast<std::size_t>(v)]; }
+  bool is_root(VertexId v) const { return parent_[static_cast<std::size_t>(v)] == kNoVertex; }
+  std::span<const VertexId> children(VertexId v) const {
+    return {children_[static_cast<std::size_t>(v)].data(),
+            children_[static_cast<std::size_t>(v)].size()};
+  }
+  std::span<const VertexId> roots() const { return {roots_.data(), roots_.size()}; }
+
+  /// Height of the forest: max depth over vertices.
+  int height() const;
+
+  /// True iff a is an ancestor of b (a == b counts).
+  bool is_ancestor(VertexId a, VertexId b) const;
+
+  /// Lowest common ancestor; u and v must be in the same tree of the forest.
+  VertexId lca(VertexId u, VertexId v) const;
+
+  /// Number of edges on the tree path u..v.
+  int path_length(VertexId u, VertexId v) const;
+
+  /// Vertices in preorder (roots first).
+  std::span<const VertexId> preorder() const { return {pre_.data(), pre_.size()}; }
+
+  /// Parent-edge ids along the path from u up to (and excluding) ancestor a.
+  /// Precondition: a is an ancestor of u.
+  std::vector<EdgeId> edges_up_to(VertexId u, VertexId a) const;
+
+  /// All edge ids on the tree path between u and v.
+  std::vector<EdgeId> path_edges(VertexId u, VertexId v) const;
+
+  /// All parent-edge ids in the forest (one per non-root vertex).
+  std::vector<EdgeId> all_edges() const;
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<int> depth_;
+  std::vector<std::vector<VertexId>> children_;
+  std::vector<VertexId> roots_;
+  std::vector<VertexId> pre_;
+  std::vector<int> tin_, tout_;
+  std::vector<std::vector<VertexId>> up_;  // binary lifting table
+};
+
+/// Builds a BFS tree of `g` from `root` (sequential utility). Vertices
+/// unreachable from root become isolated roots of the forest.
+RootedTree bfs_tree(const Graph& g, VertexId root);
+
+}  // namespace deck

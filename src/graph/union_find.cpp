@@ -1,0 +1,3 @@
+#include "graph/union_find.hpp"
+
+// Header-only implementation; this translation unit anchors the target.

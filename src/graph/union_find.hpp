@@ -1,0 +1,47 @@
+#pragma once
+
+// Disjoint-set union with path halving and union by size.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace deck {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)), size_(static_cast<std::size_t>(n), 1) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+    components_ = n;
+  }
+
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] = parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  /// Returns true iff x and y were in different sets (i.e. a merge happened).
+  bool unite(int x, int y) {
+    int rx = find(x), ry = find(y);
+    if (rx == ry) return false;
+    if (size_[static_cast<std::size_t>(rx)] < size_[static_cast<std::size_t>(ry)]) std::swap(rx, ry);
+    parent_[static_cast<std::size_t>(ry)] = rx;
+    size_[static_cast<std::size_t>(rx)] += size_[static_cast<std::size_t>(ry)];
+    --components_;
+    return true;
+  }
+
+  bool same(int x, int y) { return find(x) == find(y); }
+  int component_size(int x) { return size_[static_cast<std::size_t>(find(x))]; }
+  int num_components() const { return components_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int components_ = 0;
+};
+
+}  // namespace deck

@@ -1,0 +1,400 @@
+#include "mst/distributed_mst.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "graph/mst_seq.hpp"
+#include "graph/union_find.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+namespace {
+
+/// Canonical MOE order key: (weight, edge id), strict total order.
+struct MoeKey {
+  Weight w = 0;
+  EdgeId e = kNoEdge;
+  bool operator<(const MoeKey& o) const { return w != o.w ? w < o.w : e < o.e; }
+};
+
+struct Stage1 {
+  std::vector<int> frag;                    // per vertex: representative vertex id
+  std::vector<VertexId> frag_parent;        // within-fragment tree (kNoVertex at frag roots)
+  std::vector<EdgeId> frag_parent_edge;
+  std::vector<VertexId> frag_root;          // per representative: comm-tree root vertex
+  std::vector<std::vector<VertexId>> members;  // per representative
+};
+
+/// Height of each fragment's tree (indexed by representative); also fills
+/// per-vertex depth for re-rooting floods.
+std::vector<int> fragment_heights(const Stage1& s, int n) {
+  std::vector<int> height(static_cast<std::size_t>(n), 0);
+  std::vector<int> depth(static_cast<std::size_t>(n), 0);
+  // Process vertices by walking up; memoize via repeated sweeps (fragment
+  // trees are shallow). Simple approach: topological order by repeatedly
+  // relaxing, O(n * h) worst; fragment sizes are O(sqrt n) so this is cheap.
+  for (int rep = 0; rep < n; ++rep) {
+    if (s.members[static_cast<std::size_t>(rep)].empty()) continue;
+    for (VertexId v : s.members[static_cast<std::size_t>(rep)]) {
+      int d = 0;
+      VertexId x = v;
+      while (s.frag_parent[static_cast<std::size_t>(x)] != kNoVertex) {
+        x = s.frag_parent[static_cast<std::size_t>(x)];
+        ++d;
+      }
+      depth[static_cast<std::size_t>(v)] = d;
+      height[static_cast<std::size_t>(rep)] = std::max(height[static_cast<std::size_t>(rep)], d);
+    }
+  }
+  return height;
+}
+
+/// Re-roots fragment `rep`'s tree at vertex u (BFS over the undirected view
+/// of the fragment tree links).
+void reroot_fragment(Stage1& s, int rep, VertexId u) {
+  // Build undirected adjacency of the fragment tree.
+  std::map<VertexId, std::vector<std::pair<VertexId, EdgeId>>> adj;
+  for (VertexId v : s.members[static_cast<std::size_t>(rep)]) {
+    const VertexId p = s.frag_parent[static_cast<std::size_t>(v)];
+    if (p != kNoVertex) {
+      const EdgeId pe = s.frag_parent_edge[static_cast<std::size_t>(v)];
+      adj[v].push_back({p, pe});
+      adj[p].push_back({v, pe});
+    }
+  }
+  std::set<VertexId> seen{u};
+  std::queue<VertexId> q;
+  q.push(u);
+  s.frag_parent[static_cast<std::size_t>(u)] = kNoVertex;
+  s.frag_parent_edge[static_cast<std::size_t>(u)] = kNoEdge;
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (const auto& [w, e] : adj[v]) {
+      if (seen.count(w)) continue;
+      seen.insert(w);
+      s.frag_parent[static_cast<std::size_t>(w)] = v;
+      s.frag_parent_edge[static_cast<std::size_t>(w)] = e;
+      q.push(w);
+    }
+  }
+}
+
+}  // namespace
+
+MstResult distributed_mst(Network& net, const RootedTree& bfs) {
+  const Graph& g = net.graph();
+  const int n = g.num_vertices();
+  DECK_CHECK(n >= 1);
+  const VertexId root = bfs.roots().empty() ? 0 : bfs.roots()[0];
+  const CommForest bfs_forest = CommForest::from_tree(bfs);
+
+  std::set<EdgeId> mst;
+  Stage1 s;
+  s.frag.resize(static_cast<std::size_t>(n));
+  s.frag_parent.assign(static_cast<std::size_t>(n), kNoVertex);
+  s.frag_parent_edge.assign(static_cast<std::size_t>(n), kNoEdge);
+  s.frag_root.resize(static_cast<std::size_t>(n));
+  s.members.assign(static_cast<std::size_t>(n), {});
+  for (VertexId v = 0; v < n; ++v) {
+    s.frag[static_cast<std::size_t>(v)] = v;
+    s.frag_root[static_cast<std::size_t>(v)] = v;
+    s.members[static_cast<std::size_t>(v)] = {v};
+  }
+
+  const int cap = std::max(2, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))));
+  const int phase_cap = 2 * static_cast<int>(std::ceil(std::log2(std::max(2, n)))) + 8;
+
+  net.begin_phase("mst.stage1");
+  for (int phase = 0; phase < phase_cap; ++phase) {
+    // Active fragments: size < cap.
+    std::vector<int> reps;
+    for (int rep = 0; rep < n; ++rep)
+      if (!s.members[static_cast<std::size_t>(rep)].empty()) reps.push_back(rep);
+    if (static_cast<int>(reps.size()) <= 1) break;
+    if (static_cast<int>(reps.size()) <= cap) break;
+
+    std::vector<char> active(static_cast<std::size_t>(n), 0);
+    bool any_active = false;
+    for (int rep : reps) {
+      if (static_cast<int>(s.members[static_cast<std::size_t>(rep)].size()) < cap) {
+        active[static_cast<std::size_t>(rep)] = 1;
+        any_active = true;
+      }
+    }
+    if (!any_active) break;
+
+    const auto heights = fragment_heights(s, n);
+    int max_h = 0;
+    std::uint64_t active_size_total = 0;
+    for (int rep : reps) {
+      max_h = std::max(max_h, heights[static_cast<std::size_t>(rep)]);
+      if (active[static_cast<std::size_t>(rep)])
+        active_size_total += s.members[static_cast<std::size_t>(rep)].size();
+    }
+
+    // MOE per active fragment (neighbour fragment-id exchange, then
+    // convergecast to the fragment root, then decision broadcast).
+    std::map<int, std::pair<MoeKey, int>> moe;  // rep -> (key, target rep)
+    for (int rep : reps) {
+      if (!active[static_cast<std::size_t>(rep)]) continue;
+      MoeKey best;
+      best.w = -1;
+      int target = -1;
+      for (VertexId v : s.members[static_cast<std::size_t>(rep)]) {
+        for (const Adj& a : g.neighbors(v)) {
+          const int orep = s.frag[static_cast<std::size_t>(a.to)];
+          if (orep == rep) continue;
+          const MoeKey k{g.edge(a.edge).w, a.edge};
+          if (best.w < 0 || k < best) {
+            best = k;
+            target = orep;
+          }
+        }
+      }
+      DECK_CHECK_MSG(target >= 0, "active fragment with no outgoing edge: graph disconnected?");
+      moe[rep] = {best, target};
+    }
+    // Charge: 1 round frag-id exchange (2m msgs) + MOE convergecast and
+    // decision broadcast within active fragments (2 * max height rounds).
+    net.charge(1 + 2 * static_cast<std::uint64_t>(max_h) + 2,
+               2 * static_cast<std::uint64_t>(g.num_edges()) + 2 * active_size_total);
+
+    // Roles: mutual-MOE pairs pick the smaller rep as star root; a fragment
+    // joins its target iff the target is a star root or inactive.
+    auto is_mutual_root = [&](int rep) {
+      auto it = moe.find(rep);
+      if (it == moe.end()) return false;
+      const int t = it->second.second;
+      auto jt = moe.find(t);
+      return jt != moe.end() && jt->second.first.e == it->second.first.e && rep < t;
+    };
+    // Charge proposal/reply exchanges + the in-target relay of "am I a
+    // root" (convergecast + broadcast within target fragments).
+    net.charge(2 + 2 * static_cast<std::uint64_t>(max_h),
+               4 * static_cast<std::uint64_t>(moe.size()) + 2 * active_size_total);
+
+    struct Join {
+      int rep;
+      int target;
+      EdgeId edge;
+    };
+    std::vector<Join> joins;
+    for (const auto& [rep, info] : moe) {
+      const auto& [key, target] = info;
+      const bool target_root = is_mutual_root(target) || !active[static_cast<std::size_t>(target)];
+      if (is_mutual_root(rep)) continue;  // star root absorbs, never joins
+      if (target_root) joins.push_back({rep, target, key.e});
+    }
+    if (joins.size() == 0) break;  // no progress possible under the star rule
+
+    std::uint64_t joined_size_total = 0;
+    for (const Join& j : joins) {
+      mst.insert(j.edge);
+      const Edge& e = g.edge(j.edge);
+      const VertexId u = s.frag[static_cast<std::size_t>(e.u)] == j.rep ? e.u : e.v;
+      const VertexId w = e.other(u);
+      DECK_CHECK(s.frag[static_cast<std::size_t>(u)] == j.rep);
+      reroot_fragment(s, j.rep, u);
+      s.frag_parent[static_cast<std::size_t>(u)] = w;
+      s.frag_parent_edge[static_cast<std::size_t>(u)] = j.edge;
+      joined_size_total += s.members[static_cast<std::size_t>(j.rep)].size();
+    }
+    // Apply membership transfers after all re-rootings.
+    for (const Join& j : joins) {
+      auto& from = s.members[static_cast<std::size_t>(j.rep)];
+      auto& to = s.members[static_cast<std::size_t>(j.target)];
+      for (VertexId v : from) s.frag[static_cast<std::size_t>(v)] = j.target;
+      to.insert(to.end(), from.begin(), from.end());
+      from.clear();
+    }
+    // Relabel/re-root flood within joined fragments.
+    net.charge(static_cast<std::uint64_t>(max_h) + 1, joined_size_total);
+  }
+
+  // Record stage-1 fragments (these feed the segment decomposition).
+  std::vector<int> frag_label(static_cast<std::size_t>(n), -1);
+  int num_frags = 0;
+  int max_size = 0;
+  for (int rep = 0; rep < n; ++rep) {
+    if (s.members[static_cast<std::size_t>(rep)].empty()) continue;
+    for (VertexId v : s.members[static_cast<std::size_t>(rep)])
+      frag_label[static_cast<std::size_t>(v)] = num_frags;
+    max_size = std::max(max_size, static_cast<int>(s.members[static_cast<std::size_t>(rep)].size()));
+    ++num_frags;
+  }
+  const auto final_heights = fragment_heights(s, n);
+  int max_height = 0;
+  for (int rep = 0; rep < n; ++rep)
+    max_height = std::max(max_height, final_heights[static_cast<std::size_t>(rep)]);
+
+  // Stage 2: central Borůvka over the BFS tree. Fragment ids are the
+  // stage-1 representatives; the BFS root merges and broadcasts relabels.
+  net.begin_phase("mst.stage2");
+  std::vector<EdgeId> global_edges;
+  std::vector<int> frag2 = s.frag;  // working labels
+  for (int guard = 0; guard < 2 * 32; ++guard) {
+    std::set<int> live(frag2.begin(), frag2.end());
+    if (live.size() <= 1) break;
+
+    // Neighbour fragment-id exchange: 1 round, 2m messages.
+    net.charge(1, 2 * static_cast<std::uint64_t>(g.num_edges()));
+
+    // Per-vertex MOE candidates keyed by own fragment.
+    std::vector<std::vector<KeyedItem>> items(static_cast<std::size_t>(n));
+    for (VertexId v = 0; v < n; ++v) {
+      const int f = frag2[static_cast<std::size_t>(v)];
+      MoeKey best;
+      best.w = -1;
+      for (const Adj& a : g.neighbors(v)) {
+        if (frag2[static_cast<std::size_t>(a.to)] == f) continue;
+        const MoeKey k{g.edge(a.edge).w, a.edge};
+        if (best.w < 0 || k < best) best = k;
+      }
+      if (best.w >= 0) {
+        items[static_cast<std::size_t>(v)].push_back(
+            KeyedItem{static_cast<std::uint64_t>(f), static_cast<std::uint64_t>(best.w),
+                      static_cast<std::uint64_t>(best.e)});
+      }
+    }
+    auto finalized = keyed_min_upcast(net, bfs_forest, std::move(items));
+    const auto& at_root = finalized[static_cast<std::size_t>(root)];
+
+    // Root merges locally.
+    std::map<int, int> rep_index;
+    std::vector<int> live_list(live.begin(), live.end());
+    for (std::size_t i = 0; i < live_list.size(); ++i) rep_index[live_list[i]] = static_cast<int>(i);
+    UnionFind uf(static_cast<int>(live_list.size()));
+    std::set<EdgeId> chosen;
+    for (const KeyedItem& it : at_root) {
+      const auto e = static_cast<EdgeId>(it.payload);
+      chosen.insert(e);
+    }
+    for (EdgeId e : chosen) {
+      uf.unite(rep_index.at(frag2[static_cast<std::size_t>(g.edge(e).u)]),
+               rep_index.at(frag2[static_cast<std::size_t>(g.edge(e).v)]));
+    }
+    // Relabel map: old rep -> representative rep.
+    std::vector<KeyedItem> bcast;
+    for (int old_rep : live_list) {
+      const int new_rep = live_list[static_cast<std::size_t>(uf.find(rep_index.at(old_rep)))];
+      bcast.push_back(KeyedItem{static_cast<std::uint64_t>(old_rep),
+                                static_cast<std::uint64_t>(new_rep), 0});
+    }
+    for (EdgeId e : chosen) {
+      // Tag chosen-edge announcements with prio = max to separate from
+      // relabels (keys are edge ids offset beyond vertex ids).
+      bcast.push_back(KeyedItem{static_cast<std::uint64_t>(n) + static_cast<std::uint64_t>(e),
+                                0, 1});
+    }
+    std::vector<std::vector<KeyedItem>> root_items(static_cast<std::size_t>(n));
+    root_items[static_cast<std::size_t>(root)] = bcast;
+    pipelined_broadcast(net, bfs_forest, std::move(root_items));
+
+    // Everyone applies the relabel map; edge endpoints record MST edges.
+    std::map<int, int> relabel;
+    for (int old_rep : live_list)
+      relabel[old_rep] = live_list[static_cast<std::size_t>(uf.find(rep_index.at(old_rep)))];
+    for (VertexId v = 0; v < n; ++v) frag2[static_cast<std::size_t>(v)] = relabel.at(frag2[static_cast<std::size_t>(v)]);
+    for (EdgeId e : chosen) {
+      mst.insert(e);
+      global_edges.push_back(e);
+    }
+  }
+  DECK_CHECK_MSG(std::set<int>(frag2.begin(), frag2.end()).size() <= 1,
+                 "stage 2 failed to converge");
+  DECK_CHECK_MSG(static_cast<int>(mst.size()) == n - 1, "MST edge count mismatch");
+
+  // Orientation (§3.2 preliminary step): everyone learns the global edges
+  // (upcast + broadcast over the BFS tree), deduces fragment roots from the
+  // virtual fragment tree, and each fragment orients towards its root.
+  net.begin_phase("mst.orient");
+  {
+    std::vector<std::vector<KeyedItem>> items(static_cast<std::size_t>(n));
+    for (EdgeId e : global_edges) {
+      const Edge& ed = g.edge(e);
+      items[static_cast<std::size_t>(std::min(ed.u, ed.v))].push_back(
+          KeyedItem{static_cast<std::uint64_t>(e), 0, 0});
+    }
+    auto fin = keyed_min_upcast(net, bfs_forest, std::move(items));
+    std::vector<std::vector<KeyedItem>> root_items(static_cast<std::size_t>(n));
+    root_items[static_cast<std::size_t>(root)] = fin[static_cast<std::size_t>(root)];
+    pipelined_broadcast(net, bfs_forest, std::move(root_items));
+  }
+
+  // Virtual fragment tree (identical local computation at every vertex).
+  Graph frag_graph(num_frags);
+  std::vector<EdgeId> frag_edge_host;
+  for (EdgeId e : global_edges) {
+    const Edge& ed = g.edge(e);
+    frag_graph.add_edge(frag_label[static_cast<std::size_t>(ed.u)],
+                        frag_label[static_cast<std::size_t>(ed.v)], 1);
+    frag_edge_host.push_back(e);
+  }
+  const RootedTree frag_tree = bfs_tree(frag_graph, frag_label[static_cast<std::size_t>(root)]);
+
+  // Fragment root vertices: for the root fragment it is the BFS root; for
+  // any other fragment, the endpoint of its parent global edge inside it.
+  std::vector<VertexId> frag_root_vertex(static_cast<std::size_t>(num_frags), kNoVertex);
+  std::vector<EdgeId> frag_root_edge(static_cast<std::size_t>(num_frags), kNoEdge);
+  frag_root_vertex[static_cast<std::size_t>(frag_label[static_cast<std::size_t>(root)])] = root;
+  for (int fb = 0; fb < num_frags; ++fb) {
+    const EdgeId fe = frag_tree.parent_edge(fb);
+    if (fe == kNoEdge) continue;
+    const EdgeId he = frag_edge_host[static_cast<std::size_t>(fe)];
+    const Edge& ed = g.edge(he);
+    const VertexId inside = frag_label[static_cast<std::size_t>(ed.u)] == fb ? ed.u : ed.v;
+    frag_root_vertex[static_cast<std::size_t>(fb)] = inside;
+    frag_root_edge[static_cast<std::size_t>(fb)] = he;
+  }
+
+  // Within-fragment orientation: BFS from the fragment root over the MST
+  // edges inside the fragment. Charged one flood of max fragment height.
+  std::vector<char> in_mst(static_cast<std::size_t>(g.num_edges()), 0);
+  for (EdgeId e : mst) in_mst[static_cast<std::size_t>(e)] = 1;
+  std::vector<VertexId> parent(static_cast<std::size_t>(n), kNoVertex);
+  std::vector<EdgeId> parent_edge(static_cast<std::size_t>(n), kNoEdge);
+  for (int fb = 0; fb < num_frags; ++fb) {
+    const VertexId fr = frag_root_vertex[static_cast<std::size_t>(fb)];
+    DECK_CHECK(fr != kNoVertex);
+    if (fr != root) {
+      const EdgeId he = frag_root_edge[static_cast<std::size_t>(fb)];
+      parent[static_cast<std::size_t>(fr)] = g.edge(he).other(fr);
+      parent_edge[static_cast<std::size_t>(fr)] = he;
+    }
+    std::queue<VertexId> q;
+    q.push(fr);
+    std::set<VertexId> seen{fr};
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      for (const Adj& a : g.neighbors(v)) {
+        if (!in_mst[static_cast<std::size_t>(a.edge)]) continue;
+        if (frag_label[static_cast<std::size_t>(a.to)] != fb) continue;
+        if (frag_label[static_cast<std::size_t>(v)] != fb) continue;
+        if (seen.count(a.to)) continue;
+        seen.insert(a.to);
+        parent[static_cast<std::size_t>(a.to)] = v;
+        parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
+        q.push(a.to);
+      }
+    }
+  }
+  net.charge(static_cast<std::uint64_t>(max_height) + 1, static_cast<std::uint64_t>(n));
+
+  MstResult r;
+  r.mst_edges.assign(mst.begin(), mst.end());
+  r.tree = RootedTree(std::move(parent), std::move(parent_edge));
+  r.fragment = std::move(frag_label);
+  r.num_fragments = num_frags;
+  r.global_edges = std::move(global_edges);
+  r.max_fragment_size = max_size;
+  r.max_fragment_height = max_height;
+  return r;
+}
+
+}  // namespace deck

@@ -1,0 +1,49 @@
+#pragma once
+
+// Distributed MST in the CONGEST model (Kutten–Peleg structure, §3/§4).
+//
+// Two stages, as in Garay–Kutten–Peleg / Kutten–Peleg:
+//
+//  Stage 1 — controlled Borůvka: fragments merge along minimum outgoing
+//  edges (MOEs) in star patterns (mutual-MOE pairs become star roots;
+//  fragments whose MOE points at a star root or at an inactive fragment are
+//  absorbed). Only fragments of size < ceil(sqrt(n)) stay active, so stage 1
+//  ends with O(sqrt(n)) fragments whose trees have O(sqrt(n)) size; their
+//  diameters stay O(sqrt(n)) on all tested families (see DESIGN.md for the
+//  worst-case caveat vs. the full GKP matching machinery).
+//
+//  Stage 2 — pipelined central Borůvka: per-fragment MOEs are upcast over
+//  the BFS tree (O(D + F) rounds via the keyed-min pipeline), the root
+//  merges fragments locally, and relabel + chosen-edge lists are broadcast
+//  back. O(log n) iterations.
+//
+// The result is exactly the Kruskal MST under the canonical (w, id) order;
+// tests verify edge-for-edge equality. The stage-1 fragments and the
+// stage-2 "global" edges are returned for the segment decomposition (§3.2),
+// together with the paper's fragment-root orientation of the tree.
+
+#include <vector>
+
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+
+namespace deck {
+
+struct MstResult {
+  std::vector<EdgeId> mst_edges;       // all n-1 MST edge ids
+  RootedTree tree;                     // MST rooted at the BFS root
+  std::vector<int> fragment;           // per vertex: stage-1 fragment label, 0..F-1
+  int num_fragments = 0;               // F
+  std::vector<EdgeId> global_edges;    // MST edges between different fragments
+  int max_fragment_size = 0;           // stage-1 stats (tests assert O(sqrt n))
+  int max_fragment_height = 0;
+};
+
+/// Runs the distributed MST over net.graph() (which must be connected, with
+/// the canonical unique (w,id) edge order). `bfs` is the BFS tree used for
+/// stage-2 pipelining and orientation; its root becomes the MST root.
+MstResult distributed_mst(Network& net, const RootedTree& bfs);
+
+}  // namespace deck

@@ -1,0 +1,43 @@
+#pragma once
+
+// Lightweight runtime-contract macros used across the library.
+//
+// DECK_CHECK is always on (it guards algorithmic invariants whose violation
+// would silently corrupt results); DECK_ASSERT compiles out in NDEBUG builds
+// and is used for hot-path sanity checks.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace deck::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "DECK_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace deck::detail
+
+#define DECK_CHECK(expr)                                                        \
+  do {                                                                          \
+    if (!(expr)) ::deck::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define DECK_CHECK_MSG(expr, msg)                                               \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      std::ostringstream deck_os_;                                              \
+      deck_os_ << msg;                                                          \
+      ::deck::detail::check_failed(#expr, __FILE__, __LINE__, deck_os_.str());  \
+    }                                                                           \
+  } while (0)
+
+#ifdef NDEBUG
+#define DECK_ASSERT(expr) ((void)0)
+#else
+#define DECK_ASSERT(expr) DECK_CHECK(expr)
+#endif

@@ -1,0 +1,62 @@
+#pragma once
+
+// Deterministic, seedable random number generation.
+//
+// All randomized algorithms in the library draw from deck::Rng so that every
+// experiment is reproducible from a single seed. The generator is
+// xoshiro256**, seeded via SplitMix64 (public-domain constructions).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace deck {
+
+/// SplitMix64 step; also used standalone as a mixing/hash function.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mixer (Stafford variant 13). Used to derive per-edge,
+/// per-iteration pseudo-random values from a shared seed.
+std::uint64_t mix64(std::uint64_t x);
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) (bound > 0), unbiased via rejection.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel experiment arms).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace deck

@@ -1,0 +1,45 @@
+#include "support/stats.hpp"
+
+#include <cmath>
+
+namespace deck {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs.front();
+  s.max = xs.front();
+  double sum = 0;
+  for (double x : xs) {
+    sum += x;
+    if (x < s.min) s.min = x;
+    if (x > s.max) s.max = x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(var / static_cast<double>(xs.size() - 1)) : 0.0;
+  return s;
+}
+
+double loglog_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < x.size() && i < y.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  return denom == 0 ? 0.0 : (dn * sxy - sx * sy) / denom;
+}
+
+}  // namespace deck

@@ -1,0 +1,26 @@
+#pragma once
+
+// Small statistics helpers for experiment summaries (mean / stddev / max,
+// and a least-squares slope used to estimate empirical growth exponents).
+
+#include <cstdint>
+#include <vector>
+
+namespace deck {
+
+struct Summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  std::size_t count = 0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// Least-squares slope of log(y) against log(x): the empirical exponent b in
+/// y ~ x^b. Requires positive inputs; pairs with non-positive entries are
+/// skipped.
+double loglog_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace deck

@@ -1,0 +1,49 @@
+#pragma once
+
+// Plain-text table formatting for benchmark/experiment output.
+//
+// Benches print tables in a uniform format so EXPERIMENTS.md can quote them
+// verbatim. Columns are sized to the widest cell; numeric cells are
+// right-aligned.
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace deck {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Add a row; the number of cells must match the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric rows.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  /// Render with a title line and column rules.
+  std::string to_string(const std::string& title = "") const;
+
+  /// Print to stdout.
+  void print(const std::string& title = "") const;
+
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string format_cell(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deck

@@ -1,0 +1,71 @@
+#pragma once
+
+// Distributed weighted TAP in the CONGEST model (paper §3, Theorem 3.12).
+//
+// Iterations of the §2.1 framework: every link computes its rounded
+// cost-effectiveness (uncovered tree edges on its fundamental path / weight);
+// links at the global maximum become candidates; every uncovered tree edge
+// votes for the first candidate covering it (random order r_e, ties by id);
+// candidates gathering >= |Ce|/8 votes join the augmentation A. O(log^2 n)
+// iterations w.h.p. (Lemma 3.11); O(log n)-approximation guaranteed
+// (Lemma 3.7); O(D + sqrt n) rounds per iteration (Lemma 3.3).
+//
+// Per-iteration machinery over the segment decomposition (§3.1):
+//  (I)   cost-effectiveness — each link's endpoints decompose the fundamental
+//        path into: own-path parts (exact per-vertex knowledge), own-segment
+//        highway parts, and full highways of skeleton-path segments (global
+//        per-segment aggregates). Same-segment links exchange their paths
+//        once and per-iteration coverage bitmasks over their own edge.
+//  (II)  "first candidate covering t" — short/mid-range contributions merge
+//        with the ancestor pipeline; mid-range case 2 aggregates per
+//        attachment point and prefix-scans the highway; long-range winners
+//        per highway ride the global BFS pipeline (Observation 1: all edges
+//        of a highway share their optimal long-range edge).
+//  (III) vote counting — winners are downcast along paths/highways; per-
+//        segment (bestLR, count) pairs are shared globally; endpoints sum
+//        their zones and exchange.
+// Coverage propagation after additions reuses the same passes with A in
+// place of the candidate set.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "decomp/segments.hpp"
+#include "graph/graph.hpp"
+
+namespace deck {
+
+struct TapOptions {
+  std::uint64_t seed = 1;
+  /// Vote threshold denominator: candidate joins A when
+  /// votes * vote_denominator >= |Ce| (paper: 8). Ablation A1 sweeps this.
+  int vote_denominator = 8;
+  int max_iterations = 100000;
+};
+
+struct TapResult {
+  std::vector<EdgeId> augmentation;
+  int iterations = 0;
+  Weight weight = 0;
+};
+
+/// Runs distributed TAP over net.graph() with the given decomposition of the
+/// spanning tree (dec.tree()). `bfs_forest`/`root` drive global pipelines.
+/// Requires every tree edge coverable (G 2-edge-connected after adding the
+/// tree). Rounds are charged to `net`.
+TapResult distributed_tap(Network& net, const SegmentDecomposition& dec,
+                          const CommForest& bfs_forest, VertexId root, const TapOptions& opt);
+
+/// FT-MST swap edges (Ghaffari–Parter [14] — the structure §3.2's
+/// decomposition originates from, and the paper's remark that it yields a
+/// deterministic O(D + sqrt n log* n) FT-MST): for every tree edge of
+/// dec.tree(), the minimum-weight non-tree edge covering it, i.e. the edge
+/// that restores a spanning tree (in fact the MST of G minus the fault)
+/// when that tree edge fails. Result indexed by host edge id; kNoEdge for
+/// non-tree edges and for tree edges nothing covers. O(D + sqrt n) rounds.
+std::vector<EdgeId> mst_replacement_edges(Network& net, const SegmentDecomposition& dec,
+                                          const CommForest& bfs_forest, VertexId root);
+
+}  // namespace deck

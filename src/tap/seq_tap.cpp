@@ -1,0 +1,144 @@
+#include "tap/seq_tap.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace deck {
+
+std::vector<EdgeId> greedy_tap(const TapInstance& inst) {
+  const Graph& g = inst.g;
+  std::vector<char> covered(static_cast<std::size_t>(g.num_edges()), 0);
+  std::vector<EdgeId> links = inst.links();
+  std::vector<std::vector<EdgeId>> paths;
+  paths.reserve(links.size());
+  for (EdgeId e : links) paths.push_back(inst.covered_by(e));
+
+  std::vector<EdgeId> aug;
+  int uncovered = static_cast<int>(inst.tree_edges.size());
+
+  auto gain = [&](std::size_t i) {
+    int cnt = 0;
+    for (EdgeId t : paths[i])
+      if (!covered[static_cast<std::size_t>(t)]) ++cnt;
+    return cnt;
+  };
+  auto take = [&](std::size_t i) {
+    aug.push_back(links[i]);
+    for (EdgeId t : paths[i]) {
+      if (!covered[static_cast<std::size_t>(t)]) {
+        covered[static_cast<std::size_t>(t)] = 1;
+        --uncovered;
+      }
+    }
+  };
+
+  // Weight-0 links are free: take all that still cover something.
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (g.edge(links[i]).w == 0 && gain(i) > 0) take(i);
+  }
+  while (uncovered > 0) {
+    std::size_t best = links.size();
+    // Maximise gain/weight, i.e. gain_i * w_j > gain_j * w_i.
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      const int gi = gain(i);
+      if (gi == 0) continue;
+      if (best == links.size()) {
+        best = i;
+        continue;
+      }
+      const long long lhs = static_cast<long long>(gi) * g.edge(links[best]).w;
+      const long long rhs = static_cast<long long>(gain(best)) * g.edge(links[i]).w;
+      if (lhs > rhs) best = i;
+    }
+    DECK_CHECK_MSG(best != links.size(), "instance not coverable");
+    take(best);
+  }
+  return aug;
+}
+
+namespace {
+
+struct BnB {
+  const TapInstance* inst;
+  std::vector<EdgeId> links;
+  std::vector<std::vector<EdgeId>> paths;
+  std::vector<char> covered;
+  int uncovered = 0;
+  Weight best = std::numeric_limits<Weight>::max();
+  std::vector<EdgeId> best_set;
+  std::vector<EdgeId> current;
+  Weight current_w = 0;
+
+  void dfs(std::size_t i) {
+    if (uncovered == 0) {
+      if (current_w < best) {
+        best = current_w;
+        best_set = current;
+      }
+      return;
+    }
+    if (i == links.size() || current_w >= best) return;
+    // Feasibility pruning: remaining links must be able to cover the rest.
+    // (Cheap check: does any remaining link cover the first uncovered edge?)
+    EdgeId first_uncovered = kNoEdge;
+    for (EdgeId t : inst->tree_edges) {
+      if (!covered[static_cast<std::size_t>(t)]) {
+        first_uncovered = t;
+        break;
+      }
+    }
+    bool coverable = false;
+    for (std::size_t j = i; j < links.size() && !coverable; ++j) {
+      for (EdgeId t : paths[j])
+        if (t == first_uncovered) {
+          coverable = true;
+          break;
+        }
+    }
+    if (!coverable) return;
+
+    // Branch: include link i.
+    std::vector<EdgeId> newly;
+    for (EdgeId t : paths[i]) {
+      if (!covered[static_cast<std::size_t>(t)]) {
+        covered[static_cast<std::size_t>(t)] = 1;
+        newly.push_back(t);
+      }
+    }
+    if (!newly.empty()) {
+      uncovered -= static_cast<int>(newly.size());
+      current.push_back(links[i]);
+      current_w += inst->g.edge(links[i]).w;
+      dfs(i + 1);
+      current_w -= inst->g.edge(links[i]).w;
+      current.pop_back();
+      uncovered += static_cast<int>(newly.size());
+    }
+    for (EdgeId t : newly) covered[static_cast<std::size_t>(t)] = 0;
+    // Branch: exclude link i.
+    dfs(i + 1);
+  }
+};
+
+}  // namespace
+
+std::vector<EdgeId> exact_tap(const TapInstance& inst) {
+  BnB b;
+  b.inst = &inst;
+  b.links = inst.links();
+  DECK_CHECK_MSG(b.links.size() <= 28, "exact TAP limited to small link counts");
+  // Sort by weight so cheap solutions are found early (tightens pruning).
+  std::sort(b.links.begin(), b.links.end(), [&](EdgeId a, EdgeId c) {
+    return inst.g.edge(a).w < inst.g.edge(c).w;
+  });
+  for (EdgeId e : b.links) b.paths.push_back(inst.covered_by(e));
+  b.covered.assign(static_cast<std::size_t>(inst.g.num_edges()), 0);
+  b.uncovered = static_cast<int>(inst.tree_edges.size());
+  b.dfs(0);
+  DECK_CHECK_MSG(b.best != std::numeric_limits<Weight>::max(), "instance not coverable");
+  return b.best_set;
+}
+
+}  // namespace deck

@@ -1,0 +1,23 @@
+#pragma once
+
+// Sequential TAP solvers: the classic greedy set-cover algorithm (the
+// O(log n)-approximation the paper's framework parallelises, §2.1) and an
+// exact branch-and-bound for small instances (used to measure true
+// approximation ratios in T1).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tap/tap_instance.hpp"
+
+namespace deck {
+
+/// Greedy: repeatedly add the link maximising |uncovered path| / weight
+/// (weight-0 links first). Guaranteed O(log n)-approximation.
+std::vector<EdgeId> greedy_tap(const TapInstance& inst);
+
+/// Exact minimum-weight augmentation via branch and bound over links.
+/// Feasible only for small link counts (<= ~26); DECK_CHECKs the bound.
+std::vector<EdgeId> exact_tap(const TapInstance& inst);
+
+}  // namespace deck

@@ -1,0 +1,103 @@
+#include "tap/tap_instance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/bridges.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+std::vector<EdgeId> TapInstance::links() const {
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (!tree_mask[static_cast<std::size_t>(e)]) out.push_back(e);
+  return out;
+}
+
+std::vector<EdgeId> TapInstance::covered_by(EdgeId e) const {
+  const Edge& ed = g.edge(e);
+  return tree.path_edges(ed.u, ed.v);
+}
+
+bool TapInstance::covers_all(const std::vector<EdgeId>& aug) const {
+  std::vector<char> covered(static_cast<std::size_t>(g.num_edges()), 0);
+  for (EdgeId e : aug) {
+    for (EdgeId t : covered_by(e)) covered[static_cast<std::size_t>(t)] = 1;
+  }
+  for (EdgeId t : tree_edges)
+    if (!covered[static_cast<std::size_t>(t)]) return false;
+  return true;
+}
+
+Weight TapInstance::weight_of(const std::vector<EdgeId>& edges) const {
+  Weight w = 0;
+  for (EdgeId e : edges) w += g.edge(e).w;
+  return w;
+}
+
+TapInstance make_tap_instance(const Graph& g, const std::vector<EdgeId>& tree_edges,
+                              VertexId root) {
+  TapInstance inst;
+  inst.g = g;
+  inst.tree_edges = tree_edges;
+  inst.tree_mask.assign(static_cast<std::size_t>(g.num_edges()), 0);
+  for (EdgeId e : tree_edges) inst.tree_mask[static_cast<std::size_t>(e)] = 1;
+
+  // Root the tree.
+  Graph t(g.num_vertices());
+  std::vector<EdgeId> back;
+  for (EdgeId e : tree_edges) {
+    t.add_edge(g.edge(e).u, g.edge(e).v, g.edge(e).w);
+    back.push_back(e);
+  }
+  RootedTree rt = bfs_tree(t, root);
+  std::vector<VertexId> parent(static_cast<std::size_t>(g.num_vertices()));
+  std::vector<EdgeId> parent_edge(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    parent[static_cast<std::size_t>(v)] = rt.parent(v);
+    const EdgeId pe = rt.parent_edge(v);
+    parent_edge[static_cast<std::size_t>(v)] = pe == kNoEdge ? kNoEdge : back[static_cast<std::size_t>(pe)];
+  }
+  inst.tree = RootedTree(std::move(parent), std::move(parent_edge));
+  DECK_CHECK_MSG(inst.tree.roots().size() == 1, "tree edges must span a connected tree");
+  return inst;
+}
+
+TapInstance random_tap_instance(int n, int extra, int weight_model, Rng& rng) {
+  DECK_CHECK(n >= 3);
+  Graph g(n);
+  std::vector<EdgeId> tree_edges;
+  // Random attachment tree.
+  for (VertexId v = 1; v < n; ++v) {
+    const auto p = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(v)));
+    tree_edges.push_back(g.add_edge(v, p, 1 + static_cast<Weight>(rng.next_below(4))));
+  }
+  auto draw_weight = [&]() -> Weight {
+    switch (weight_model) {
+      case 0: return 1;
+      case 2: return 1 + static_cast<Weight>(rng.next_below(static_cast<std::uint64_t>(n) * n));
+      default: return 1 + static_cast<Weight>(rng.next_below(static_cast<std::uint64_t>(n)));
+    }
+  };
+  // Coverage guarantee: chain links v -> v+1 complement the tree into a
+  // 2-edge-connected graph... not generally; instead connect every leaf-ish
+  // vertex circularly: link i -> (i+1) mod n covers every tree edge because
+  // the cycle 0-1-...-n-1 plus the tree is 2-edge-connected.
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId u = (v + 1) % n;
+    if (g.find_edge(v, u) == kNoEdge) g.add_edge(v, u, draw_weight());
+  }
+  int added = 0, attempts = 0;
+  while (added < extra && attempts < 40 * extra + 40) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v || g.find_edge(u, v) != kNoEdge) continue;
+    g.add_edge(u, v, draw_weight());
+    ++added;
+  }
+  return make_tap_instance(g, tree_edges, 0);
+}
+
+}  // namespace deck

@@ -1,0 +1,45 @@
+#pragma once
+
+// Weighted Tree Augmentation Problem (TAP) instances.
+//
+// TAP (paper §3): given spanning tree T of G, add a minimum-weight set of
+// non-tree edges A so that T ∪ A is 2-edge-connected — equivalently, cover
+// every tree edge, where non-tree edge e = {u,v} covers exactly the tree
+// edges on the tree path between u and v (cuts of size 1 are tree edges).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+
+struct TapInstance {
+  Graph g;                        // host graph (tree + links)
+  std::vector<EdgeId> tree_edges; // the given spanning tree
+  std::vector<char> tree_mask;    // per edge id
+  RootedTree tree;                // rooted at 0
+
+  /// Non-tree ("link") edge ids.
+  std::vector<EdgeId> links() const;
+
+  /// Tree edges covered by link e (the fundamental path).
+  std::vector<EdgeId> covered_by(EdgeId e) const;
+
+  /// True iff every tree edge is covered by at least one edge of `aug`.
+  bool covers_all(const std::vector<EdgeId>& aug) const;
+
+  Weight weight_of(const std::vector<EdgeId>& edges) const;
+};
+
+/// Wraps an existing graph + spanning tree into a TAP instance.
+TapInstance make_tap_instance(const Graph& g, const std::vector<EdgeId>& tree_edges,
+                              VertexId root = 0);
+
+/// Random instance: a random spanning tree over n vertices plus `extra`
+/// random links (weights from the model), guaranteed coverable (a link
+/// closes a cycle over every tree edge via per-leaf fallback links).
+TapInstance random_tap_instance(int n, int extra, int weight_model, Rng& rng);
+
+}  // namespace deck

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/network.hpp"
+#include "ecss/distributed_2ecss.hpp"
+#include "ecss/exact.hpp"
+#include "ecss/lower_bounds.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+namespace {
+
+class Ecss2Sweep : public ::testing::TestWithParam<std::tuple<int, int, WeightModel>> {};
+
+TEST_P(Ecss2Sweep, OutputIsTwoEdgeConnected) {
+  const auto [n, extra, wm] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) + extra);
+  Graph g = with_weights(random_kec(n, 2, extra, rng), wm, rng);
+  Network net(g);
+  const Ecss2Result r = distributed_2ecss(net, TapOptions{});
+  EXPECT_TRUE(is_k_edge_connected_subset(g, r.edges, 2)) << "n=" << n;
+  EXPECT_GE(r.weight, kecss_lower_bound(g, 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Ecss2Sweep,
+    ::testing::Values(std::make_tuple(16, 10, WeightModel::kUniform),
+                      std::make_tuple(32, 20, WeightModel::kUniform),
+                      std::make_tuple(48, 48, WeightModel::kUnit),
+                      std::make_tuple(64, 64, WeightModel::kPolynomial),
+                      std::make_tuple(96, 60, WeightModel::kZeroHeavy),
+                      std::make_tuple(128, 96, WeightModel::kUniform)));
+
+TEST(Ecss2, WithinLogFactorOfExactOnSmallInstances) {
+  Rng rng(11);
+  int checked = 0;
+  for (int trial = 0; trial < 20 && checked < 5; ++trial) {
+    Graph g = with_weights(random_kec(8, 2, 3, rng), WeightModel::kUniform, rng);
+    if (g.num_edges() > 20) continue;
+    ++checked;
+    Network net(g);
+    TapOptions opt;
+    opt.seed = trial;
+    const Ecss2Result r = distributed_2ecss(net, opt);
+    ASSERT_TRUE(is_k_edge_connected_subset(g, r.edges, 2));
+    Weight opt_w = 0;
+    for (EdgeId e : exact_kecss(g, 2)) opt_w += g.edge(e).w;
+    const double bound = 8.0 * (std::log2(8.0) + 2.0);
+    EXPECT_LE(static_cast<double>(r.weight), bound * static_cast<double>(opt_w));
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST(Ecss2, StructuredFamilies) {
+  Rng rng(13);
+  for (auto make : {+[](Rng& r) { return with_weights(torus(5, 6), WeightModel::kUniform, r); },
+                    +[](Rng& r) { return with_weights(hypercube(5), WeightModel::kUniform, r); },
+                    +[](Rng& r) {
+                      return with_weights(ring_of_cliques(5, 5, 3, r), WeightModel::kUniform, r);
+                    }}) {
+    Graph g = make(rng);
+    Network net(g);
+    const Ecss2Result r = distributed_2ecss(net, TapOptions{});
+    EXPECT_TRUE(is_k_edge_connected_subset(g, r.edges, 2)) << g.summary();
+  }
+}
+
+TEST(Ecss2, RoundsAreSubquadratic) {
+  Rng rng(17);
+  Graph g = with_weights(random_kec(144, 2, 200, rng), WeightModel::kUniform, rng);
+  Network net(g);
+  const Ecss2Result r = distributed_2ecss(net, TapOptions{});
+  ASSERT_TRUE(is_k_edge_connected_subset(g, r.edges, 2));
+  // Sanity envelope: (D + sqrt n) log^2 n with generous constants, far
+  // below the trivial O(n^2).
+  EXPECT_LT(net.rounds(), 144ull * 144ull);
+  EXPECT_GT(r.num_segments, 0);
+}
+
+TEST(Ecss2, PhaseBreakdownIsRecorded) {
+  Rng rng(19);
+  Graph g = with_weights(torus(4, 5), WeightModel::kUniform, rng);
+  Network net(g);
+  distributed_2ecss(net, TapOptions{});
+  bool saw_mst = false, saw_tap = false;
+  for (const auto& p : net.phases()) {
+    if (p.name.find("mst") != std::string::npos) saw_mst = true;
+    if (p.name.find("tap") != std::string::npos) saw_tap = true;
+  }
+  EXPECT_TRUE(saw_mst);
+  EXPECT_TRUE(saw_tap);
+}
+
+}  // namespace
+}  // namespace deck

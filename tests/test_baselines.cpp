@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "congest/network.hpp"
+#include "ecss/exact.hpp"
+#include "ecss/lower_bounds.hpp"
+#include "ecss/seq_ecss.hpp"
+#include "ecss/thurimella.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+namespace {
+
+TEST(Thurimella, CertificateIsKConnectedAndSparse) {
+  Rng rng(1);
+  for (int k : {2, 3, 4}) {
+    Graph g = random_kec(20, k, 30, rng);
+    ASSERT_GE(edge_connectivity(g), k);
+    const auto cert = sparse_certificate(g, k);
+    EXPECT_TRUE(is_k_edge_connected_subset(g, cert, k)) << "k=" << k;
+    EXPECT_LE(static_cast<int>(cert.size()), k * (g.num_vertices() - 1));
+  }
+}
+
+TEST(Thurimella, DistributedMatchesGuarantees) {
+  Rng rng(2);
+  Graph g = random_kec(24, 3, 30, rng);
+  Network net(g);
+  const auto cert = sparse_certificate_distributed(net, 3);
+  EXPECT_TRUE(is_k_edge_connected_subset(g, cert, 3));
+  EXPECT_LE(static_cast<int>(cert.size()), 3 * (g.num_vertices() - 1));
+  EXPECT_GT(net.rounds(), 0u);
+}
+
+TEST(Thurimella, TwoApproxForUnweighted) {
+  Rng rng(3);
+  Graph g = random_kec(10, 2, 4, rng);
+  if (g.num_edges() <= 22) {
+    const auto cert = sparse_certificate(g, 2);
+    const auto opt = exact_kecss(g, 2);
+    EXPECT_LE(cert.size(), 2 * opt.size());
+  }
+}
+
+TEST(LowerBounds, DegreeBoundBelowOptimum) {
+  Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = with_weights(random_kec(8, 2, 3, rng), WeightModel::kUniform, rng);
+    if (g.num_edges() > 18) continue;
+    Weight opt_w = 0;
+    for (EdgeId e : exact_kecss(g, 2)) opt_w += g.edge(e).w;
+    EXPECT_LE(degree_lower_bound(g, 2), opt_w);
+    EXPECT_LE(kecss_lower_bound(g, 2), opt_w);
+  }
+}
+
+TEST(LowerBounds, ExactValuesOnKnownGraphs) {
+  // Cycle with unit weights: 2-ECSS optimum is the cycle itself (n edges);
+  // degree bound = n.
+  Graph c = circulant(8, 1);
+  EXPECT_EQ(degree_lower_bound(c, 2), 8);
+  const auto opt = exact_kecss(c, 2);
+  EXPECT_EQ(opt.size(), 8u);
+}
+
+TEST(ExactKecss, MatchesGreedyOrBetter) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = with_weights(random_kec(8, 2, 2, rng), WeightModel::kUniform, rng);
+    if (g.num_edges() > 16) continue;
+    Weight opt_w = 0;
+    for (EdgeId e : exact_kecss(g, 2)) opt_w += g.edge(e).w;
+    Weight greedy_w = 0;
+    for (EdgeId e : greedy_kecss(g, 2, 1)) greedy_w += g.edge(e).w;
+    EXPECT_LE(opt_w, greedy_w);
+    EXPECT_TRUE(is_k_edge_connected_subset(g, exact_kecss(g, 2), 2));
+  }
+}
+
+TEST(GreedyAug, CoversBridges) {
+  // Two triangles + bridge; adding any chord across fixes connectivity 2.
+  Graph g(6);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 0, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(3, 4, 1);
+  g.add_edge(4, 5, 1);
+  g.add_edge(5, 3, 1);
+  const EdgeId fix = g.add_edge(0, 4, 5);
+  std::vector<char> h(static_cast<std::size_t>(g.num_edges()), 1);
+  h[static_cast<std::size_t>(fix)] = 0;
+  const auto added = greedy_aug(g, h, 1, 1);
+  EXPECT_EQ(added, std::vector<EdgeId>{fix});
+}
+
+}  // namespace
+}  // namespace deck

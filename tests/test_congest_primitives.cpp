@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+
+namespace deck {
+namespace {
+
+TEST(Network, ChargesAccumulateAndPhaseTrack) {
+  Graph g = torus(3, 3);
+  Network net(g);
+  net.begin_phase("a");
+  net.charge(5, 10);
+  net.begin_phase("b");
+  net.charge(2, 3);
+  EXPECT_EQ(net.rounds(), 7u);
+  EXPECT_EQ(net.messages(), 13u);
+  ASSERT_EQ(net.phases().size(), 2u);
+  EXPECT_EQ(net.phases()[0].rounds, 5u);
+  EXPECT_EQ(net.phases()[1].messages, 3u);
+  net.reset_counters();
+  EXPECT_EQ(net.rounds(), 0u);
+}
+
+TEST(DistributedBfs, DepthsMatchSequentialAndRoundsMatchEccentricity) {
+  Graph g = torus(4, 6);
+  Network net(g);
+  RootedTree t = distributed_bfs(net, 0);
+  const auto dist = bfs_distances(g, 0);
+  int ecc = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(t.depth(v), dist[static_cast<std::size_t>(v)]);
+    ecc = std::max(ecc, dist[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_EQ(net.rounds(), static_cast<std::uint64_t>(ecc) + 1);
+}
+
+TEST(Convergecast, SumsSubtrees) {
+  Graph g = hypercube(3);
+  Network net(g);
+  RootedTree t = distributed_bfs(net, 0);
+  const CommForest f = CommForest::from_tree(t);
+  std::vector<std::uint64_t> ones(8, 1);
+  const auto acc = convergecast(net, f, ones, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(acc[0], 8u);  // root sees everything
+}
+
+TEST(Broadcast, DeliversRootValue) {
+  Graph g = hypercube(3);
+  Network net(g);
+  RootedTree t = distributed_bfs(net, 0);
+  const CommForest f = CommForest::from_tree(t);
+  std::vector<std::uint64_t> val(8, 0);
+  val[0] = 42;
+  const auto got = broadcast(net, f, val);
+  for (auto v : got) EXPECT_EQ(v, 42u);
+}
+
+TEST(KeyedMinUpcast, RootLearnsMinPerKey) {
+  Graph g = torus(4, 4);
+  Network net(g);
+  RootedTree t = distributed_bfs(net, 0);
+  const CommForest f = CommForest::from_tree(t);
+  std::vector<std::vector<KeyedItem>> items(16);
+  // Every vertex contributes to key (v % 3) with prio v.
+  for (VertexId v = 0; v < 16; ++v)
+    items[static_cast<std::size_t>(v)].push_back(
+        KeyedItem{static_cast<std::uint64_t>(v % 3), static_cast<std::uint64_t>(100 - v),
+                  static_cast<std::uint64_t>(v)});
+  const auto fin = keyed_min_upcast(net, f, items);
+  std::map<std::uint64_t, std::uint64_t> at_root;
+  for (const auto& it : fin[0]) at_root[it.key] = it.payload;
+  ASSERT_EQ(at_root.size(), 3u);
+  // Min prio = 100 - v maximizes v per residue class: v = 15 (key 0),
+  // v = 13 (key 1), v = 14 (key 2).
+  EXPECT_EQ(at_root[0], 15u);
+  EXPECT_EQ(at_root[1], 13u);
+  EXPECT_EQ(at_root[2], 14u);
+  // Non-roots hold nothing.
+  for (VertexId v = 1; v < 16; ++v) EXPECT_TRUE(fin[static_cast<std::size_t>(v)].empty());
+}
+
+TEST(KeyedMinUpcast, RoundsScaleWithDepthPlusKeys) {
+  Graph g = circulant(64, 1);  // cycle: BFS depth ~32
+  Network net(g);
+  RootedTree t = distributed_bfs(net, 0);
+  const CommForest f = CommForest::from_tree(t);
+  net.reset_counters();
+  std::vector<std::vector<KeyedItem>> items(64);
+  const int keys = 20;
+  for (VertexId v = 0; v < 64; ++v)
+    for (int k = 0; k < keys; ++k)
+      items[static_cast<std::size_t>(v)].push_back(
+          KeyedItem{static_cast<std::uint64_t>(k), static_cast<std::uint64_t>(v), 0});
+  keyed_min_upcast(net, f, items);
+  // Pipelining: ~height + keys rounds (plus EOS), not height * keys.
+  EXPECT_LE(net.rounds(), static_cast<std::uint64_t>(t.height() + keys + 4));
+  EXPECT_GE(net.rounds(), static_cast<std::uint64_t>(t.height()));
+}
+
+TEST(AncestorMinMerge, DeepestEndpointFinalizesSubtreeMin) {
+  // Path 0-1-2-3-4 rooted at 0.
+  Graph g(5);
+  for (int i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1);
+  Network net(g);
+  RootedTree t = distributed_bfs(net, 0);
+  const CommForest f = CommForest::from_tree(t);
+  std::vector<std::vector<KeyedItem>> items(5);
+  // Vertex 4 contributes to all its ancestor edges (keys 0..2 = depths of
+  // upper endpoints 0..2); vertex 2 contributes to keys 0..1 with better prio.
+  for (int d = 0; d <= 2; ++d)
+    items[4].push_back(KeyedItem{static_cast<std::uint64_t>(d), 50, 4});
+  for (int d = 0; d <= 1; ++d)
+    items[2].push_back(KeyedItem{static_cast<std::uint64_t>(d), 10, 2});
+  const auto fin = ancestor_min_merge(net, f, items);
+  // Edge (1,0): key 0 finalizes at vertex 1 — min prio 10 from vertex 2.
+  ASSERT_TRUE(fin[1].has_value());
+  EXPECT_EQ(fin[1]->prio, 10u);
+  // Edge (3,2): key 2 finalizes at vertex 3 — only vertex 4 contributes.
+  ASSERT_TRUE(fin[3].has_value());
+  EXPECT_EQ(fin[3]->prio, 50u);
+  // Edge (4,3): nobody contributes to key 3.
+  EXPECT_FALSE(fin[4].has_value());
+}
+
+TEST(PathDowncast, EveryVertexLearnsProperAncestors) {
+  Graph g(6);
+  for (int i = 0; i + 1 < 6; ++i) g.add_edge(i, i + 1);
+  Network net(g);
+  RootedTree t = distributed_bfs(net, 0);
+  const CommForest f = CommForest::from_tree(t);
+  std::vector<KeyedItem> own(6);
+  for (VertexId v = 1; v < 6; ++v)
+    own[static_cast<std::size_t>(v)] = KeyedItem{static_cast<std::uint64_t>(v) * 10, 0, 0};
+  const auto got = path_downcast(net, f, own);
+  EXPECT_TRUE(got[0].empty());
+  EXPECT_TRUE(got[1].empty());  // parent is the root
+  ASSERT_EQ(got[5].size(), 4u);
+  EXPECT_EQ(got[5][0].key, 40u);  // parent's item first
+  EXPECT_EQ(got[5][3].key, 10u);
+}
+
+TEST(PipelinedBroadcast, AllVerticesGetList) {
+  Graph g = hypercube(4);
+  Network net(g);
+  RootedTree t = distributed_bfs(net, 0);
+  const CommForest f = CommForest::from_tree(t);
+  std::vector<std::vector<KeyedItem>> root_items(16);
+  for (int i = 0; i < 7; ++i) root_items[0].push_back(KeyedItem{static_cast<std::uint64_t>(i), 0, 0});
+  net.reset_counters();
+  const auto got = pipelined_broadcast(net, f, root_items);
+  for (VertexId v = 0; v < 16; ++v) EXPECT_EQ(got[static_cast<std::size_t>(v)].size(), 7u);
+  EXPECT_LE(net.rounds(), static_cast<std::uint64_t>(t.height() + 7));
+}
+
+TEST(EdgeExchange, SwapsPayloadsAndChargesMaxLength) {
+  Graph g = torus(3, 3);
+  Network net(g);
+  std::vector<EdgeId> edges{0, 1};
+  std::vector<std::vector<std::uint64_t>> fu{{1, 2, 3}, {7}};
+  std::vector<std::vector<std::uint64_t>> fv{{4}, {8, 9}};
+  const auto r = edge_exchange(net, edges, fu, fv);
+  EXPECT_EQ(r.at_v[0], (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(r.at_u[1], (std::vector<std::uint64_t>{8, 9}));
+  EXPECT_EQ(net.rounds(), 3u);
+  EXPECT_EQ(net.messages(), 7u);
+}
+
+}  // namespace
+}  // namespace deck

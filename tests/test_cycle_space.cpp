@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "congest/network.hpp"
+#include "cycles/cycle_space.hpp"
+#include "graph/cut_enum.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/tree.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+namespace {
+
+std::vector<char> all_edges(const Graph& g) {
+  return std::vector<char>(static_cast<std::size_t>(g.num_edges()), 1);
+}
+
+std::set<std::pair<EdgeId, EdgeId>> exact_cut_pairs(const Graph& g) {
+  std::set<std::pair<EdgeId, EdgeId>> out;
+  const auto cuts = enumerate_cuts(g, all_edges(g), 2, 1);
+  for (const auto& c : cuts.cuts) out.insert({c.edges[0], c.edges[1]});
+  return out;
+}
+
+TEST(BitLabel, TruncationAndXor) {
+  BitLabel a{0xffffffffffffffffULL, 0xffffffffffffffffULL};
+  EXPECT_EQ(a.truncated(8).lo, 0xffULL);
+  EXPECT_EQ(a.truncated(8).hi, 0u);
+  EXPECT_EQ(a.truncated(64).hi, 0u);
+  EXPECT_EQ(a.truncated(70).hi, 0x3fULL);
+  BitLabel b{1, 2};
+  EXPECT_TRUE(((a ^ a).is_zero()));
+  EXPECT_EQ((b ^ b ^ b).lo, 1u);
+}
+
+TEST(CycleSpace, LabelsAreCirculations) {
+  // Every vertex must have even degree in every bit's support set
+  // (Definition 5.1): XOR of labels around each vertex is zero.
+  Rng rng(17);
+  Graph g = random_kec(20, 2, 10, rng);
+  const RootedTree t = bfs_tree(g, 0);
+  const CycleSpace cs = sample_circulation(g, all_edges(g), t, 64, rng);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    BitLabel acc;
+    for (const Adj& a : g.neighbors(v)) acc ^= cs.phi[static_cast<std::size_t>(a.edge)];
+    EXPECT_TRUE(acc.is_zero()) << "vertex " << v;
+  }
+}
+
+TEST(CycleSpace, CutPairsAlwaysShareLabels) {
+  // One-sided guarantee of Lemma 5.4: a genuine cut pair always collides.
+  Rng rng(23);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = random_kec(14, 2, 5, rng);
+    if (edge_connectivity(g) != 2) continue;
+    const RootedTree t = bfs_tree(g, 0);
+    const CycleSpace cs = sample_circulation(g, all_edges(g), t, 64, rng);
+    for (const auto& [e, f] : exact_cut_pairs(g)) {
+      EXPECT_EQ(cs.phi[static_cast<std::size_t>(e)], cs.phi[static_cast<std::size_t>(f)])
+          << "cut pair {" << e << "," << f << "} split";
+    }
+  }
+}
+
+TEST(CycleSpace, WideLabelsDetectExactlyCutPairs) {
+  Rng rng(29);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = random_kec(14, 2, 5, rng);
+    if (edge_connectivity(g) != 2) continue;
+    const RootedTree t = bfs_tree(g, 0);
+    const CycleSpace cs = sample_circulation(g, all_edges(g), t, 128, rng);
+    std::set<std::pair<EdgeId, EdgeId>> detected;
+    for (const auto& p : label_cut_pairs(g, all_edges(g), cs)) detected.insert(p);
+    EXPECT_EQ(detected, exact_cut_pairs(g)) << "trial " << trial;
+  }
+}
+
+TEST(CycleSpace, NarrowLabelsHaveOneSidedErrorOnly) {
+  Rng rng(31);
+  Graph g = random_kec(16, 2, 8, rng);
+  const RootedTree t = bfs_tree(g, 0);
+  const auto exact = exact_cut_pairs(g);
+  // With 2-bit labels false positives are likely but false negatives are
+  // impossible.
+  const CycleSpace cs = sample_circulation(g, all_edges(g), t, 2, rng);
+  std::set<std::pair<EdgeId, EdgeId>> detected;
+  for (const auto& p : label_cut_pairs(g, all_edges(g), cs)) detected.insert(p);
+  for (const auto& p : exact) EXPECT_TRUE(detected.count(p));
+}
+
+TEST(CycleSpace, ThreeConnectedGraphHasAllDistinctLabels) {
+  Rng rng(37);
+  Graph g = random_kec(16, 3, 16, rng);
+  ASSERT_GE(edge_connectivity(g), 3);
+  const RootedTree t = bfs_tree(g, 0);
+  const CycleSpace cs = sample_circulation(g, all_edges(g), t, 128, rng);
+  EXPECT_TRUE(label_cut_pairs(g, all_edges(g), cs).empty());
+}
+
+TEST(CycleSpace, DistributedVariantChargesRoundsAndMatches) {
+  Rng rng1(41), rng2(41);
+  Graph g = random_kec(20, 2, 10, rng1);
+  Rng topo(41);
+  (void)topo;
+  const RootedTree t = bfs_tree(g, 0);
+  Network net(g);
+  const CycleSpace a = sample_circulation_distributed(net, all_edges(g), t, 64, rng1);
+  EXPECT_GT(net.rounds(), 0u);
+  EXPECT_LE(net.rounds(), static_cast<std::uint64_t>(t.height()) + 1);
+}
+
+TEST(CycleSpace, SubgraphMaskRestrictsLabels) {
+  Rng rng(43);
+  Graph g = random_kec(12, 2, 6, rng);
+  std::vector<char> mask(static_cast<std::size_t>(g.num_edges()), 1);
+  // Remove the last non-tree edge from the mask; its label must stay zero.
+  const RootedTree t = bfs_tree(g, 0);
+  std::vector<char> is_tree(static_cast<std::size_t>(g.num_edges()), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (t.parent_edge(v) != kNoEdge) is_tree[static_cast<std::size_t>(t.parent_edge(v))] = 1;
+  EdgeId dropped = kNoEdge;
+  for (EdgeId e = g.num_edges() - 1; e >= 0; --e)
+    if (!is_tree[static_cast<std::size_t>(e)]) {
+      dropped = e;
+      break;
+    }
+  ASSERT_NE(dropped, kNoEdge);
+  mask[static_cast<std::size_t>(dropped)] = 0;
+  const CycleSpace cs = sample_circulation(g, mask, t, 64, rng);
+  EXPECT_TRUE(cs.phi[static_cast<std::size_t>(dropped)].is_zero());
+}
+
+}  // namespace
+}  // namespace deck

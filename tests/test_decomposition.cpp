@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "congest/primitives.hpp"
+#include "decomp/segments.hpp"
+#include "graph/generators.hpp"
+#include "mst/distributed_mst.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+namespace {
+
+struct DecompSetup {
+  Graph g;
+  Network net;
+  RootedTree bfs;
+  MstResult mst;
+  CommForest bfs_forest;
+
+  explicit DecompSetup(Graph graph) : g(std::move(graph)), net(g), bfs(), mst() {
+    bfs = distributed_bfs(net, 0);
+    mst = distributed_mst(net, bfs);
+    bfs_forest = CommForest::from_tree(bfs);
+  }
+
+  SegmentDecomposition decompose() {
+    return SegmentDecomposition(net, mst.tree, mst.fragment, mst.global_edges, bfs_forest, 0);
+  }
+};
+
+Graph random_weighted(int n, Rng& rng) {
+  return with_weights(random_kec(n, 2, n, rng), WeightModel::kUniform, rng);
+}
+
+TEST(Decomposition, MarkedSetIsLcaClosedAndSmall) {
+  Rng rng(101);
+  for (int n : {40, 90, 160}) {
+    DecompSetup s(random_weighted(n, rng));
+    auto dec = s.decompose();
+    const double sq = std::sqrt(static_cast<double>(n));
+    EXPECT_LE(dec.num_marked(), static_cast<int>(10 * sq) + 4) << "n=" << n;
+    // LCA closure (Lemma 3.4 property 2).
+    const auto& marked = dec.marked_vertices();
+    for (std::size_t i = 0; i < marked.size(); ++i)
+      for (std::size_t j = i + 1; j < marked.size(); ++j) {
+        const VertexId l = s.mst.tree.lca(marked[i], marked[j]);
+        EXPECT_TRUE(dec.is_marked(l))
+            << "lca(" << marked[i] << "," << marked[j] << ")=" << l << " unmarked";
+      }
+    // Root marked (property 1).
+    EXPECT_TRUE(dec.is_marked(0));
+  }
+}
+
+TEST(Decomposition, SegmentsAreEdgeDisjointAndCoverTree) {
+  Rng rng(102);
+  DecompSetup s(random_weighted(80, rng));
+  auto dec = s.decompose();
+  std::set<EdgeId> seen;
+  for (int i = 0; i < dec.num_segments(); ++i)
+    for (EdgeId e : dec.segment(i).highway) {
+      EXPECT_TRUE(seen.insert(e).second) << "highway edge in two segments";
+    }
+  // Every tree edge belongs to exactly one segment.
+  for (VertexId v = 0; v < s.g.num_vertices(); ++v) {
+    const EdgeId pe = s.mst.tree.parent_edge(v);
+    if (pe == kNoEdge) continue;
+    EXPECT_GE(dec.seg_of_edge(pe), 0);
+    EXPECT_LT(dec.seg_of_edge(pe), dec.num_segments());
+  }
+}
+
+TEST(Decomposition, HighwayStructure) {
+  Rng rng(103);
+  DecompSetup s(random_weighted(70, rng));
+  auto dec = s.decompose();
+  for (int i = 0; i < dec.num_segments(); ++i) {
+    const Segment& seg = dec.segment(i);
+    EXPECT_TRUE(dec.is_marked(seg.r));
+    EXPECT_TRUE(dec.is_marked(seg.d));
+    ASSERT_EQ(seg.highway_vertices.size(), seg.highway.size() + 1);
+    EXPECT_EQ(seg.highway_vertices.front(), seg.r);
+    EXPECT_EQ(seg.highway_vertices.back(), seg.d);
+    // Consecutive highway vertices are parent/child along the tree.
+    for (std::size_t j = 0; j + 1 < seg.highway_vertices.size(); ++j) {
+      EXPECT_EQ(s.mst.tree.parent(seg.highway_vertices[j + 1]), seg.highway_vertices[j]);
+      // Interior vertices unmarked.
+      if (j >= 1) EXPECT_FALSE(dec.is_marked(seg.highway_vertices[j]));
+    }
+  }
+}
+
+TEST(Decomposition, SegDepthAndAncPathsConsistent) {
+  Rng rng(104);
+  DecompSetup s(random_weighted(60, rng));
+  auto dec = s.decompose();
+  for (VertexId v = 0; v < s.g.num_vertices(); ++v) {
+    const int sg = dec.seg_of_vertex(v);
+    if (sg < 0) continue;  // root
+    const Segment& seg = dec.segment(sg);
+    // Walking up seg_depth(v) steps lands exactly on the segment root.
+    VertexId x = v;
+    for (int i = 0; i < dec.seg_depth(v); ++i) x = s.mst.tree.parent(x);
+    EXPECT_EQ(x, seg.r);
+    // anc paths agree with the walk.
+    const auto& edges = dec.anc_path_edges(v);
+    ASSERT_EQ(static_cast<int>(edges.size()), dec.seg_depth(v));
+    VertexId y = v;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      EXPECT_EQ(edges[i], s.mst.tree.parent_edge(y));
+      y = s.mst.tree.parent(y);
+    }
+    // Attachment point is on the highway and is an ancestor of v.
+    const VertexId a = seg.highway_vertices[static_cast<std::size_t>(dec.attach_pos(v))];
+    EXPECT_TRUE(s.mst.tree.is_ancestor(a, v));
+    EXPECT_EQ(a, s.mst.tree.lca(v, seg.d));
+  }
+}
+
+TEST(Decomposition, SkeletonTreeMatchesMarkedAncestors) {
+  Rng rng(105);
+  DecompSetup s(random_weighted(90, rng));
+  auto dec = s.decompose();
+  for (VertexId v : dec.marked_vertices()) {
+    if (v == 0) continue;
+    const VertexId p = dec.skeleton_parent(v);
+    ASSERT_NE(p, kNoVertex);
+    EXPECT_TRUE(dec.is_marked(p));
+    EXPECT_TRUE(s.mst.tree.is_ancestor(p, v));
+    // No marked vertex strictly between p and v.
+    VertexId x = s.mst.tree.parent(v);
+    while (x != p) {
+      EXPECT_FALSE(dec.is_marked(x));
+      x = s.mst.tree.parent(x);
+    }
+  }
+}
+
+TEST(Decomposition, SkeletonPathSegmentsComposeTreePath) {
+  Rng rng(106);
+  DecompSetup s(random_weighted(75, rng));
+  auto dec = s.decompose();
+  const auto& marked = dec.marked_vertices();
+  for (std::size_t i = 0; i < marked.size(); ++i)
+    for (std::size_t j = i + 1; j < marked.size() && j < i + 6; ++j) {
+      const auto segs = dec.skeleton_path_segments(marked[i], marked[j]);
+      std::set<EdgeId> from_segs;
+      for (int sidx : segs)
+        for (EdgeId e : dec.segment(sidx).highway) from_segs.insert(e);
+      const auto path = s.mst.tree.path_edges(marked[i], marked[j]);
+      EXPECT_EQ(from_segs, std::set<EdgeId>(path.begin(), path.end()))
+          << marked[i] << " .. " << marked[j];
+    }
+}
+
+TEST(Decomposition, SegmentDiameterBound) {
+  Rng rng(107);
+  for (int n : {64, 121, 196}) {
+    DecompSetup s(random_weighted(n, rng));
+    auto dec = s.decompose();
+    const double sq = std::sqrt(static_cast<double>(n));
+    EXPECT_LE(dec.max_segment_diameter(), static_cast<int>(10 * sq) + 4) << "n=" << n;
+  }
+}
+
+TEST(Decomposition, SingleFragmentDegeneratesGracefully) {
+  // A tiny graph collapses into one fragment; the whole tree becomes
+  // root-hanging segments.
+  Rng rng(108);
+  Graph g = with_weights(torus(3, 3), WeightModel::kUniform, rng);
+  DecompSetup s(g);
+  auto dec = s.decompose();
+  EXPECT_GE(dec.num_segments(), 1);
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    const EdgeId pe = s.mst.tree.parent_edge(v);
+    EXPECT_GE(dec.seg_of_edge(pe), 0);
+  }
+}
+
+TEST(SegmentBroadcastAndAggregate, DeliverPerSegment) {
+  Rng rng(109);
+  DecompSetup s(random_weighted(50, rng));
+  auto dec = s.decompose();
+  // Aggregate: count members per segment.
+  std::vector<std::uint64_t> ones(static_cast<std::size_t>(s.g.num_vertices()), 1);
+  const auto counts = segment_aggregate(
+      s.net, dec, ones, [](std::uint64_t a, std::uint64_t b) { return a + b; }, 0);
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(s.g.num_vertices() - 1));  // root has no segment
+  // Broadcast: members receive their segment's list.
+  std::vector<std::vector<KeyedItem>> lists(static_cast<std::size_t>(dec.num_segments()));
+  for (int i = 0; i < dec.num_segments(); ++i)
+    lists[static_cast<std::size_t>(i)].push_back(KeyedItem{static_cast<std::uint64_t>(i), 0, 0});
+  const auto got = segment_broadcast(s.net, dec, lists);
+  for (VertexId v = 0; v < s.g.num_vertices(); ++v) {
+    if (dec.seg_of_vertex(v) < 0) continue;
+    ASSERT_EQ(got[static_cast<std::size_t>(v)].size(), 1u);
+    EXPECT_EQ(got[static_cast<std::size_t>(v)][0].key,
+              static_cast<std::uint64_t>(dec.seg_of_vertex(v)));
+  }
+}
+
+}  // namespace
+}  // namespace deck

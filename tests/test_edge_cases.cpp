@@ -1,0 +1,169 @@
+// Boundary and adversarial-structure coverage for the headline algorithms:
+// smallest legal inputs, stars-with-rings, caterpillar-heavy trees, skewed
+// weights, dense graphs, and degenerate decompositions.
+
+#include <gtest/gtest.h>
+
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "ecss/distributed_2ecss.hpp"
+#include "ecss/distributed_3ecss.hpp"
+#include "ecss/distributed_kecss.hpp"
+#include "ecss/exact.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+#include "tap/seq_tap.hpp"
+#include "tap/tap_instance.hpp"
+
+namespace deck {
+namespace {
+
+TEST(EdgeCases, TriangleIsItsOwn2Ecss) {
+  Graph g(3);
+  g.add_edge(0, 1, 3);
+  g.add_edge(1, 2, 4);
+  g.add_edge(2, 0, 5);
+  Network net(g);
+  const Ecss2Result r = distributed_2ecss(net, TapOptions{});
+  EXPECT_EQ(r.edges.size(), 3u);
+  EXPECT_EQ(r.weight, 12);
+}
+
+TEST(EdgeCases, FourCycleWithChords) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(3, 0, 1);
+  g.add_edge(0, 2, 100);
+  g.add_edge(1, 3, 100);
+  Network net(g);
+  const Ecss2Result r = distributed_2ecss(net, TapOptions{});
+  ASSERT_TRUE(is_k_edge_connected_subset(g, r.edges, 2));
+  // The plain cycle (weight 4) is optimal; O(log n) approx must avoid the
+  // chords here because cost-effectiveness strongly prefers cheap edges.
+  EXPECT_EQ(r.weight, 4);
+}
+
+TEST(EdgeCases, StarOfRings) {
+  // Rings of size 4 sharing a single hub vertex: many segments rooted at
+  // the same marked vertex, exercising the (v,v)-segment rule.
+  const int rings = 5, len = 4;
+  Graph g(1 + rings * (len - 1));
+  for (int r = 0; r < rings; ++r) {
+    const int base = 1 + r * (len - 1);
+    VertexId prev = 0;
+    for (int i = 0; i < len - 1; ++i) {
+      g.add_edge(prev, base + i, 1 + r + i);
+      prev = static_cast<VertexId>(base + i);
+    }
+    g.add_edge(prev, 0, 1);
+  }
+  ASSERT_TRUE(is_k_edge_connected(g, 2));
+  Network net(g);
+  const Ecss2Result r = distributed_2ecss(net, TapOptions{});
+  EXPECT_TRUE(is_k_edge_connected_subset(g, r.edges, 2));
+}
+
+TEST(EdgeCases, CaterpillarTap) {
+  // A path tree with leaves hanging off each spine vertex plus a cheap
+  // backbone link set: deep anc-paths with hanging segments.
+  const int spine = 12;
+  Graph g(2 * spine);
+  std::vector<EdgeId> tree;
+  for (int i = 0; i + 1 < spine; ++i) tree.push_back(g.add_edge(i, i + 1, 1));
+  for (int i = 0; i < spine; ++i) tree.push_back(g.add_edge(i, spine + i, 1));
+  // Links: leaf-to-leaf hops and one long link.
+  for (int i = 0; i + 1 < spine; ++i) g.add_edge(spine + i, spine + i + 1, 2);
+  g.add_edge(spine, 2 * spine - 1, 3);
+  TapInstance inst = make_tap_instance(g, tree, 0);
+  ASSERT_TRUE(inst.covers_all(inst.links()));
+  Network net(inst.g);
+  const TapResult r = distributed_tap_standalone(net, inst, TapOptions{});
+  EXPECT_TRUE(inst.covers_all(r.augmentation));
+}
+
+TEST(EdgeCases, ExtremeWeightSkew) {
+  // Weights spanning the full polynomial range exercise the O(log n)
+  // cost-effectiveness levels.
+  Rng rng(13);
+  Graph topo = random_kec(32, 2, 40, rng);
+  Graph g(topo.num_vertices());
+  for (EdgeId e = 0; e < topo.num_edges(); ++e) {
+    const Weight w = (e % 7 == 0) ? 1 : (e % 3 == 0 ? 1000 : 30);
+    g.add_edge(topo.edge(e).u, topo.edge(e).v, w);
+  }
+  Network net(g);
+  const Ecss2Result r = distributed_2ecss(net, TapOptions{});
+  EXPECT_TRUE(is_k_edge_connected_subset(g, r.edges, 2));
+}
+
+TEST(EdgeCases, DenseGraphKecss) {
+  // Near-complete graph: Theta(n^2) candidate edges.
+  const int n = 14;
+  Rng rng(5);
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v)
+      g.add_edge(u, v, 1 + static_cast<Weight>(rng.next_below(20)));
+  Network net(g);
+  const KecssResult r = distributed_kecss(net, 4, KecssOptions{});
+  EXPECT_TRUE(is_k_edge_connected_subset(g, r.edges, 4));
+  EXPECT_LT(static_cast<int>(r.edges.size()), g.num_edges());
+}
+
+TEST(EdgeCases, K4IsItsOwn3Ecss) {
+  Graph g(4);
+  for (VertexId u = 0; u < 4; ++u)
+    for (VertexId v = u + 1; v < 4; ++v) g.add_edge(u, v, 1);
+  Network net(g);
+  const Ecss3Result r = distributed_3ecss_unweighted(net, Ecss3Options{});
+  EXPECT_TRUE(is_k_edge_connected_subset(g, r.edges, 3));
+  EXPECT_EQ(r.size, 6);  // K4 is minimally 3-edge-connected
+}
+
+TEST(EdgeCases, TapWithAllZeroWeights) {
+  Rng rng(9);
+  TapInstance inst = random_tap_instance(16, 8, 1, rng);
+  Graph zeroed(inst.g.num_vertices());
+  for (EdgeId e = 0; e < inst.g.num_edges(); ++e) {
+    const bool is_tree = inst.tree_mask[static_cast<std::size_t>(e)];
+    zeroed.add_edge(inst.g.edge(e).u, inst.g.edge(e).v, is_tree ? inst.g.edge(e).w : 0);
+  }
+  TapInstance zinst = make_tap_instance(zeroed, inst.tree_edges, 0);
+  Network net(zinst.g);
+  const TapResult r = distributed_tap_standalone(net, zinst, TapOptions{});
+  EXPECT_TRUE(zinst.covers_all(r.augmentation));
+  EXPECT_EQ(r.weight, 0);
+}
+
+TEST(EdgeCases, ExactSolversOnMinimalInstances) {
+  // K4 with distinct weights: exact 2-ECSS is the cheapest Hamilton cycle.
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 3);
+  g.add_edge(3, 0, 4);
+  g.add_edge(0, 2, 10);
+  g.add_edge(1, 3, 10);
+  const auto opt = exact_kecss(g, 2);
+  Weight w = 0;
+  for (EdgeId e : opt) w += g.edge(e).w;
+  EXPECT_EQ(w, 10);  // cycle 0-1-2-3
+}
+
+TEST(EdgeCases, PrimitivesOnTwoVertexGraphNeedNoPipeline) {
+  Graph g(2);
+  g.add_edge(0, 1, 1);
+  Network net(g);
+  const RootedTree t = distributed_bfs(net, 0);
+  EXPECT_EQ(t.height(), 1);
+  const CommForest f = CommForest::from_tree(t);
+  std::vector<std::uint64_t> val{5, 7};
+  const auto acc = convergecast(net, f, val, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(acc[0], 12u);
+}
+
+}  // namespace
+}  // namespace deck

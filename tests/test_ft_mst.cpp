@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "congest/primitives.hpp"
+#include "decomp/segments.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/mst_seq.hpp"
+#include "mst/distributed_mst.hpp"
+#include "support/rng.hpp"
+#include "tap/distributed_tap.hpp"
+
+namespace deck {
+namespace {
+
+struct Pipeline {
+  Graph g;
+  Network net;
+  RootedTree bfs;
+  MstResult mst;
+  CommForest bfs_forest;
+
+  explicit Pipeline(Graph graph) : g(std::move(graph)), net(g) {
+    bfs = distributed_bfs(net, 0);
+    mst = distributed_mst(net, bfs);
+    bfs_forest = CommForest::from_tree(bfs);
+  }
+};
+
+/// Sequential ground truth: cheapest non-tree edge covering each tree edge.
+std::vector<EdgeId> brute_replacements(const Graph& g, const RootedTree& tree) {
+  std::vector<char> is_tree(static_cast<std::size_t>(g.num_edges()), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (tree.parent_edge(v) != kNoEdge) is_tree[static_cast<std::size_t>(tree.parent_edge(v))] = 1;
+  std::vector<EdgeId> best(static_cast<std::size_t>(g.num_edges()), kNoEdge);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (is_tree[static_cast<std::size_t>(e)]) continue;
+    for (EdgeId t : tree.path_edges(g.edge(e).u, g.edge(e).v)) {
+      EdgeId& b = best[static_cast<std::size_t>(t)];
+      if (b == kNoEdge || g.edge(e).w < g.edge(b).w ||
+          (g.edge(e).w == g.edge(b).w && e < b))
+        b = e;
+    }
+  }
+  return best;
+}
+
+TEST(FtMst, ReplacementsMatchBruteForceOnRandomGraphs) {
+  for (int seed = 1; seed <= 6; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 71);
+    Pipeline p(with_weights(random_kec(40 + seed * 13, 2, 60, rng), WeightModel::kUniform, rng));
+    SegmentDecomposition dec(p.net, p.mst.tree, p.mst.fragment, p.mst.global_edges, p.bfs_forest, 0);
+    const auto got = mst_replacement_edges(p.net, dec, p.bfs_forest, 0);
+    const auto expect = brute_replacements(p.g, p.mst.tree);
+    for (EdgeId t = 0; t < p.g.num_edges(); ++t) {
+      if (expect[static_cast<std::size_t>(t)] == kNoEdge) continue;
+      const EdgeId ge = got[static_cast<std::size_t>(t)];
+      const EdgeId be = expect[static_cast<std::size_t>(t)];
+      ASSERT_NE(ge, kNoEdge) << "seed " << seed << " tree edge " << t;
+      // Same weight (the winner key is (w, id); ties may resolve by id).
+      EXPECT_EQ(p.g.edge(ge).w, p.g.edge(be).w) << "seed " << seed << " tree edge " << t;
+    }
+  }
+}
+
+TEST(FtMst, SwapRestoresSpanningTree) {
+  Rng rng(9);
+  Pipeline p(with_weights(random_kec(30, 2, 40, rng), WeightModel::kUniform, rng));
+  SegmentDecomposition dec(p.net, p.mst.tree, p.mst.fragment, p.mst.global_edges, p.bfs_forest, 0);
+  const auto rep = mst_replacement_edges(p.net, dec, p.bfs_forest, 0);
+  for (EdgeId t : p.mst.mst_edges) {
+    const EdgeId r = rep[static_cast<std::size_t>(t)];
+    ASSERT_NE(r, kNoEdge);  // 2-edge-connected: every tree edge is covered
+    // MST minus t plus r spans and connects.
+    std::vector<EdgeId> swapped;
+    for (EdgeId e : p.mst.mst_edges)
+      if (e != t) swapped.push_back(e);
+    swapped.push_back(r);
+    EXPECT_TRUE(is_k_edge_connected_subset(p.g, swapped, 1)) << "tree edge " << t;
+  }
+}
+
+TEST(FtMst, SwapIsOptimalReplacement) {
+  // The min-weight covering edge gives the MST of G \ {t}: check total
+  // weight against a direct Kruskal on the faulted graph.
+  Rng rng(13);
+  Pipeline p(with_weights(random_kec(24, 2, 30, rng), WeightModel::kUniform, rng));
+  SegmentDecomposition dec(p.net, p.mst.tree, p.mst.fragment, p.mst.global_edges, p.bfs_forest, 0);
+  const auto rep = mst_replacement_edges(p.net, dec, p.bfs_forest, 0);
+  for (EdgeId t : p.mst.mst_edges) {
+    Weight swapped = 0;
+    for (EdgeId e : p.mst.mst_edges)
+      if (e != t) swapped += p.g.edge(e).w;
+    swapped += p.g.edge(rep[static_cast<std::size_t>(t)]).w;
+
+    Graph faulted(p.g.num_vertices());
+    std::vector<Weight> faulted_w;
+    for (EdgeId e = 0; e < p.g.num_edges(); ++e) {
+      if (e == t) continue;
+      faulted.add_edge(p.g.edge(e).u, p.g.edge(e).v, p.g.edge(e).w);
+    }
+    Weight direct = 0;
+    for (EdgeId fe : kruskal_mst(faulted)) direct += faulted.edge(fe).w;
+    EXPECT_EQ(swapped, direct) << "tree edge " << t;
+  }
+}
+
+TEST(FtMst, RoundsStaySublinear) {
+  Rng rng(17);
+  Pipeline p(with_weights(random_kec(256, 2, 512, rng), WeightModel::kUniform, rng));
+  SegmentDecomposition dec(p.net, p.mst.tree, p.mst.fragment, p.mst.global_edges, p.bfs_forest, 0);
+  const std::uint64_t before = p.net.rounds();
+  mst_replacement_edges(p.net, dec, p.bfs_forest, 0);
+  EXPECT_LT(p.net.rounds() - before, 2000u);  // ~ D + sqrt(n) with constants
+}
+
+}  // namespace
+}  // namespace deck

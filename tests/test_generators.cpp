@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+
+namespace deck {
+namespace {
+
+TEST(Generators, CirculantConnectivity) {
+  Graph g = circulant(12, 2);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(edge_connectivity(g), 4);
+}
+
+TEST(Generators, HararyMeetsRequestedConnectivity) {
+  for (int k : {1, 2, 3, 4, 5}) {
+    Graph g = harary(11, k);
+    EXPECT_GE(edge_connectivity(g), k) << "k=" << k;
+  }
+}
+
+TEST(Generators, HypercubeStructure) {
+  Graph g = hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16);
+  EXPECT_EQ(g.num_edges(), 32);
+  EXPECT_EQ(edge_connectivity(g), 4);
+  EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(Generators, TorusIsFourConnected) {
+  Graph g = torus(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(edge_connectivity(g), 4);
+}
+
+TEST(Generators, RandomKecIsKConnected) {
+  Rng rng(123);
+  for (int k : {2, 3, 4}) {
+    Graph g = random_kec(20, k, 10, rng);
+    EXPECT_GE(edge_connectivity(g), k) << "k=" << k;
+  }
+}
+
+TEST(Generators, RingOfCliquesConnectivity) {
+  Rng rng(5);
+  Graph g = ring_of_cliques(4, 5, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_GE(edge_connectivity(g), 3);
+}
+
+TEST(Generators, NearRegularIsConnected) {
+  Rng rng(77);
+  Graph g = random_near_regular(30, 4, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, WeightModelsAssignExpectedRanges) {
+  Rng rng(42);
+  Graph g = torus(4, 4);
+  Graph unit = with_weights(g, WeightModel::kUnit, rng);
+  for (const Edge& e : unit.edges()) EXPECT_EQ(e.w, 1);
+  Graph uni = with_weights(g, WeightModel::kUniform, rng);
+  for (const Edge& e : uni.edges()) {
+    EXPECT_GE(e.w, 1);
+    EXPECT_LE(e.w, g.num_vertices());
+  }
+  Graph zh = with_weights(g, WeightModel::kZeroHeavy, rng);
+  int zeros = 0;
+  for (const Edge& e : zh.edges())
+    if (e.w == 0) ++zeros;
+  EXPECT_GT(zeros, 0);
+}
+
+TEST(Generators, WeightsPreserveTopology) {
+  Rng rng(1);
+  Graph g = torus(3, 4);
+  Graph w = with_weights(g, WeightModel::kUniform, rng);
+  ASSERT_EQ(w.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(w.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(w.edge(e).v, g.edge(e).v);
+  }
+}
+
+}  // namespace
+}  // namespace deck

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "graph/dinic.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/gomory_hu.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+namespace {
+
+std::vector<char> all_edges(const Graph& g) {
+  return std::vector<char>(static_cast<std::size_t>(g.num_edges()), 1);
+}
+
+TEST(GomoryHu, AllPairsMatchDirectMaxFlow) {
+  Rng rng(99);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = random_kec(12, 2, static_cast<int>(rng.next_below(14)), rng);
+    const GomoryHuTree t = gomory_hu(g);
+    for (VertexId u = 0; u < g.num_vertices(); ++u)
+      for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(t.min_cut(u, v), st_edge_connectivity(g, all_edges(g), u, v))
+            << "trial " << trial << " pair " << u << "," << v;
+      }
+  }
+}
+
+TEST(GomoryHu, GlobalMinEqualsEdgeConnectivity) {
+  Rng rng(7);
+  for (Graph g : {hypercube(3), torus(3, 4), circulant(10, 2), random_kec(14, 3, 8, rng)}) {
+    const GomoryHuTree t = gomory_hu(g);
+    std::int64_t global = g.num_edges();
+    for (VertexId v = 1; v < g.num_vertices(); ++v)
+      global = std::min(global, t.flow[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(global, edge_connectivity(g)) << g.summary();
+  }
+}
+
+TEST(GomoryHu, StructuredValues) {
+  // On the 3-cube every pairwise min cut is 3 (edge-transitive, 3-regular).
+  const GomoryHuTree t = gomory_hu(hypercube(3));
+  for (VertexId u = 0; u < 8; ++u)
+    for (VertexId v = u + 1; v < 8; ++v) EXPECT_EQ(t.min_cut(u, v), 3);
+}
+
+TEST(GomoryHu, TreeStructureValid) {
+  Rng rng(21);
+  Graph g = random_kec(20, 2, 12, rng);
+  const GomoryHuTree t = gomory_hu(g);
+  EXPECT_EQ(t.parent[0], kNoVertex);
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    EXPECT_GE(t.parent[static_cast<std::size_t>(v)], 0);
+    EXPECT_GT(t.flow[static_cast<std::size_t>(v)], 0);
+  }
+}
+
+}  // namespace
+}  // namespace deck

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "graph/traversal.hpp"
+#include "graph/tree.hpp"
+#include "graph/union_find.hpp"
+
+namespace deck {
+namespace {
+
+Graph triangle() {
+  Graph g(3);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 7);
+  g.add_edge(2, 0, 9);
+  return g;
+}
+
+TEST(Graph, BasicAccessors) {
+  Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.total_weight(), 21);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_EQ(g.find_edge(1, 2), 1);
+  EXPECT_EQ(g.find_edge(2, 1), 1);
+  EXPECT_EQ(g.edge(0).other(0), 1);
+  EXPECT_EQ(g.edge(0).other(1), 0);
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(Graph, RejectsSelfLoopAndBadEndpoints) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0, 1), std::logic_error);
+  EXPECT_THROW(g.add_edge(0, 5, 1), std::logic_error);
+  EXPECT_THROW(g.add_edge(0, 1, -2), std::logic_error);
+}
+
+TEST(Graph, EdgeSubgraphRenumbers) {
+  Graph g = triangle();
+  std::vector<EdgeId> keep{2, 0};
+  Graph s = g.edge_subgraph(keep);
+  EXPECT_EQ(s.num_edges(), 2);
+  EXPECT_EQ(s.edge(0).w, 9);
+  EXPECT_EQ(s.edge(1).w, 5);
+}
+
+TEST(Traversal, ComponentsAndConnectivity) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  EXPECT_EQ(num_components(g), 2);
+  EXPECT_FALSE(is_connected(g));
+  g.add_edge(2, 3);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Traversal, SpanningConnectedRespectsMask) {
+  Graph g = triangle();
+  EXPECT_TRUE(is_spanning_connected(g, {1, 1, 0}));
+  EXPECT_FALSE(is_spanning_connected(g, {1, 0, 0}));
+}
+
+TEST(Traversal, BfsDistancesAndDiameter) {
+  Graph g(4);  // path 0-1-2-3
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[3], 3);
+  EXPECT_EQ(diameter(g), 3);
+}
+
+TEST(RootedTree, DepthParentLcaAncestor) {
+  // 0 - 1 - 2, 1 - 3 (star-ish)
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  RootedTree t = bfs_tree(g, 0);
+  EXPECT_EQ(t.depth(0), 0);
+  EXPECT_EQ(t.depth(2), 2);
+  EXPECT_EQ(t.parent(3), 1);
+  EXPECT_TRUE(t.is_ancestor(0, 2));
+  EXPECT_TRUE(t.is_ancestor(1, 3));
+  EXPECT_FALSE(t.is_ancestor(2, 3));
+  EXPECT_EQ(t.lca(2, 3), 1);
+  EXPECT_EQ(t.path_length(2, 3), 2);
+  EXPECT_EQ(t.height(), 2);
+}
+
+TEST(RootedTree, PathEdgesMatchesManualWalk) {
+  Graph g(6);  // path graph
+  for (int i = 0; i + 1 < 6; ++i) g.add_edge(i, i + 1);
+  RootedTree t = bfs_tree(g, 0);
+  const auto p = t.path_edges(1, 4);
+  EXPECT_EQ(p.size(), 3u);  // edges 1-2, 2-3, 3-4
+}
+
+TEST(RootedTree, DetectsForestRoots) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  // 2, 3 isolated
+  RootedTree t = bfs_tree(g, 0);
+  EXPECT_EQ(t.roots().size(), 3u);
+}
+
+TEST(UnionFind, MergesAndCounts) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_EQ(uf.component_size(1), 2);
+  uf.unite(2, 3);
+  uf.unite(0, 3);
+  EXPECT_EQ(uf.num_components(), 2);
+}
+
+}  // namespace
+}  // namespace deck

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+namespace {
+
+TEST(Io, RoundTripPreservesGraph) {
+  Rng rng(3);
+  Graph g = with_weights(random_kec(20, 2, 10, rng), WeightModel::kUniform, rng);
+  const Graph back = graph_from_edge_list(to_edge_list(g));
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(back.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(back.edge(e).v, g.edge(e).v);
+    EXPECT_EQ(back.edge(e).w, g.edge(e).w);
+  }
+}
+
+TEST(Io, ParsesCommentsAndBlankLines) {
+  const Graph g = graph_from_edge_list("# header comment\n\n3 2\n0 1 5\n# mid comment\n1 2 7\n");
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edge(1).w, 7);
+}
+
+TEST(Io, RejectsMalformedInput) {
+  EXPECT_THROW(graph_from_edge_list(""), std::logic_error);
+  EXPECT_THROW(graph_from_edge_list("2 1\n"), std::logic_error);
+  EXPECT_THROW(graph_from_edge_list("2 1\n0 x 1\n"), std::logic_error);
+  EXPECT_THROW(graph_from_edge_list("2 1\n0 5 1\n"), std::logic_error);  // endpoint range
+}
+
+TEST(Io, DotContainsEdgesAndHighlights) {
+  Graph g(3);
+  const EdgeId a = g.add_edge(0, 1, 4);
+  g.add_edge(1, 2, 6);
+  const std::string dot = to_dot(g, {a});
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  // Only one highlighted edge.
+  EXPECT_EQ(dot.find("color=red"), dot.rfind("color=red"));
+}
+
+}  // namespace
+}  // namespace deck

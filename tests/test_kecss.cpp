@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/network.hpp"
+#include "ecss/distributed_kecss.hpp"
+#include "ecss/exact.hpp"
+#include "ecss/lower_bounds.hpp"
+#include "ecss/seq_ecss.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+namespace {
+
+class KecssSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KecssSweep, OutputIsKEdgeConnected) {
+  const auto [n, k, extra] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * k + extra);
+  Graph g = with_weights(random_kec(n, k, extra, rng), WeightModel::kUniform, rng);
+  ASSERT_GE(edge_connectivity(g), k);
+  Network net(g);
+  KecssOptions opt;
+  opt.seed = static_cast<std::uint64_t>(k);
+  const KecssResult r = distributed_kecss(net, k, opt);
+  EXPECT_TRUE(is_k_edge_connected_subset(g, r.edges, k)) << "n=" << n << " k=" << k;
+  EXPECT_GE(r.weight, kecss_lower_bound(g, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KecssSweep,
+                         ::testing::Values(std::make_tuple(12, 2, 10), std::make_tuple(20, 2, 16),
+                                           std::make_tuple(16, 3, 12), std::make_tuple(24, 3, 20),
+                                           std::make_tuple(14, 4, 14), std::make_tuple(20, 4, 20),
+                                           std::make_tuple(12, 5, 16)));
+
+TEST(Kecss, KEqualsOneIsJustTheMst) {
+  Rng rng(3);
+  Graph g = with_weights(random_kec(20, 2, 15, rng), WeightModel::kUniform, rng);
+  Network net(g);
+  const KecssResult r = distributed_kecss(net, 1, KecssOptions{});
+  EXPECT_EQ(static_cast<int>(r.edges.size()), g.num_vertices() - 1);
+  EXPECT_TRUE(is_k_edge_connected_subset(g, r.edges, 1));
+}
+
+TEST(Kecss, GreedyBaselineProducesKConnected) {
+  Rng rng(5);
+  for (int k : {2, 3, 4}) {
+    Graph g = with_weights(random_kec(16, k, 12, rng), WeightModel::kUniform, rng);
+    const auto h = greedy_kecss(g, k, 7);
+    EXPECT_TRUE(is_k_edge_connected_subset(g, h, k)) << "k=" << k;
+  }
+}
+
+TEST(Kecss, DistributedWithinLogFactorOfExact) {
+  Rng rng(9);
+  int checked = 0;
+  for (int trial = 0; trial < 25 && checked < 4; ++trial) {
+    Graph g = with_weights(random_kec(8, 2, 2, rng), WeightModel::kUniform, rng);
+    if (g.num_edges() > 16 || edge_connectivity(g) < 2) continue;
+    ++checked;
+    Network net(g);
+    KecssOptions opt;
+    opt.seed = trial;
+    const KecssResult r = distributed_kecss(net, 2, opt);
+    ASSERT_TRUE(is_k_edge_connected_subset(g, r.edges, 2));
+    Weight opt_w = 0;
+    for (EdgeId e : exact_kecss(g, 2)) opt_w += g.edge(e).w;
+    const double bound = 2.0 * 6.0 * (std::log2(8.0) + 2.0);  // O(k log n) envelope
+    EXPECT_LE(static_cast<double>(r.weight), bound * static_cast<double>(opt_w));
+  }
+  EXPECT_GE(checked, 2);
+}
+
+TEST(Kecss, ZeroWeightEdgesAreUsedFreely) {
+  Rng rng(15);
+  Graph g = with_weights(random_kec(14, 3, 12, rng), WeightModel::kZeroHeavy, rng);
+  Network net(g);
+  const KecssResult r = distributed_kecss(net, 3, KecssOptions{});
+  EXPECT_TRUE(is_k_edge_connected_subset(g, r.edges, 3));
+}
+
+TEST(Kecss, IterationCountsPolylogPerLevel) {
+  Rng rng(21);
+  Graph g = with_weights(random_kec(40, 3, 60, rng), WeightModel::kUniform, rng);
+  Network net(g);
+  const KecssResult r = distributed_kecss(net, 3, KecssOptions{});
+  ASSERT_TRUE(is_k_edge_connected_subset(g, r.edges, 3));
+  const double logn = std::log2(40.0);
+  for (int iters : r.iterations_per_aug)
+    EXPECT_LE(iters, static_cast<int>(30.0 * logn * logn * logn));
+}
+
+TEST(Kecss, StrictScheduleAlsoTerminates) {
+  Rng rng(23);
+  Graph g = with_weights(random_kec(12, 2, 8, rng), WeightModel::kUniform, rng);
+  Network net(g);
+  KecssOptions opt;
+  opt.fast_forward = false;  // run the full §4 schedule with the MST filter
+  const KecssResult r = distributed_kecss(net, 2, opt);
+  EXPECT_TRUE(is_k_edge_connected_subset(g, r.edges, 2));
+}
+
+TEST(Kecss, RoundsGrowNearLinearly) {
+  // Theorem 1.2: O(k(D log^3 n + n)) — the n term dominates; sanity-check
+  // the envelope against n^2.
+  Rng rng(27);
+  Graph g = with_weights(random_kec(96, 2, 96, rng), WeightModel::kUniform, rng);
+  Network net(g);
+  const KecssResult r = distributed_kecss(net, 2, KecssOptions{});
+  ASSERT_TRUE(is_k_edge_connected_subset(g, r.edges, 2));
+  EXPECT_LT(net.rounds(), 96ull * 96ull * 4ull);
+}
+
+}  // namespace
+}  // namespace deck

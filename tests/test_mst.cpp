@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "congest/primitives.hpp"
+#include "graph/generators.hpp"
+#include "graph/mst_seq.hpp"
+#include "graph/traversal.hpp"
+#include "mst/distributed_mst.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+namespace {
+
+MstResult run_mst(Network& net) {
+  RootedTree bfs = distributed_bfs(net, 0);
+  return distributed_mst(net, bfs);
+}
+
+TEST(DistributedMst, MatchesKruskalOnRandomWeightedGraphs) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph topo = random_kec(40, 2, 40, rng);
+    Graph g = with_weights(topo, WeightModel::kUniform, rng);
+    Network net(g);
+    const MstResult r = run_mst(net);
+    auto expect = kruskal_mst(g);
+    auto got = r.mst_edges;
+    std::sort(expect.begin(), expect.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+TEST(DistributedMst, TreeOrientationIsConsistent) {
+  Rng rng(7);
+  Graph g = with_weights(torus(5, 6), WeightModel::kUniform, rng);
+  Network net(g);
+  const MstResult r = run_mst(net);
+  const std::set<EdgeId> mst(r.mst_edges.begin(), r.mst_edges.end());
+  int non_roots = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const EdgeId pe = r.tree.parent_edge(v);
+    if (pe == kNoEdge) continue;
+    ++non_roots;
+    EXPECT_TRUE(mst.count(pe));
+    // Parent edge joins v and parent(v).
+    const Edge& e = g.edge(pe);
+    EXPECT_TRUE((e.u == v && e.v == r.tree.parent(v)) || (e.v == v && e.u == r.tree.parent(v)));
+  }
+  EXPECT_EQ(non_roots, g.num_vertices() - 1);
+  EXPECT_EQ(r.tree.roots().size(), 1u);
+  EXPECT_EQ(r.tree.roots()[0], 0);
+}
+
+TEST(DistributedMst, FragmentInvariants) {
+  Rng rng(31);
+  for (int n : {64, 144, 256}) {
+    Graph g = with_weights(random_kec(n, 2, n, rng), WeightModel::kUniform, rng);
+    Network net(g);
+    const MstResult r = run_mst(net);
+    const double sq = std::sqrt(static_cast<double>(n));
+    EXPECT_LE(r.num_fragments, static_cast<int>(6 * sq) + 2) << "n=" << n;
+    EXPECT_LE(r.max_fragment_height, static_cast<int>(8 * sq) + 2) << "n=" << n;
+    // Fragment labels are dense 0..F-1 and every fragment non-empty.
+    std::vector<int> counts(static_cast<std::size_t>(r.num_fragments), 0);
+    for (int f : r.fragment) {
+      ASSERT_GE(f, 0);
+      ASSERT_LT(f, r.num_fragments);
+      ++counts[static_cast<std::size_t>(f)];
+    }
+    for (int c : counts) EXPECT_GT(c, 0);
+    // Global edges connect different fragments; other MST edges do not.
+    const std::set<EdgeId> globals(r.global_edges.begin(), r.global_edges.end());
+    for (EdgeId e : r.mst_edges) {
+      const Edge& ed = g.edge(e);
+      const bool crosses = r.fragment[static_cast<std::size_t>(ed.u)] !=
+                           r.fragment[static_cast<std::size_t>(ed.v)];
+      EXPECT_EQ(crosses, globals.count(e) > 0);
+    }
+  }
+}
+
+TEST(DistributedMst, FragmentsAreConnectedSubtrees) {
+  Rng rng(12);
+  Graph g = with_weights(random_kec(60, 2, 60, rng), WeightModel::kUniform, rng);
+  Network net(g);
+  const MstResult r = run_mst(net);
+  // Within a fragment, walking to the parent stays in the fragment until
+  // the fragment root (whose parent is outside or absent).
+  std::vector<int> root_count(static_cast<std::size_t>(r.num_fragments), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId p = r.tree.parent(v);
+    const int fv = r.fragment[static_cast<std::size_t>(v)];
+    if (p == kNoVertex || r.fragment[static_cast<std::size_t>(p)] != fv)
+      ++root_count[static_cast<std::size_t>(fv)];
+  }
+  for (int c : root_count) EXPECT_EQ(c, 1);  // exactly one root per fragment
+}
+
+TEST(DistributedMst, RoundsSublinearOnLowDiameterFamily) {
+  Rng rng(5);
+  // Hypercube: D = log n. Rounds should be well below n for larger n.
+  Graph g = with_weights(hypercube(8), WeightModel::kUniform, rng);  // n=256
+  Network net(g);
+  run_mst(net);
+  EXPECT_LT(net.rounds(), 8 * 256u);  // far below n * D; sanity envelope
+  EXPECT_GT(net.rounds(), 0u);
+}
+
+TEST(DistributedMst, WorksOnUnitWeights) {
+  Rng rng(3);
+  Graph g = with_weights(torus(4, 4), WeightModel::kUnit, rng);
+  Network net(g);
+  const MstResult r = run_mst(net);
+  EXPECT_EQ(static_cast<int>(r.mst_edges.size()), g.num_vertices() - 1);
+  // Unit weights: Kruskal picks lowest edge ids.
+  auto expect = kruskal_mst(g);
+  auto got = r.mst_edges;
+  std::sort(got.begin(), got.end());
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace deck

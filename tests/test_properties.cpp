@@ -1,0 +1,143 @@
+// Randomized property suites tying the whole stack together: for every
+// seed/family combination the three headline algorithms must produce
+// k-edge-connected outputs, the TAP accounting invariants of §3.3 must hold,
+// and the path-case decomposition used by the distributed TAP must agree
+// with ground-truth tree paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "decomp/segments.hpp"
+#include "ecss/distributed_2ecss.hpp"
+#include "ecss/distributed_3ecss.hpp"
+#include "ecss/distributed_kecss.hpp"
+#include "ecss/lower_bounds.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/mst_seq.hpp"
+#include "mst/distributed_mst.hpp"
+#include "support/rng.hpp"
+#include "tap/seq_tap.hpp"
+#include "tap/tap_instance.hpp"
+
+namespace deck {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweep, TwoEcssAlwaysTwoConnected) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 20 + GetParam() * 7 % 60;
+  Graph g = with_weights(random_kec(n, 2, n, rng), WeightModel::kUniform, rng);
+  Network net(g);
+  TapOptions opt;
+  opt.seed = static_cast<std::uint64_t>(GetParam());
+  const Ecss2Result r = distributed_2ecss(net, opt);
+  ASSERT_TRUE(is_k_edge_connected_subset(g, r.edges, 2)) << "seed " << GetParam();
+  EXPECT_GE(r.weight, kecss_lower_bound(g, 2));
+}
+
+TEST_P(SeedSweep, KEcssAlwaysKConnected) {
+  const int k = 2 + GetParam() % 3;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13);
+  const int n = 14 + GetParam() % 16;
+  Graph g = with_weights(random_kec(n, k, n, rng), WeightModel::kUniform, rng);
+  Network net(g);
+  KecssOptions opt;
+  opt.seed = static_cast<std::uint64_t>(GetParam());
+  const KecssResult r = distributed_kecss(net, k, opt);
+  ASSERT_TRUE(is_k_edge_connected_subset(g, r.edges, k)) << "seed " << GetParam() << " k " << k;
+}
+
+TEST_P(SeedSweep, ThreeEcssAlwaysThreeConnected) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 29);
+  const int n = 14 + (GetParam() * 5) % 30;
+  Graph g = random_kec(n, 3, n, rng);
+  Network net(g);
+  Ecss3Options opt;
+  opt.seed = static_cast<std::uint64_t>(GetParam());
+  const Ecss3Result r = distributed_3ecss_unweighted(net, opt);
+  ASSERT_TRUE(is_k_edge_connected_subset(g, r.edges, 3)) << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, GreedyTapLemma35Accounting) {
+  // Lemma 3.5-style check for the sequential greedy: the augmentation
+  // weight is bounded by the harmonic accounting against any cover.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31);
+  TapInstance inst = random_tap_instance(16 + GetParam() % 20, 10, 1, rng);
+  const auto aug = greedy_tap(inst);
+  ASSERT_TRUE(inst.covers_all(aug));
+  const double logn = std::log2(static_cast<double>(inst.g.num_vertices()));
+  // All-links is a cover; greedy must be within O(log n) of the best cover,
+  // in particular within (1 + log n) * (weight of any single full cover
+  // since OPT <= that cover).
+  Weight all_links = 0;
+  for (EdgeId e : inst.links()) all_links += inst.g.edge(e).w;
+  EXPECT_LE(static_cast<double>(inst.weight_of(aug)),
+            (1.0 + logn) * static_cast<double>(all_links));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(1, 13));
+
+TEST(PathDecomposition, LinkCoverageZonesMatchTreePaths) {
+  // The distributed TAP counts coverage from per-endpoint zones (anc paths,
+  // own-segment highways, skeleton chains). Verify against ground truth:
+  // run the machinery's classification indirectly by checking that the
+  // distributed TAP coverage equals tree-path coverage on many instances.
+  Rng rng(424242);
+  for (int trial = 0; trial < 4; ++trial) {
+    TapInstance inst = random_tap_instance(40 + trial * 17, 30, 1, rng);
+    Network net(inst.g);
+    TapOptions opt;
+    opt.seed = trial + 1;
+    const TapResult r = distributed_tap_standalone(net, inst, opt);
+    // covers_all uses true tree paths; success implies the zone
+    // decomposition marked exactly the right edges (an under-count would
+    // leave uncovered edges; an over-count would terminate before covering).
+    ASSERT_TRUE(inst.covers_all(r.augmentation)) << "trial " << trial;
+  }
+}
+
+TEST(MstProperty, DistributedEqualsKruskalManySeeds) {
+  for (int seed = 1; seed <= 6; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 1001);
+    Graph g = with_weights(random_kec(30 + seed * 11, 2, 50, rng), WeightModel::kPolynomial, rng);
+    Network net(g);
+    RootedTree bfs = distributed_bfs(net, 0);
+    const MstResult r = distributed_mst(net, bfs);
+    auto a = r.mst_edges;
+    auto b = kruskal_mst(g);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+TEST(DecompositionProperty, InvariantsAcrossFamilies) {
+  Rng rng(777);
+  for (auto make : {+[](Rng& r) { return with_weights(torus(6, 8), WeightModel::kUniform, r); },
+                    +[](Rng& r) {
+                      return with_weights(ring_of_cliques(6, 6, 2, r), WeightModel::kUniform, r);
+                    },
+                    +[](Rng& r) { return with_weights(hypercube(6), WeightModel::kUniform, r); }}) {
+    Graph g = make(rng);
+    Network net(g);
+    RootedTree bfs = distributed_bfs(net, 0);
+    MstResult mst = distributed_mst(net, bfs);
+    const CommForest f = CommForest::from_tree(bfs);
+    SegmentDecomposition dec(net, mst.tree, mst.fragment, mst.global_edges, f, 0);
+    // Every non-root vertex is in exactly one segment; edges partition.
+    for (VertexId v = 1; v < g.num_vertices(); ++v) {
+      ASSERT_GE(dec.seg_of_vertex(v), 0) << g.summary();
+      ASSERT_EQ(static_cast<int>(dec.anc_path_edges(v).size()), dec.seg_depth(v));
+    }
+    const double sq = std::sqrt(static_cast<double>(g.num_vertices()));
+    EXPECT_LE(dec.max_segment_diameter(), static_cast<int>(12 * sq) + 4) << g.summary();
+  }
+}
+
+}  // namespace
+}  // namespace deck

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace deck {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a(), y = b();
+    EXPECT_EQ(x, y);
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i)
+    if (a2() != c()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowIsInRangeAndCoversValues) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.next_below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextInBounds) {
+  Rng r(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.next_in(-5, 5);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 500; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Mix64, InjectiveOnSmallRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 4096; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Stats, LogLogSlopeRecoversExponent) {
+  std::vector<double> x, y;
+  for (double v : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);  // exponent 2
+  }
+  EXPECT_NEAR(loglog_slope(x, y), 2.0, 1e-9);
+}
+
+TEST(Table, RendersAllCells) {
+  Table t({"a", "bb"});
+  t.add(1, "x");
+  t.add(2.5, std::string("y"));
+  const std::string s = t.to_string("demo");
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("2.500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deck

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/network.hpp"
+#include "ecss/distributed_2ecss.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+#include "tap/seq_tap.hpp"
+#include "tap/tap_instance.hpp"
+
+namespace deck {
+namespace {
+
+TEST(TapInstance, CoverageSemantics) {
+  // Star tree 0-{1,2,3} plus links.
+  Graph g(4);
+  std::vector<EdgeId> tree;
+  tree.push_back(g.add_edge(0, 1, 1));
+  tree.push_back(g.add_edge(0, 2, 1));
+  tree.push_back(g.add_edge(0, 3, 1));
+  const EdgeId l12 = g.add_edge(1, 2, 3);
+  const EdgeId l13 = g.add_edge(1, 3, 4);
+  TapInstance inst = make_tap_instance(g, tree, 0);
+  EXPECT_EQ(inst.links(), (std::vector<EdgeId>{l12, l13}));
+  auto cov = inst.covered_by(l12);
+  std::sort(cov.begin(), cov.end());
+  EXPECT_EQ(cov, (std::vector<EdgeId>{tree[0], tree[1]}));
+  EXPECT_FALSE(inst.covers_all({l12}));
+  EXPECT_TRUE(inst.covers_all({l12, l13}));
+  EXPECT_EQ(inst.weight_of({l12, l13}), 7);
+}
+
+TEST(TapInstance, RandomInstancesAreCoverable) {
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    TapInstance inst = random_tap_instance(20, 10, 1, rng);
+    EXPECT_TRUE(inst.covers_all(inst.links()));
+  }
+}
+
+TEST(GreedyTap, CoversAndExactIsNoWorse) {
+  Rng rng(2);
+  for (int trial = 0; trial < 6; ++trial) {
+    TapInstance inst = random_tap_instance(9, 4, 1, rng);
+    if (inst.links().size() > 20) continue;
+    const auto greedy = greedy_tap(inst);
+    EXPECT_TRUE(inst.covers_all(greedy));
+    const auto exact = exact_tap(inst);
+    EXPECT_TRUE(inst.covers_all(exact));
+    EXPECT_LE(inst.weight_of(exact), inst.weight_of(greedy));
+  }
+}
+
+TEST(GreedyTap, TakesFreeZeroWeightLinks) {
+  Graph g(3);
+  std::vector<EdgeId> tree;
+  tree.push_back(g.add_edge(0, 1, 1));
+  tree.push_back(g.add_edge(1, 2, 1));
+  const EdgeId zero = g.add_edge(0, 2, 0);
+  TapInstance inst = make_tap_instance(g, tree, 0);
+  const auto aug = greedy_tap(inst);
+  EXPECT_EQ(aug, std::vector<EdgeId>{zero});
+}
+
+TEST(ExactTap, FindsObviousOptimum) {
+  // Path tree 0-1-2-3; links: expensive per-edge links and one cheap
+  // link covering everything.
+  Graph g(4);
+  std::vector<EdgeId> tree;
+  for (int i = 0; i + 1 < 4; ++i) tree.push_back(g.add_edge(i, i + 1, 1));
+  g.add_edge(0, 2, 10);
+  g.add_edge(1, 3, 10);
+  const EdgeId full = g.add_edge(0, 3, 5);
+  TapInstance inst = make_tap_instance(g, tree, 0);
+  EXPECT_EQ(exact_tap(inst), std::vector<EdgeId>{full});
+}
+
+class DistributedTapTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DistributedTapTest, CoversAllTreeEdgesAcrossInstances) {
+  const auto [n, extra, wm] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + extra);
+  TapInstance inst = random_tap_instance(n, extra, wm, rng);
+  Network net(inst.g);
+  TapOptions opt;
+  opt.seed = 99;
+  const TapResult r = distributed_tap_standalone(net, inst, opt);
+  EXPECT_TRUE(inst.covers_all(r.augmentation))
+      << "n=" << n << " extra=" << extra << " wm=" << wm;
+  EXPECT_GT(net.rounds(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DistributedTapTest,
+                         ::testing::Values(std::make_tuple(12, 6, 1), std::make_tuple(24, 12, 1),
+                                           std::make_tuple(40, 30, 1), std::make_tuple(40, 30, 0),
+                                           std::make_tuple(64, 40, 2), std::make_tuple(96, 64, 1),
+                                           std::make_tuple(128, 100, 1)));
+
+TEST(DistributedTap, ApproximationWithinLogFactorOfExact) {
+  Rng rng(77);
+  int checked = 0;
+  for (int trial = 0; trial < 12 && checked < 6; ++trial) {
+    TapInstance inst = random_tap_instance(10, 4, 1, rng);
+    if (inst.links().size() > 18) continue;
+    ++checked;
+    Network net(inst.g);
+    TapOptions opt;
+    opt.seed = trial;
+    const TapResult r = distributed_tap_standalone(net, inst, opt);
+    ASSERT_TRUE(inst.covers_all(r.augmentation));
+    const Weight opt_w = inst.weight_of(exact_tap(inst));
+    const double bound =
+        8.0 * (std::log2(static_cast<double>(inst.g.num_vertices())) + 1.0);
+    EXPECT_LE(static_cast<double>(r.weight), bound * static_cast<double>(opt_w))
+        << "trial " << trial;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST(DistributedTap, ZeroWeightLinksCoverForFree) {
+  Rng rng(5);
+  // Tree path plus zero-weight full-cycle links: augmentation weight 0.
+  Graph g(8);
+  std::vector<EdgeId> tree;
+  for (int i = 0; i + 1 < 8; ++i) tree.push_back(g.add_edge(i, i + 1, 1));
+  g.add_edge(7, 0, 0);
+  TapInstance inst = make_tap_instance(g, tree, 0);
+  Network net(inst.g);
+  const TapResult r = distributed_tap_standalone(net, inst, TapOptions{});
+  EXPECT_TRUE(inst.covers_all(r.augmentation));
+  EXPECT_EQ(r.weight, 0);
+}
+
+TEST(DistributedTap, IterationCountPolylog) {
+  Rng rng(6);
+  TapInstance inst = random_tap_instance(100, 120, 1, rng);
+  Network net(inst.g);
+  TapOptions opt;
+  const TapResult r = distributed_tap_standalone(net, inst, opt);
+  ASSERT_TRUE(inst.covers_all(r.augmentation));
+  const double logn = std::log2(100.0);
+  EXPECT_LE(r.iterations, static_cast<int>(12.0 * logn * logn));
+}
+
+}  // namespace
+}  // namespace deck

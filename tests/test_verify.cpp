@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "congest/network.hpp"
+#include "cycles/verify.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+namespace {
+
+TEST(Verify2Ec, AcceptsTwoConnectedFamilies) {
+  for (Graph g : {circulant(16, 1), torus(4, 5), hypercube(4)}) {
+    Network net(g);
+    const VerifyResult r = verify_2_edge_connected(net, 1);
+    EXPECT_TRUE(r.is_k_connected) << g.summary();
+    EXPECT_TRUE(r.witness.empty());
+  }
+}
+
+TEST(Verify2Ec, RejectsBridgesWithWitness) {
+  // Two triangles joined by a bridge.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const EdgeId bridge = g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  Network net(g);
+  const VerifyResult r = verify_2_edge_connected(net, 1);
+  EXPECT_FALSE(r.is_k_connected);
+  ASSERT_EQ(r.witness.size(), 1u);
+  EXPECT_EQ(r.witness[0], bridge);
+}
+
+TEST(Verify3Ec, AcceptsThreeConnectedFamilies) {
+  Rng rng(5);
+  for (Graph g : {hypercube(4), torus(4, 5), random_kec(20, 3, 30, rng)}) {
+    ASSERT_GE(edge_connectivity(g), 3) << g.summary();
+    Network net(g);
+    const VerifyResult r = verify_3_edge_connected(net, 2);
+    EXPECT_TRUE(r.is_k_connected) << g.summary();
+  }
+}
+
+TEST(Verify3Ec, RejectsCutPairsWithWitness) {
+  // A cycle: every pair of edges is a cut pair.
+  Graph g = circulant(10, 1);
+  Network net(g);
+  const VerifyResult r = verify_3_edge_connected(net, 3);
+  EXPECT_FALSE(r.is_k_connected);
+  ASSERT_EQ(r.witness.size(), 2u);
+  // Witness must be a genuine cut pair: removing both disconnects.
+  std::vector<char> mask(static_cast<std::size_t>(g.num_edges()), 1);
+  mask[static_cast<std::size_t>(r.witness[0])] = 0;
+  mask[static_cast<std::size_t>(r.witness[1])] = 0;
+  EXPECT_EQ(edge_connectivity(g, mask), 0);
+}
+
+TEST(Verify, RunsInDiameterRounds) {
+  Graph g = torus(3, 24);  // high diameter
+  Network net(g);
+  verify_2_edge_connected(net, 7);
+  // Label scan + BFS + verdict: a small constant times D.
+  EXPECT_LE(net.rounds(), 8u * 30u);
+}
+
+TEST(Verify, AgreesWithExactConnectivityOnRandomGraphs) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = random_kec(16, 2, static_cast<int>(rng.next_below(12)), rng);
+    const int lambda = edge_connectivity(g);
+    Network net(g);
+    EXPECT_EQ(verify_2_edge_connected(net, trial).is_k_connected, lambda >= 2) << trial;
+    Network net2(g);
+    EXPECT_EQ(verify_3_edge_connected(net2, trial).is_k_connected, lambda >= 3) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace deck

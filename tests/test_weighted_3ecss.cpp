@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "congest/network.hpp"
+#include "ecss/distributed_3ecss.hpp"
+#include "ecss/lower_bounds.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+namespace {
+
+class Weighted3Sweep : public ::testing::TestWithParam<std::tuple<int, int, WeightModel>> {};
+
+TEST_P(Weighted3Sweep, OutputIsThreeEdgeConnected) {
+  const auto [n, extra, wm] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 3 + extra);
+  Graph g = with_weights(random_kec(n, 3, extra, rng), wm, rng);
+  ASSERT_GE(edge_connectivity(g), 3);
+  Network net(g);
+  Ecss3Options opt;
+  opt.seed = static_cast<std::uint64_t>(n);
+  const Ecss3WeightedResult r = distributed_3ecss_weighted(net, opt);
+  EXPECT_TRUE(is_k_edge_connected_subset(g, r.edges, 3)) << "n=" << n;
+  EXPECT_GE(r.weight, kecss_lower_bound(g, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Weighted3Sweep,
+    ::testing::Values(std::make_tuple(12, 12, WeightModel::kUniform),
+                      std::make_tuple(16, 16, WeightModel::kUniform),
+                      std::make_tuple(24, 24, WeightModel::kPolynomial),
+                      std::make_tuple(32, 32, WeightModel::kUniform),
+                      std::make_tuple(32, 40, WeightModel::kZeroHeavy),
+                      std::make_tuple(48, 48, WeightModel::kUnit)));
+
+TEST(Weighted3Ecss, PrefersCheapEdges) {
+  // Graph = expensive 3-connected core + cheap parallel structure; the
+  // algorithm should use mostly cheap edges.
+  Rng rng(5);
+  Graph topo = random_kec(24, 3, 40, rng);
+  Graph g(topo.num_vertices());
+  for (EdgeId e = 0; e < topo.num_edges(); ++e) {
+    // First ~half the edges cheap, rest expensive.
+    g.add_edge(topo.edge(e).u, topo.edge(e).v, e % 2 == 0 ? 1 : 100);
+  }
+  if (edge_connectivity(g) < 3) GTEST_SKIP();
+  Network net(g);
+  const Ecss3WeightedResult r = distributed_3ecss_weighted(net, Ecss3Options{});
+  ASSERT_TRUE(is_k_edge_connected_subset(g, r.edges, 3));
+  // Using all edges would cost much more; the output should avoid most
+  // expensive edges when the cheap half suffices for connectivity.
+  EXPECT_LT(r.weight, g.total_weight());
+}
+
+TEST(Weighted3Ecss, UnitWeightsAgreeWithUnweightedVariantQuality) {
+  Rng rng(7);
+  Graph g = random_kec(32, 3, 32, rng);
+  Network net_w(g);
+  const auto rw = distributed_3ecss_weighted(net_w, Ecss3Options{});
+  ASSERT_TRUE(is_k_edge_connected_subset(g, rw.edges, 3));
+  Network net_u(g);
+  const auto ru = distributed_3ecss_unweighted(net_u, Ecss3Options{});
+  ASSERT_TRUE(is_k_edge_connected_subset(g, ru.edges, 3));
+  // Both are O(log n)-approximations; sizes must be in the same ballpark.
+  EXPECT_LE(rw.edges.size(), 3 * ru.edges.size());
+  EXPECT_LE(ru.edges.size(), 3 * rw.edges.size());
+}
+
+}  // namespace
+}  // namespace deck
