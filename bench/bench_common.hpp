@@ -1,16 +1,18 @@
 #pragma once
 
-// Shared helpers for the experiment binaries (F1..F5, T1..T4, A1/A2).
+// Shared helpers for the experiment binaries (F1..F7, T1..T5, A1..A3, M1).
 //
 // Each bench prints deck::Table blocks plus a short interpretation line so
 // EXPERIMENTS.md can quote the output verbatim. Sizes are chosen so the full
 // suite completes in minutes on a laptop; pass --large for bigger sweeps.
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -21,6 +23,12 @@ inline bool flag(int argc, char** argv, const char* name) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], name) == 0) return true;
   return false;
+}
+
+/// Prints a machine-readable result document after the human tables. The
+/// fixed markers let harnesses extract the JSON from mixed output.
+inline void print_json(const Json& doc) {
+  std::printf("--- json ---\n%s\n--- end json ---\n", doc.dump(2).c_str());
 }
 
 /// Named graph family for sweeps.

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "graph/traversal.hpp"
+#include "support/check.hpp"
 
 namespace deck {
 
@@ -53,6 +54,7 @@ GlobalMinCut stoer_wagner_min_cut(const Graph& g, const std::vector<char>& in_su
         if (added[static_cast<std::size_t>(v)]) continue;
         if (pick == -1 || conn[static_cast<std::size_t>(v)] > conn[static_cast<std::size_t>(pick)]) pick = v;
       }
+      DECK_CHECK(pick != -1);  // step < active.size() leaves a non-added vertex
       added[static_cast<std::size_t>(pick)] = 1;
       prev = last;
       last = pick;

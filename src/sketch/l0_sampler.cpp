@@ -1,0 +1,96 @@
+#include "sketch/l0_sampler.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+
+L0Sampler::L0Sampler(std::uint64_t universe, std::uint64_t seed, int columns)
+    : universe_(universe), seed_(seed), columns_(columns) {
+  DECK_CHECK(universe >= 1);
+  DECK_CHECK(columns >= 1);
+  // Level ℓ subsamples coordinates with probability 2^-ℓ; levels up to
+  // log2(universe) guarantee some level holds ~1 surviving coordinate
+  // whatever the support size. +2 slack absorbs variance at the extremes.
+  levels_ = std::bit_width(universe) + 2;
+  column_salt_.reserve(static_cast<std::size_t>(columns_));
+  column_fp_.reserve(static_cast<std::size_t>(columns_));
+  std::uint64_t state = seed_;
+  for (int c = 0; c < columns_; ++c) {
+    column_salt_.push_back(splitmix64(state));
+    column_fp_.push_back(splitmix64(state));
+  }
+  buckets_.assign(static_cast<std::size_t>(columns_ * levels_), Bucket{});
+}
+
+std::uint64_t L0Sampler::level_hash(int column, std::uint64_t index) const {
+  return mix64(column_salt_[static_cast<std::size_t>(column)] ^ index);
+}
+
+std::uint64_t L0Sampler::fingerprint_hash(int column, std::uint64_t index) const {
+  return mix64(column_fp_[static_cast<std::size_t>(column)] + index);
+}
+
+void L0Sampler::update(std::uint64_t index, int delta) {
+  DECK_ASSERT(index < universe_);
+  if (delta == 0) return;
+  for (int c = 0; c < columns_; ++c) {
+    // Coordinate `index` lives in levels 0..z where z counts the trailing
+    // zero bits of its level hash — a geometric subsampling cascade.
+    const int z = std::countr_zero(level_hash(c, index));
+    const int top = z < levels_ - 1 ? z : levels_ - 1;
+    const std::uint64_t fp = fingerprint_hash(c, index);
+    for (int l = 0; l <= top; ++l) {
+      Bucket& b = bucket(c, l);
+      b.count += delta;
+      b.index_sum += delta * static_cast<std::int64_t>(index);
+      b.fingerprint += static_cast<std::uint64_t>(static_cast<std::int64_t>(delta)) * fp;
+    }
+  }
+}
+
+bool L0Sampler::compatible(const L0Sampler& other) const {
+  return universe_ == other.universe_ && seed_ == other.seed_ && columns_ == other.columns_;
+}
+
+void L0Sampler::merge(const L0Sampler& other) {
+  DECK_CHECK_MSG(compatible(other), "merging incompatible ℓ₀ sketches");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].count += other.buckets_[i].count;
+    buckets_[i].index_sum += other.buckets_[i].index_sum;
+    buckets_[i].fingerprint += other.buckets_[i].fingerprint;
+  }
+}
+
+L0Sample L0Sampler::sample() const {
+  for (int c = 0; c < columns_; ++c) {
+    // Scan sparse (high) levels first: the first level whose expected
+    // surviving support is ~1 is the likeliest to be exactly one-sparse.
+    for (int l = levels_ - 1; l >= 0; --l) {
+      const Bucket& b = bucket(c, l);
+      if (b.count != 1 && b.count != -1) continue;
+      const std::int64_t idx = b.index_sum / b.count;
+      if (idx < 0 || static_cast<std::uint64_t>(idx) >= universe_) continue;
+      const std::uint64_t expect =
+          static_cast<std::uint64_t>(b.count) * fingerprint_hash(c, static_cast<std::uint64_t>(idx));
+      if (expect != b.fingerprint) continue;
+      return {L0Sample::Status::kFound, static_cast<std::uint64_t>(idx),
+              b.count > 0 ? 1 : -1};
+    }
+  }
+  return {empty() ? L0Sample::Status::kZero : L0Sample::Status::kFail, 0, 0};
+}
+
+bool L0Sampler::empty() const {
+  for (const Bucket& b : buckets_)
+    if (b.count != 0 || b.index_sum != 0 || b.fingerprint != 0) return false;
+  return true;
+}
+
+void L0Sampler::clear() {
+  buckets_.assign(buckets_.size(), Bucket{});
+}
+
+}  // namespace deck

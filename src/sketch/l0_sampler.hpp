@@ -1,0 +1,95 @@
+#pragma once
+
+// ℓ₀-sampling linear sketches (Jowhari–Sağlam–Tardos style, as used by
+// Ahn–Guha–McGregor graph sketching).
+//
+// An L0Sampler summarizes a vector x over universe [0, N) under a stream of
+// coordinate updates x_i += δ in O(log N) buckets per column. Because the
+// sketch is *linear*, the sketch of x + y is the bucket-wise sum of the
+// sketches of x and y — merging two sketches needs no access to the streams
+// that built them. On query it returns the index (and coefficient sign) of
+// some nonzero coordinate of x, reports x = 0, or fails; failure has small
+// constant probability per column and `columns` independent repetitions
+// drive it down geometrically.
+//
+// Applied to edge-incidence vectors (sketch_connectivity.hpp), summing the
+// per-vertex sketches of a supernode cancels internal edges — both endpoint
+// coefficients are ±1 with opposite signs — leaving exactly the cut, which
+// is what makes Borůvka-on-sketches work on dynamic streams.
+//
+// Determinism: all hashing derives from the constructor seed via mix64, so
+// two (seed, shape)-equal sketches are mergeable and every run reproduces.
+
+#include <cstdint>
+#include <vector>
+
+namespace deck {
+
+/// Result of L0Sampler::sample().
+struct L0Sample {
+  enum class Status {
+    kZero,   // the summarized vector is (certainly, up to 2^-64 slack) zero
+    kFail,   // sampling failed this time; the vector may still be nonzero
+    kFound,  // `index` is a nonzero coordinate with coefficient `sign`
+  };
+  Status status = Status::kZero;
+  std::uint64_t index = 0;
+  int sign = 0;  // ±1, only meaningful for kFound
+};
+
+class L0Sampler {
+ public:
+  /// Sketches vectors over [0, universe). `columns` independent repetitions
+  /// each hold ~log2(universe) one-sparse-recovery buckets.
+  L0Sampler(std::uint64_t universe, std::uint64_t seed, int columns = 6);
+
+  /// x_index += delta. Coefficients must stay within int64 (ours are ±1).
+  void update(std::uint64_t index, int delta);
+
+  /// Bucket-wise sum: afterwards this sketches x + y. Requires compatible().
+  void merge(const L0Sampler& other);
+
+  /// Same universe, seed and column count (merge precondition).
+  bool compatible(const L0Sampler& other) const;
+
+  L0Sample sample() const;
+
+  /// True iff every bucket is zero. A zero vector always reports true; a
+  /// nonzero vector reports true only on a ~2^-64 fingerprint wipeout.
+  bool empty() const;
+
+  void clear();
+
+  std::uint64_t universe() const { return universe_; }
+  int columns() const { return columns_; }
+  int levels() const { return levels_; }
+
+ private:
+  // One-sparse recovery bucket over the subsampled coordinates: signed
+  // count, index-weighted sum, and a wrapping fingerprint Σ c_i·h(i) that
+  // validates the (count, index_sum) decode.
+  struct Bucket {
+    std::int64_t count = 0;
+    std::int64_t index_sum = 0;
+    std::uint64_t fingerprint = 0;
+  };
+
+  std::uint64_t level_hash(int column, std::uint64_t index) const;
+  std::uint64_t fingerprint_hash(int column, std::uint64_t index) const;
+  const Bucket& bucket(int column, int level) const {
+    return buckets_[static_cast<std::size_t>(column * levels_ + level)];
+  }
+  Bucket& bucket(int column, int level) {
+    return buckets_[static_cast<std::size_t>(column * levels_ + level)];
+  }
+
+  std::uint64_t universe_ = 0;
+  std::uint64_t seed_ = 0;
+  int columns_ = 0;
+  int levels_ = 0;
+  std::vector<std::uint64_t> column_salt_;  // per-column level-hash salt
+  std::vector<std::uint64_t> column_fp_;    // per-column fingerprint salt
+  std::vector<Bucket> buckets_;             // columns_ × levels_, row-major
+};
+
+}  // namespace deck

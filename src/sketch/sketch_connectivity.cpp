@@ -1,0 +1,173 @@
+#include "sketch/sketch_connectivity.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "graph/union_find.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+namespace {
+
+int boruvka_rounds_budget(int n, int slack) {
+  const unsigned un = n > 1 ? static_cast<unsigned>(n - 1) : 1u;
+  return static_cast<int>(std::bit_width(un)) + slack;
+}
+
+}  // namespace
+
+SketchConnectivity::SketchConnectivity(int n, const SketchOptions& opt) : n_(n), opt_(opt) {
+  DECK_CHECK(n >= 0);
+  DECK_CHECK(opt.max_forests >= 1);
+  DECK_CHECK(opt.rounds_slack >= 1);
+  copies_per_forest_ = boruvka_rounds_budget(n_, opt_.rounds_slack);
+  const int total = opt_.max_forests * copies_per_forest_;
+  const std::uint64_t universe =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(n_) * static_cast<std::uint64_t>(n_));
+  sketches_.reserve(static_cast<std::size_t>(n_));
+  for (VertexId v = 0; v < n_; ++v) {
+    std::vector<L0Sampler> copies;
+    copies.reserve(static_cast<std::size_t>(total));
+    // All vertices share the copy's seed — their sketches must be mergeable
+    // within a supernode; copies differ so each Borůvka round draws fresh
+    // randomness.
+    for (int c = 0; c < total; ++c)
+      copies.emplace_back(universe, mix64(opt_.seed + 0x5e11ULL * static_cast<std::uint64_t>(c + 1)),
+                          opt_.columns);
+    sketches_.push_back(std::move(copies));
+  }
+}
+
+std::uint64_t SketchConnectivity::encode(VertexId lo, VertexId hi) const {
+  return encode_edge_index(lo, hi, n_);
+}
+
+SketchEdge SketchConnectivity::decode(std::uint64_t index) const {
+  const auto [u, v] = decode_edge_index(index, n_);
+  return {u, v};
+}
+
+void SketchConnectivity::update(VertexId u, VertexId v, int delta) {
+  DECK_CHECK_MSG(u >= 0 && u < n_ && v >= 0 && v < n_, "sketch update endpoint out of range");
+  DECK_CHECK_MSG(u != v, "sketch updates must not be self-loops");
+  const auto [lo, hi] = std::minmax(u, v);
+  const std::uint64_t index = encode(lo, hi);
+  for (L0Sampler& s : sketches_[static_cast<std::size_t>(lo)]) s.update(index, delta);
+  for (L0Sampler& s : sketches_[static_cast<std::size_t>(hi)]) s.update(index, -delta);
+}
+
+void SketchConnectivity::apply_batch(VertexId src, std::span<const VertexDelta> deltas) {
+  DECK_CHECK(src >= 0 && src < n_);
+  auto& copies = sketches_[static_cast<std::size_t>(src)];
+  for (const VertexDelta& d : deltas) {
+    DECK_CHECK_MSG(d.dst >= 0 && d.dst < n_, "sketch update endpoint out of range");
+    DECK_CHECK_MSG(d.dst != src, "sketch updates must not be self-loops");
+    const auto [lo, hi] = std::minmax(src, d.dst);
+    const std::uint64_t index = encode(lo, hi);
+    const int signed_delta = src == lo ? d.delta : -d.delta;
+    for (L0Sampler& s : copies) s.update(index, signed_delta);
+  }
+}
+
+void SketchConnectivity::erase_from_unused(const SketchEdge& e) {
+  const std::uint64_t index = encode(e.u, e.v);
+  auto& lo = sketches_[static_cast<std::size_t>(e.u)];
+  auto& hi = sketches_[static_cast<std::size_t>(e.v)];
+  for (std::size_t c = static_cast<std::size_t>(cursor_); c < lo.size(); ++c) {
+    lo[c].update(index, -1);
+    hi[c].update(index, 1);
+  }
+}
+
+std::vector<SketchEdge> SketchConnectivity::spanning_forest() {
+  std::vector<SketchEdge> forest;
+  if (n_ <= 1) return forest;
+  UnionFind uf(n_);
+  bool maximal = false;
+  for (int round = 0; round < copies_per_forest_ && !maximal; ++round) {
+    if (uf.num_components() == 1) break;
+    DECK_CHECK_MSG(cursor_ < copies_total(), "sketch copies exhausted — raise max_forests");
+    const int copy = cursor_++;
+
+    // Aggregate the round's copy over each supernode: linearity cancels
+    // intra-component edges, leaving each component's cut.
+    std::vector<int> slot(static_cast<std::size_t>(n_), -1);
+    std::vector<L0Sampler> agg;
+    for (VertexId v = 0; v < n_; ++v) {
+      const int root = uf.find(v);
+      int& s = slot[static_cast<std::size_t>(root)];
+      if (s < 0) {
+        s = static_cast<int>(agg.size());
+        agg.push_back(sketches_[static_cast<std::size_t>(v)][static_cast<std::size_t>(copy)]);
+      } else {
+        agg[static_cast<std::size_t>(s)].merge(
+            sketches_[static_cast<std::size_t>(v)][static_cast<std::size_t>(copy)]);
+      }
+    }
+
+    bool merged_any = false;
+    bool failed_any = false;
+    for (const L0Sampler& component : agg) {
+      const L0Sample s = component.sample();
+      if (s.status == L0Sample::Status::kZero) continue;  // no cut edges: done
+      if (s.status == L0Sample::Status::kFail) {
+        failed_any = true;  // retried on the next round's fresh copies
+        continue;
+      }
+      const SketchEdge e = decode(s.index);
+      // Two components can recover the same edge from opposite sides, and a
+      // component processed later this round may have been united already —
+      // unite() deduplicates both cases.
+      if (uf.unite(e.u, e.v)) {
+        forest.push_back(e);
+        merged_any = true;
+      }
+    }
+    // No merge and no failure means every component's cut was empty: the
+    // forest is maximal (the sketched graph may legitimately be
+    // disconnected).
+    maximal = !merged_any && !failed_any;
+  }
+  DECK_CHECK_MSG(maximal || uf.num_components() == 1,
+                 "ℓ₀ sampling did not converge — raise columns or rounds_slack");
+  return forest;
+}
+
+std::vector<std::vector<SketchEdge>> SketchConnectivity::k_spanning_forests(int k) {
+  DECK_CHECK(k >= 1);
+  DECK_CHECK_MSG(k <= opt_.max_forests, "k exceeds the sketch's max_forests budget");
+  std::vector<std::vector<SketchEdge>> forests;
+  forests.reserve(static_cast<std::size_t>(k));
+  for (int f = 0; f < k; ++f) {
+    std::vector<SketchEdge> forest = spanning_forest();
+    // Peel: later forests must sketch G minus everything recovered so far.
+    for (const SketchEdge& e : forest) erase_from_unused(e);
+    // Rotate to the next forest's group of copies so every forest starts on
+    // untouched randomness even when this one converged early.
+    cursor_ = std::max(cursor_, (f + 1) * copies_per_forest_);
+    forests.push_back(std::move(forest));
+  }
+  return forests;
+}
+
+SparsifyResult sparsify_stream(const GraphStream& stream, int k, const SketchOptions& opt) {
+  DECK_CHECK(k >= 1);
+  SketchOptions o = opt;
+  o.max_forests = k;
+  SketchConnectivity sk(stream.num_vertices(), o);
+  apply_batched(stream, /*batch_size=*/1024,
+                [&sk](VertexId src, std::span<const VertexDelta> deltas) {
+                  sk.apply_batch(src, deltas);
+                });
+  SparsifyResult result;
+  result.forests = sk.k_spanning_forests(k);
+  result.copies_used = sk.copies_used();
+  Graph cert(stream.num_vertices());
+  for (const auto& forest : result.forests)
+    for (const SketchEdge& e : forest) cert.add_edge(e.u, e.v, /*w=*/1);
+  result.certificate = std::move(cert);
+  return result;
+}
+
+}  // namespace deck

@@ -1,0 +1,101 @@
+#pragma once
+
+// Spanning-forest recovery from linear sketches (Ahn–Guha–McGregor) and
+// k-edge-disjoint forest peeling — a *streaming* Thurimella sparse
+// certificate (ecss/thurimella.hpp) computed from insert/delete streams.
+//
+// Every vertex keeps ℓ₀ sketches of its signed edge-incidence vector: edge
+// {u,v} with u < v contributes +1 at index enc(u,v) to u's vector and -1 to
+// v's. Summing member sketches over a supernode therefore cancels internal
+// edges and exposes exactly the cut, so Borůvka runs on sketches alone:
+// each round, every component samples one cut edge and components merge.
+// Sampling consumes randomness, so each vertex holds a fresh sketch *copy*
+// per Borůvka round; k_spanning_forests rotates through k groups of copies
+// (the Landscape repo's supernode-cycling trick) and, after peeling a
+// forest, deletes its edges from all still-unused copies via linearity.
+//
+// The union of the k peeled forests is a Thurimella certificate: ≤ k(n-1)
+// edges, k-edge-connected whenever the streamed graph is (w.h.p. over the
+// sketch seed). sparsify_stream() materializes it as a deck::Graph so the
+// CONGEST pipeline (distributed_kecss / distributed_2ecss) runs on the
+// O(kn)-edge sparsifier instead of the raw stream.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sketch/l0_sampler.hpp"
+#include "sketch/stream.hpp"
+
+namespace deck {
+
+struct SketchOptions {
+  std::uint64_t seed = 1;
+  /// Forest budget the per-vertex sketch arrays are sized for.
+  int max_forests = 1;
+  /// Independent ℓ₀ repetitions per sketch copy (failure ~ 2^-columns).
+  int columns = 6;
+  /// Borůvka rounds beyond ceil(log2 n) budgeted per forest; failed samples
+  /// retry on the next round's fresh copies.
+  int rounds_slack = 4;
+};
+
+/// An undirected edge recovered from a sketch (no id — stream edges have
+/// no stable ids until the certificate is materialized).
+struct SketchEdge {
+  VertexId u = kNoVertex;
+  VertexId v = kNoVertex;
+};
+
+class SketchConnectivity {
+ public:
+  SketchConnectivity(int n, const SketchOptions& opt = {});
+
+  /// Edge multiplicity change: delta = +1 insert, -1 delete. Updates both
+  /// endpoint sketch arrays.
+  void update(VertexId u, VertexId v, int delta);
+
+  /// Applies a batch of directed halves to src's sketch array only — the
+  /// multi-inserter entry point used by apply_batched(). Every undirected
+  /// update must eventually reach both endpoints.
+  void apply_batch(VertexId src, std::span<const VertexDelta> deltas);
+
+  /// Recovers a maximal spanning forest of the currently-sketched graph
+  /// (Borůvka on sketches), consuming one sketch copy per round.
+  std::vector<SketchEdge> spanning_forest();
+
+  /// Peels k edge-disjoint spanning forests F_1..F_k, F_i a maximal
+  /// spanning forest of G \ (F_1 ∪ … ∪ F_{i-1}). Requires k <= max_forests.
+  std::vector<std::vector<SketchEdge>> k_spanning_forests(int k);
+
+  int num_vertices() const { return n_; }
+  int copies_used() const { return cursor_; }
+  int copies_total() const { return static_cast<int>(sketches_.empty() ? 0 : sketches_[0].size()); }
+
+ private:
+  std::uint64_t encode(VertexId lo, VertexId hi) const;
+  SketchEdge decode(std::uint64_t index) const;
+  /// Deletes a recovered forest edge from every still-unused copy so later
+  /// forests see the peeled graph.
+  void erase_from_unused(const SketchEdge& e);
+
+  int n_ = 0;
+  SketchOptions opt_;
+  int copies_per_forest_ = 0;
+  int cursor_ = 0;                            // next unused copy index
+  std::vector<std::vector<L0Sampler>> sketches_;  // [vertex][copy]
+};
+
+/// Streaming sparsification front-end: ingest the stream (batched), peel k
+/// forests, and materialize the certificate as a unit-weight deck::Graph on
+/// the same vertex set — ready to wrap in a Network and feed to the CONGEST
+/// algorithms. opt.max_forests is overridden with k.
+struct SparsifyResult {
+  Graph certificate;
+  std::vector<std::vector<SketchEdge>> forests;
+  int copies_used = 0;
+};
+SparsifyResult sparsify_stream(const GraphStream& stream, int k, const SketchOptions& opt = {});
+
+}  // namespace deck

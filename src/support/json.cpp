@@ -1,0 +1,145 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace deck {
+
+Json::Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+Json::Json(int v) : kind_(Kind::kInt), int_(v) {}
+Json::Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+Json::Json(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}
+Json::Json(double v) : kind_(Kind::kDouble), double_(v) {}
+Json::Json(const char* s) : kind_(Kind::kString), string_(s) {}
+Json::Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  DECK_CHECK_MSG(kind_ == Kind::kObject, "Json::set on a non-object");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  DECK_CHECK_MSG(kind_ == Kind::kArray, "Json::push on a non-array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  return 0;
+}
+
+void Json::write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+                                 : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ') : std::string();
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kUint: out += std::to_string(uint_); break;
+    case Kind::kDouble: {
+      if (std::isfinite(double_)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.10g", double_);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no inf/nan
+      }
+      break;
+    }
+    case Kind::kString: write_escaped(out, string_); break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += pad;
+        items_[i].write(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        write_escaped(out, members_[i].first);
+        out += colon;
+        members_[i].second.write(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace deck

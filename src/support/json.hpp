@@ -1,0 +1,63 @@
+#pragma once
+
+// Minimal JSON document builder for machine-readable benchmark output.
+//
+// Benches historically print deck::Table blocks for humans; experiment
+// harnesses that diff runs want JSON. Json is a small ordered value type
+// (null/bool/number/string/array/object — insertion order preserved so
+// output is deterministic) with a dump() that emits standard JSON. It only
+// builds and serializes; parsing is out of scope.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deck {
+
+class Json {
+ public:
+  Json() = default;  // null
+  Json(bool b);
+  Json(int v);
+  Json(std::int64_t v);
+  Json(std::uint64_t v);
+  Json(double v);
+  Json(const char* s);
+  Json(std::string s);
+
+  static Json object();
+  static Json array();
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Sets key in an object (must be object); returns *this for chaining.
+  Json& set(const std::string& key, Json value);
+
+  /// Appends to an array (must be array); returns *this for chaining.
+  Json& push(Json value);
+
+  std::size_t size() const;
+
+  /// Serializes; indent < 0 gives compact one-line output, otherwise
+  /// pretty-printed with `indent` spaces per level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  void write(std::string& out, int indent, int depth) const;
+  static void write_escaped(std::string& out, const std::string& s);
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace deck

@@ -87,7 +87,9 @@ TEST(Decomposition, HighwayStructure) {
     for (std::size_t j = 0; j + 1 < seg.highway_vertices.size(); ++j) {
       EXPECT_EQ(s.mst.tree.parent(seg.highway_vertices[j + 1]), seg.highway_vertices[j]);
       // Interior vertices unmarked.
-      if (j >= 1) EXPECT_FALSE(dec.is_marked(seg.highway_vertices[j]));
+      if (j >= 1) {
+        EXPECT_FALSE(dec.is_marked(seg.highway_vertices[j]));
+      }
     }
   }
 }
