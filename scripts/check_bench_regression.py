@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the deck CI.
+
+Compares a bench run's machine-readable JSON (the block between the
+``--- json ---`` / ``--- end json ---`` markers of bench_* stdout, or a bare
+JSON file) against a checked-in baseline under bench/baselines/. The gate is
+deliberately restricted to *deterministic* quality metrics — certificate
+sizes, CONGEST round counts, sketch copies consumed — which are seeded and
+therefore reproduce exactly across machines; wall-clock fields are stripped
+from baselines and never gated.
+
+A run fails the gate when
+  * any gated metric exceeds its baseline by more than --tolerance
+    (default 10%),
+  * any boolean correctness field in the run is false, or
+  * a baseline row has no matching row in the run (coverage shrank).
+
+Refreshing a baseline after an intentional change:
+  ./build/bench_f7_sketch > f7.out
+  scripts/check_bench_regression.py --write-baseline f7.out bench/baselines/f7_sketch.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+JSON_BEGIN = "--- json ---"
+JSON_END = "--- end json ---"
+
+# Per-bench gate configuration: which fields identify a row, and which
+# deterministic metrics must not regress (increase) beyond tolerance.
+GATES = {
+    "f7_sketch": {
+        "key": ("family", "n", "k"),
+        "metrics": ("m_certificate", "rounds_sparsified"),
+    },
+    "f8_shard": {
+        "key": ("n", "k", "mode", "shards"),
+        "metrics": ("m_certificate", "sketch_copies_used"),
+    },
+}
+
+# Wall-clock / host-dependent fields, stripped when writing baselines.
+VOLATILE = ("ingest_ms", "halves_per_sec", "speedup_vs_1shard")
+
+
+def extract_doc(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    if JSON_BEGIN in text:
+        text = text.split(JSON_BEGIN, 1)[1].split(JSON_END, 1)[0]
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path}: cannot parse bench JSON: {e}")
+    if "bench" not in doc or "rows" not in doc:
+        sys.exit(f"error: {path}: not a bench document (missing 'bench'/'rows')")
+    return doc
+
+
+def row_key(row: dict, fields: tuple) -> tuple:
+    return tuple(row.get(f) for f in fields)
+
+
+def check(run: dict, baseline: dict, tolerance: float) -> int:
+    name = run["bench"]
+    if baseline["bench"] != name:
+        print(f"FAIL: bench mismatch: run is '{name}', baseline is '{baseline['bench']}'")
+        return 1
+    if name not in GATES:
+        sys.exit(f"error: no gate configuration for bench '{name}'")
+    gate = GATES[name]
+
+    failures = 0
+    run_rows = {row_key(r, gate["key"]): r for r in run["rows"]}
+
+    for field, value in run.items():
+        if isinstance(value, bool) and not value:
+            print(f"FAIL: {name}: document flag '{field}' is false")
+            failures += 1
+
+    for base_row in baseline["rows"]:
+        key = row_key(base_row, gate["key"])
+        label = ", ".join(f"{f}={v}" for f, v in zip(gate["key"], key))
+        cur = run_rows.get(key)
+        if cur is None:
+            print(f"FAIL: {name}: row ({label}) present in baseline but missing from run")
+            failures += 1
+            continue
+        for field, value in cur.items():
+            if isinstance(value, bool) and not value:
+                print(f"FAIL: {name}: ({label}): correctness flag '{field}' is false")
+                failures += 1
+        for metric in gate["metrics"]:
+            base_val = base_row.get(metric)
+            cur_val = cur.get(metric)
+            if base_val is None or cur_val is None:
+                print(f"FAIL: {name}: ({label}): metric '{metric}' missing "
+                      f"(baseline={base_val}, run={cur_val})")
+                failures += 1
+                continue
+            limit = base_val * (1.0 + tolerance)
+            if cur_val > limit:
+                print(f"FAIL: {name}: ({label}): {metric} regressed "
+                      f"{base_val} -> {cur_val} (limit {limit:.2f})")
+                failures += 1
+            elif cur_val < base_val:
+                print(f"info: {name}: ({label}): {metric} improved {base_val} -> {cur_val}")
+
+    if failures == 0:
+        print(f"OK: {name}: {len(baseline['rows'])} rows within {tolerance:.0%} of baseline")
+    return 1 if failures else 0
+
+
+def write_baseline(run: dict, out_path: str) -> None:
+    doc = dict(run)
+    doc["rows"] = [{k: v for k, v in row.items() if k not in VOLATILE} for row in run["rows"]]
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote baseline {out_path}: {len(doc['rows'])} rows")
+
+
+def main() -> int:
+    p = argparse.ArgumentParser(description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("run", help="bench stdout capture or bare JSON document")
+    p.add_argument("baseline", help="checked-in baseline JSON (or output path with --write-baseline)")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="allowed fractional increase per gated metric (default 0.10)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write/refresh the baseline from the run instead of checking")
+    args = p.parse_args()
+
+    run = extract_doc(args.run)
+    if args.write_baseline:
+        write_baseline(run, args.baseline)
+        return 0
+    return check(run, extract_doc(args.baseline), args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

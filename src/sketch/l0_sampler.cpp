@@ -7,14 +7,18 @@
 
 namespace deck {
 
+int L0Sampler::levels_for(std::uint64_t universe) {
+  // Level ℓ subsamples coordinates with probability 2^-ℓ; levels up to
+  // log2(universe) guarantee some level holds ~1 surviving coordinate
+  // whatever the support size. +2 slack absorbs variance at the extremes.
+  return std::bit_width(universe) + 2;
+}
+
 L0Sampler::L0Sampler(std::uint64_t universe, std::uint64_t seed, int columns)
     : universe_(universe), seed_(seed), columns_(columns) {
   DECK_CHECK(universe >= 1);
   DECK_CHECK(columns >= 1);
-  // Level ℓ subsamples coordinates with probability 2^-ℓ; levels up to
-  // log2(universe) guarantee some level holds ~1 surviving coordinate
-  // whatever the support size. +2 slack absorbs variance at the extremes.
-  levels_ = std::bit_width(universe) + 2;
+  levels_ = levels_for(universe);
   column_salt_.reserve(static_cast<std::size_t>(columns_));
   column_fp_.reserve(static_cast<std::size_t>(columns_));
   std::uint64_t state = seed_;

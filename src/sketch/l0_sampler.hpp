@@ -39,9 +39,24 @@ struct L0Sample {
 
 class L0Sampler {
  public:
+  // One-sparse recovery bucket over the subsampled coordinates: signed
+  // count, index-weighted sum, and a wrapping fingerprint Σ c_i·h(i) that
+  // validates the (count, index_sum) decode. Public as a type so the
+  // sketch_io codec can name it; the bucket storage itself stays private.
+  struct Bucket {
+    std::int64_t count = 0;
+    std::int64_t index_sum = 0;
+    std::uint64_t fingerprint = 0;
+  };
+
   /// Sketches vectors over [0, universe). `columns` independent repetitions
   /// each hold ~log2(universe) one-sparse-recovery buckets.
   L0Sampler(std::uint64_t universe, std::uint64_t seed, int columns = 6);
+
+  /// Subsampling levels a sampler over `universe` holds per column — the
+  /// shape formula, exposed so decoders (sketch_io) can size-check a buffer
+  /// before constructing anything.
+  static int levels_for(std::uint64_t universe);
 
   /// x_index += delta. Coefficients must stay within int64 (ours are ±1).
   void update(std::uint64_t index, int delta);
@@ -61,18 +76,12 @@ class L0Sampler {
   void clear();
 
   std::uint64_t universe() const { return universe_; }
+  std::uint64_t seed() const { return seed_; }
   int columns() const { return columns_; }
   int levels() const { return levels_; }
 
  private:
-  // One-sparse recovery bucket over the subsampled coordinates: signed
-  // count, index-weighted sum, and a wrapping fingerprint Σ c_i·h(i) that
-  // validates the (count, index_sum) decode.
-  struct Bucket {
-    std::int64_t count = 0;
-    std::int64_t index_sum = 0;
-    std::uint64_t fingerprint = 0;
-  };
+  friend struct SketchIoAccess;  // sketch_io.cpp: raw bucket encode/decode
 
   std::uint64_t level_hash(int column, std::uint64_t index) const;
   std::uint64_t fingerprint_hash(int column, std::uint64_t index) const;

@@ -5,6 +5,7 @@
 
 #include "graph/union_find.hpp"
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace deck {
 
@@ -17,12 +18,16 @@ int boruvka_rounds_budget(int n, int slack) {
 
 }  // namespace
 
-SketchConnectivity::SketchConnectivity(int n, const SketchOptions& opt) : n_(n), opt_(opt) {
-  DECK_CHECK(n >= 0);
+int SketchConnectivity::total_copies_for(int n, const SketchOptions& opt) {
   DECK_CHECK(opt.max_forests >= 1);
   DECK_CHECK(opt.rounds_slack >= 1);
+  return opt.max_forests * boruvka_rounds_budget(n, opt.rounds_slack);
+}
+
+SketchConnectivity::SketchConnectivity(int n, const SketchOptions& opt) : n_(n), opt_(opt) {
+  DECK_CHECK(n >= 0);
   copies_per_forest_ = boruvka_rounds_budget(n_, opt_.rounds_slack);
-  const int total = opt_.max_forests * copies_per_forest_;
+  const int total = total_copies_for(n_, opt_);
   const std::uint64_t universe =
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(n_) * static_cast<std::uint64_t>(n_));
   sketches_.reserve(static_cast<std::size_t>(n_));
@@ -31,9 +36,12 @@ SketchConnectivity::SketchConnectivity(int n, const SketchOptions& opt) : n_(n),
     copies.reserve(static_cast<std::size_t>(total));
     // All vertices share the copy's seed — their sketches must be mergeable
     // within a supernode; copies differ so each Borůvka round draws fresh
-    // randomness.
+    // randomness. split_seed makes the derivation shared-state-free: any
+    // shard thread or remote process reconstructs the same per-copy seeds
+    // from opt.seed alone, which is what keeps independently-built banks
+    // mergeable.
     for (int c = 0; c < total; ++c)
-      copies.emplace_back(universe, mix64(opt_.seed + 0x5e11ULL * static_cast<std::uint64_t>(c + 1)),
+      copies.emplace_back(universe, split_seed(opt_.seed, static_cast<std::uint64_t>(c)),
                           opt_.columns);
     sketches_.push_back(std::move(copies));
   }
@@ -67,6 +75,23 @@ void SketchConnectivity::apply_batch(VertexId src, std::span<const VertexDelta> 
     const std::uint64_t index = encode(lo, hi);
     const int signed_delta = src == lo ? d.delta : -d.delta;
     for (L0Sampler& s : copies) s.update(index, signed_delta);
+  }
+}
+
+bool SketchConnectivity::compatible(const SketchConnectivity& other) const {
+  return n_ == other.n_ && opt_.seed == other.opt_.seed &&
+         opt_.max_forests == other.opt_.max_forests && opt_.columns == other.opt_.columns &&
+         opt_.rounds_slack == other.opt_.rounds_slack;
+}
+
+void SketchConnectivity::merge(const SketchConnectivity& other) {
+  DECK_CHECK_MSG(compatible(other), "merging incompatible sketch banks");
+  DECK_CHECK_MSG(cursor_ == other.cursor_,
+                 "merging banks with different recovery progress — merge before recovery");
+  for (VertexId v = 0; v < n_; ++v) {
+    auto& mine = sketches_[static_cast<std::size_t>(v)];
+    const auto& theirs = other.sketches_[static_cast<std::size_t>(v)];
+    for (std::size_t c = 0; c < mine.size(); ++c) mine[c].merge(theirs[c]);
   }
 }
 

@@ -52,6 +52,11 @@ class SketchConnectivity {
  public:
   SketchConnectivity(int n, const SketchOptions& opt = {});
 
+  /// Sketch copies each vertex holds for (n, opt) — the bank shape formula,
+  /// exposed so decoders (sketch_io) can size-check a buffer before
+  /// constructing anything.
+  static int total_copies_for(int n, const SketchOptions& opt);
+
   /// Edge multiplicity change: delta = +1 insert, -1 delete. Updates both
   /// endpoint sketch arrays.
   void update(VertexId u, VertexId v, int delta);
@@ -60,6 +65,18 @@ class SketchConnectivity {
   /// multi-inserter entry point used by apply_batched(). Every undirected
   /// update must eventually reach both endpoints.
   void apply_batch(VertexId src, std::span<const VertexDelta> deltas);
+
+  /// Same vertex count, seed and sketch shape (merge precondition). Copy
+  /// seeds are split deterministically from opt.seed (split_seed), so two
+  /// banks built anywhere — another thread, another process, a decoded
+  /// sketch_io buffer — are compatible iff their (n, options) agree.
+  bool compatible(const SketchConnectivity& other) const;
+
+  /// Bucket-wise sum of every per-vertex copy: afterwards this bank
+  /// sketches the union (signed multiset sum) of both update streams.
+  /// Requires compatible() and equal copies_used() — merging is an
+  /// ingestion-time operation, performed before recovery consumes copies.
+  void merge(const SketchConnectivity& other);
 
   /// Recovers a maximal spanning forest of the currently-sketched graph
   /// (Borůvka on sketches), consuming one sketch copy per round.
@@ -70,10 +87,12 @@ class SketchConnectivity {
   std::vector<std::vector<SketchEdge>> k_spanning_forests(int k);
 
   int num_vertices() const { return n_; }
+  const SketchOptions& options() const { return opt_; }
   int copies_used() const { return cursor_; }
   int copies_total() const { return static_cast<int>(sketches_.empty() ? 0 : sketches_[0].size()); }
 
  private:
+  friend struct SketchIoAccess;  // sketch_io.cpp: raw bucket encode/decode
   std::uint64_t encode(VertexId lo, VertexId hi) const;
   SketchEdge decode(std::uint64_t index) const;
   /// Deletes a recovered forest edge from every still-unused copy so later

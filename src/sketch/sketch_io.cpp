@@ -1,0 +1,236 @@
+#include "sketch/sketch_io.hpp"
+
+#include <cstddef>
+
+#include "support/check.hpp"
+
+namespace deck {
+
+/// Private-member bridge for the codec: the only code outside the classes
+/// that touches raw buckets, so the wire format stays in one translation
+/// unit.
+struct SketchIoAccess {
+  static const std::vector<L0Sampler::Bucket>& buckets(const L0Sampler& s) { return s.buckets_; }
+  static std::vector<L0Sampler::Bucket>& buckets(L0Sampler& s) { return s.buckets_; }
+  static const std::vector<std::vector<L0Sampler>>& sketches(const SketchConnectivity& b) {
+    return b.sketches_;
+  }
+  static std::vector<std::vector<L0Sampler>>& sketches(SketchConnectivity& b) {
+    return b.sketches_;
+  }
+  static void set_cursor(SketchConnectivity& b, int cursor) { b.cursor_ = cursor; }
+};
+
+namespace {
+
+// Magic tags: 8 ASCII bytes, written verbatim so a hexdump identifies the
+// buffer kind ("DECKSKS1" = sampler, "DECKSKB1" = bank).
+constexpr std::uint8_t kSamplerMagic[8] = {'D', 'E', 'C', 'K', 'S', 'K', 'S', '1'};
+constexpr std::uint8_t kBankMagic[8] = {'D', 'E', 'C', 'K', 'S', 'K', 'B', '1'};
+
+constexpr std::size_t kBucketBytes = 24;  // i64 count, i64 index_sum, u64 fingerprint
+constexpr std::size_t kChecksumBytes = 8;
+constexpr std::size_t kSamplerHeaderBytes = 8 + 4 + 4 + 8 + 8;  // magic ver columns universe seed
+// magic ver n seed max_forests columns rounds_slack cursor
+constexpr std::size_t kBankHeaderBytes = 8 + 4 + 4 + 8 + 4 + 4 + 4 + 4;
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_bucket(std::vector<std::uint8_t>& out, const L0Sampler::Bucket& b) {
+  put_i64(out, b.count);
+  put_i64(out, b.index_sum);
+  put_u64(out, b.fingerprint);
+}
+
+void put_checksum(std::vector<std::uint8_t>& out) {
+  put_u64(out, fnv1a(std::span<const std::uint8_t>(out.data(), out.size())));
+}
+
+/// Bounds-checked little-endian cursor. Every decode failure funnels
+/// through fail() so a malformed buffer can only ever raise SketchIoError.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[noreturn]] static void fail(const std::string& what) { throw SketchIoError("sketch_io: " + what); }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  void expect_magic(const std::uint8_t (&magic)[8]) {
+    need(8);
+    for (int i = 0; i < 8; ++i)
+      if (bytes_[pos_ + static_cast<std::size_t>(i)] != magic[i]) fail("bad magic — not a sketch buffer of this kind");
+    pos_ += 8;
+  }
+
+  L0Sampler::Bucket bucket() {
+    L0Sampler::Bucket b;
+    b.count = i64();
+    b.index_sum = i64();
+    b.fingerprint = u64();
+    return b;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void need(std::size_t k) {
+    if (bytes_.size() - pos_ < k) fail("truncated buffer");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Shared prologue: overall length, trailing checksum, magic, version. After
+/// this, header fields can be read but payload sizes still need validation.
+Reader open_checked(std::span<const std::uint8_t> bytes, const std::uint8_t (&magic)[8],
+                    std::size_t header_bytes) {
+  if (bytes.size() < header_bytes + kChecksumBytes) Reader::fail("truncated buffer");
+  const std::span<const std::uint8_t> body = bytes.first(bytes.size() - kChecksumBytes);
+  Reader tail(bytes.subspan(bytes.size() - kChecksumBytes));
+  if (fnv1a(body) != tail.u64()) Reader::fail("checksum mismatch — corrupted buffer");
+  Reader r(body);
+  r.expect_magic(magic);
+  const std::uint32_t version = r.u32();
+  if (version != kSketchIoVersion)
+    Reader::fail("version skew: buffer v" + std::to_string(version) + ", codec v" +
+                 std::to_string(kSketchIoVersion));
+  return r;
+}
+
+/// Exact payload check without constructing: forged headers must fail on
+/// arithmetic, not on a giant allocation. 128-bit so the product can't wrap.
+void check_payload(std::size_t remaining, unsigned __int128 expected_buckets) {
+  if (expected_buckets * kBucketBytes != static_cast<unsigned __int128>(remaining))
+    Reader::fail("payload size does not match header shape");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_sampler(const L0Sampler& s) {
+  std::vector<std::uint8_t> out;
+  const auto& buckets = SketchIoAccess::buckets(s);
+  out.reserve(kSamplerHeaderBytes + buckets.size() * kBucketBytes + kChecksumBytes);
+  out.insert(out.end(), kSamplerMagic, kSamplerMagic + 8);
+  put_u32(out, kSketchIoVersion);
+  put_u32(out, static_cast<std::uint32_t>(s.columns()));
+  put_u64(out, s.universe());
+  put_u64(out, s.seed());
+  for (const auto& b : buckets) put_bucket(out, b);
+  put_checksum(out);
+  return out;
+}
+
+L0Sampler decode_sampler(std::span<const std::uint8_t> bytes) {
+  Reader r = open_checked(bytes, kSamplerMagic, kSamplerHeaderBytes);
+  const std::uint32_t columns = r.u32();
+  const std::uint64_t universe = r.u64();
+  const std::uint64_t seed = r.u64();
+  if (columns < 1 || columns > (1u << 16)) Reader::fail("columns out of range");
+  if (universe < 1) Reader::fail("universe out of range");
+  const auto levels = static_cast<unsigned __int128>(L0Sampler::levels_for(universe));
+  check_payload(r.remaining(), static_cast<unsigned __int128>(columns) * levels);
+  L0Sampler s(universe, seed, static_cast<int>(columns));
+  for (auto& b : SketchIoAccess::buckets(s)) b = r.bucket();
+  return s;
+}
+
+std::vector<std::uint8_t> encode_bank(const SketchConnectivity& bank) {
+  const SketchOptions& opt = bank.options();
+  const auto n = static_cast<std::size_t>(bank.num_vertices());
+  const std::uint64_t universe = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(n) * n);
+  const auto buckets = n * static_cast<std::size_t>(SketchConnectivity::total_copies_for(bank.num_vertices(), opt)) *
+                       static_cast<std::size_t>(opt.columns) *
+                       static_cast<std::size_t>(L0Sampler::levels_for(universe));
+  std::vector<std::uint8_t> out;
+  out.reserve(kBankHeaderBytes + buckets * kBucketBytes + kChecksumBytes);
+  out.insert(out.end(), kBankMagic, kBankMagic + 8);
+  put_u32(out, kSketchIoVersion);
+  put_u32(out, static_cast<std::uint32_t>(bank.num_vertices()));
+  put_u64(out, opt.seed);
+  put_u32(out, static_cast<std::uint32_t>(opt.max_forests));
+  put_u32(out, static_cast<std::uint32_t>(opt.columns));
+  put_u32(out, static_cast<std::uint32_t>(opt.rounds_slack));
+  put_u32(out, static_cast<std::uint32_t>(bank.copies_used()));
+  for (const auto& copies : SketchIoAccess::sketches(bank))
+    for (const L0Sampler& s : copies)
+      for (const auto& b : SketchIoAccess::buckets(s)) put_bucket(out, b);
+  put_checksum(out);
+  return out;
+}
+
+SketchConnectivity decode_bank(std::span<const std::uint8_t> bytes) {
+  Reader r = open_checked(bytes, kBankMagic, kBankHeaderBytes);
+  const std::uint32_t n = r.u32();
+  SketchOptions opt;
+  opt.seed = r.u64();
+  const std::uint32_t max_forests = r.u32();
+  const std::uint32_t columns = r.u32();
+  const std::uint32_t rounds_slack = r.u32();
+  const std::uint32_t cursor = r.u32();
+  if (n > (1u << 30)) Reader::fail("vertex count out of range");
+  if (max_forests < 1 || max_forests > (1u << 16)) Reader::fail("max_forests out of range");
+  if (columns < 1 || columns > (1u << 16)) Reader::fail("columns out of range");
+  if (rounds_slack < 1 || rounds_slack > (1u << 16)) Reader::fail("rounds_slack out of range");
+  opt.max_forests = static_cast<int>(max_forests);
+  opt.columns = static_cast<int>(columns);
+  opt.rounds_slack = static_cast<int>(rounds_slack);
+
+  const std::uint64_t universe =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n));
+  const auto total = static_cast<unsigned __int128>(
+      SketchConnectivity::total_copies_for(static_cast<int>(n), opt));
+  const auto levels = static_cast<unsigned __int128>(L0Sampler::levels_for(universe));
+  check_payload(r.remaining(),
+                static_cast<unsigned __int128>(n) * total * static_cast<unsigned __int128>(columns) * levels);
+  if (cursor > static_cast<std::uint64_t>(total)) Reader::fail("recovery cursor out of range");
+
+  SketchConnectivity bank(static_cast<int>(n), opt);
+  for (auto& copies : SketchIoAccess::sketches(bank))
+    for (L0Sampler& s : copies)
+      for (auto& b : SketchIoAccess::buckets(s)) b = r.bucket();
+  SketchIoAccess::set_cursor(bank, static_cast<int>(cursor));
+  return bank;
+}
+
+void merge_encoded(SketchConnectivity& into, std::span<const std::uint8_t> bytes) {
+  into.merge(decode_bank(bytes));
+}
+
+}  // namespace deck

@@ -1,0 +1,64 @@
+#pragma once
+
+// Versioned binary serialization for ℓ₀ sketches and sketch banks — the
+// wire format that lets ingestion shards live in separate processes: each
+// shard sketches its slice of the stream, encodes its bank, and ships the
+// bytes; the coordinator decodes and merges (sketch addition) to obtain
+// exactly the state a single ingester would have built.
+//
+// Format properties:
+//   - Endian-stable: every field is encoded little-endian byte-by-byte, so
+//     buffers are portable across hosts regardless of native endianness.
+//   - Versioned: a magic tag + format version head every buffer; decoders
+//     reject unknown magic and version skew instead of misparsing.
+//   - Corruption-safe: an FNV-1a checksum trails every buffer, and decode
+//     validates length, checksum, header ranges, and payload size before
+//     allocating or touching bucket data. Truncated, bit-flipped, or
+//     malicious buffers raise SketchIoError — never UB, never OOM from a
+//     forged header.
+//   - Minimal: bucket contents only. Hash salts and per-copy seeds are
+//     re-derived from the header's (seed, shape) via the same split_seed
+//     path the constructor uses, which doubles as a compatibility check.
+//
+// decode_* returns a value or throws SketchIoError; encode_* cannot fail.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sketch/l0_sampler.hpp"
+#include "sketch/sketch_connectivity.hpp"
+
+namespace deck {
+
+/// Malformed, truncated, corrupted, or version-skewed buffer.
+class SketchIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialization format version written into (and required from) every
+/// buffer. Bump on any layout change.
+inline constexpr std::uint32_t kSketchIoVersion = 1;
+
+/// Encodes one ℓ₀ sampler: header (universe, seed, columns) + raw buckets.
+std::vector<std::uint8_t> encode_sampler(const L0Sampler& s);
+
+/// Inverse of encode_sampler. Throws SketchIoError on any invalid input.
+L0Sampler decode_sampler(std::span<const std::uint8_t> bytes);
+
+/// Encodes a whole per-vertex sketch bank: header (n, SketchOptions,
+/// recovery cursor) + raw buckets of every copy of every vertex.
+std::vector<std::uint8_t> encode_bank(const SketchConnectivity& bank);
+
+/// Inverse of encode_bank. Throws SketchIoError on any invalid input.
+SketchConnectivity decode_bank(std::span<const std::uint8_t> bytes);
+
+/// Decodes a shipped shard bank and merges it into `into` (sketch
+/// addition). Throws SketchIoError on a bad buffer and std::logic_error if
+/// the decoded bank is incompatible with `into`.
+void merge_encoded(SketchConnectivity& into, std::span<const std::uint8_t> bytes);
+
+}  // namespace deck

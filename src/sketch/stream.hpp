@@ -13,6 +13,8 @@
 // flushed to the applier in source-grouped runs. Sketch linearity makes the
 // regrouped application equivalent to the in-order one.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <unordered_set>
@@ -118,5 +120,45 @@ void apply_batched(const GraphStream& s, std::size_t batch_size, Applier&& apply
   }
   for (VertexId v = 0; v < n; ++v) flush(v);
 }
+
+/// One materialized per-source batch, the unit of work the sharded ingestion
+/// layer distributes: all deltas share the source vertex `src`.
+struct SourceBatch {
+  VertexId src = kNoVertex;
+  std::vector<VertexDelta> deltas;
+};
+
+/// Materializes the apply_batched() delivery as a vector of SourceBatch, in
+/// the exact order apply_batched would deliver them (so per-source order is
+/// preserved and both halves of every update appear exactly once). This is
+/// the handoff point between a GraphStream and parallel consumers.
+std::vector<SourceBatch> collect_batches(const GraphStream& s, std::size_t batch_size);
+
+/// Thread-safe work queue over a fixed set of batches. Claiming is a single
+/// atomic fetch_add — wait-free, no locks — and every batch is handed out
+/// exactly once across any number of claiming threads. The queue does not
+/// own synchronization of what consumers *do* with a batch; the sharded
+/// ingestion layer gives each worker a private sketch bank so none is
+/// needed.
+class BatchQueue {
+ public:
+  explicit BatchQueue(std::vector<SourceBatch> batches) : batches_(std::move(batches)) {}
+
+  /// Next unclaimed batch, or nullptr when the queue is drained. The
+  /// returned pointer stays valid for the queue's lifetime.
+  const SourceBatch* try_pop() {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    return i < batches_.size() ? &batches_[i] : nullptr;
+  }
+
+  std::size_t size() const { return batches_.size(); }
+  std::size_t claimed() const {
+    return std::min(next_.load(std::memory_order_relaxed), batches_.size());
+  }
+
+ private:
+  std::vector<SourceBatch> batches_;
+  std::atomic<std::size_t> next_{0};
+};
 
 }  // namespace deck

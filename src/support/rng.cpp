@@ -17,6 +17,13 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+std::uint64_t split_seed(std::uint64_t base, std::uint64_t index) {
+  // SplitMix64 state after `index` steps is base + index·golden; one more
+  // step emits the index-th output.
+  std::uint64_t state = base + index * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace

@@ -19,6 +19,16 @@ std::uint64_t splitmix64(std::uint64_t& state);
 /// per-iteration pseudo-random values from a shared seed.
 std::uint64_t mix64(std::uint64_t x);
 
+/// The `index`-th output of the SplitMix64 stream seeded at `base`, computed
+/// in O(1) (SplitMix steps its state by a fixed increment, so the stream is
+/// random-access). This is the canonical way to derive families of
+/// independent seeds — per sketch copy, per shard, per experiment arm — from
+/// one base seed: unlike `base + f(index)` arithmetic, nearby bases and
+/// indices yield uncorrelated children, and every consumer (any thread, any
+/// process) that knows (base, index) derives the same seed with no shared
+/// RNG state to race on.
+std::uint64_t split_seed(std::uint64_t base, std::uint64_t index);
+
 /// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

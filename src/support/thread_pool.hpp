@@ -1,0 +1,62 @@
+#pragma once
+
+// Minimal fixed-size worker pool for the library's fan-out/join workloads
+// (sharded sketch ingestion, bench sweeps).
+//
+// The pool favors predictability over features: a fixed number of worker
+// threads drain a FIFO of jobs, wait() blocks until every submitted job has
+// finished, and the first exception a job throws is captured and rethrown
+// from wait() — DECK_CHECK failures inside a worker surface on the caller,
+// never std::terminate. Jobs must synchronize among themselves (the sharding
+// layer gives each job a private sketch bank precisely so they don't have
+// to).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deck {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains remaining jobs' claims, joins the workers. Pending exceptions
+  /// not collected via wait() are dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Safe to call from any thread, including workers.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every job submitted so far has completed, then rethrows
+  /// the first exception any of them raised (if any).
+  void wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a sane floor of 1.
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: job queued / shutdown
+  std::condition_variable idle_cv_;  // signals wait(): everything drained
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently running
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace deck
