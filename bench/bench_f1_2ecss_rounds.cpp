@@ -4,7 +4,11 @@
 // families with different diameter profiles and report measured rounds, the
 // predictor (D + sqrt n) * log^2 n, and their ratio (which should stay flat
 // if the shape matches). The log-log slope against n on the low-diameter
-// families should be well below 1 (sublinear).
+// families should be well below 1 (sublinear). A machine-readable JSON
+// document follows the tables; rounds are deterministic (seeded), so the
+// bench-regression CI gate diffs them against
+// bench/baselines/f1_2ecss_rounds.json — the first CONGEST-layer bench
+// under the gate.
 
 #include <cmath>
 #include <cstdio>
@@ -22,6 +26,9 @@ int main(int argc, char** argv) {
   const std::vector<int> sizes =
       large ? std::vector<int>{64, 128, 256, 512, 1024} : std::vector<int>{64, 128, 256, 512};
 
+  Json rows = Json::array();
+  bool all_ok = true;
+
   for (const auto& fam : bench::standard_families()) {
     Table t({"family", "n", "m", "D", "rounds", "(D+sqrt n)log^2 n", "ratio", "tap iters"});
     std::vector<double> xs, ys;
@@ -32,9 +39,10 @@ int main(int argc, char** argv) {
       const int d = diameter(g);
       Network net(g);
       const Ecss2Result r = distributed_2ecss(net, TapOptions{});
-      if (!is_k_edge_connected_subset(g, r.edges, 2)) {
+      const bool out_ok = is_k_edge_connected_subset(g, r.edges, 2);
+      if (!out_ok) {
         std::printf("!! output not 2-edge-connected (family=%s n=%d)\n", fam.name.c_str(), n);
-        return 1;
+        all_ok = false;
       }
       const double logn = std::log2(static_cast<double>(g.num_vertices()));
       const double pred = (d + std::sqrt(static_cast<double>(g.num_vertices()))) * logn * logn;
@@ -42,10 +50,25 @@ int main(int argc, char** argv) {
             static_cast<double>(net.rounds()) / pred, r.tap_iterations);
       xs.push_back(static_cast<double>(g.num_vertices()));
       ys.push_back(static_cast<double>(net.rounds()));
+
+      Json row = Json::object();
+      row.set("family", fam.name)
+          .set("n", g.num_vertices())
+          .set("m", g.num_edges())
+          .set("diameter", d)
+          .set("rounds", net.rounds())
+          .set("messages", net.messages())
+          .set("tap_iterations", r.tap_iterations)
+          .set("output_2_edge_connected", out_ok);
+      rows.push(std::move(row));
     }
     t.print("F1: 2-ECSS rounds, family = " + fam.name);
     std::printf("   empirical log-log slope rounds~n^b: b = %.3f\n\n",
                 loglog_slope(xs, ys));
   }
-  return 0;
+
+  Json doc = Json::object();
+  doc.set("bench", "f1_2ecss_rounds").set("all_ok", all_ok).set("rows", std::move(rows));
+  bench::print_json(doc);
+  return all_ok ? 0 : 1;
 }

@@ -22,8 +22,12 @@ using namespace deck;
 
 int main(int argc, char** argv) {
   const bool large = bench::flag(argc, argv, "--large");
-  const std::vector<int> sizes =
-      large ? std::vector<int>{48, 96, 160, 256} : std::vector<int>{24, 48, 96};
+  // --smoke: sanitizer-friendly sizes (ASan/UBSan cost ~10x wall clock);
+  // correctness flags and exit status are unchanged, rows are not gated.
+  const bool smoke = bench::flag(argc, argv, "--smoke");
+  const std::vector<int> sizes = smoke    ? std::vector<int>{16, 32}
+                                 : large  ? std::vector<int>{48, 96, 160, 256}
+                                          : std::vector<int>{24, 48, 96};
 
   Json rows = Json::array();
   bool all_ok = true;

@@ -43,8 +43,14 @@ double ingest_ms(const GraphStream& stream, const SketchOptions& sopt, const Sha
 
 int main(int argc, char** argv) {
   const bool large = bench::flag(argc, argv, "--large");
-  const std::vector<int> sizes = large ? std::vector<int>{192, 320} : std::vector<int>{96, 160};
-  const std::vector<int> shard_counts{1, 2, 4, 8};
+  // --smoke: sanitizer-friendly sizes (ASan/UBSan cost ~10x wall clock);
+  // correctness flags and exit status are unchanged, rows are not gated.
+  const bool smoke = bench::flag(argc, argv, "--smoke");
+  const std::vector<int> sizes = smoke   ? std::vector<int>{48}
+                                 : large ? std::vector<int>{192, 320}
+                                         : std::vector<int>{96, 160};
+  const std::vector<int> shard_counts =
+      smoke ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
   const int k = 2;
 
   Json rows = Json::array();

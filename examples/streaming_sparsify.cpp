@@ -33,11 +33,19 @@ int main() {
   // 2. Sketch-and-peel: per-vertex ℓ₀ sketches ingest the stream in
   //    batches; Borůvka on merged sketches peels k edge-disjoint spanning
   //    forests — a Thurimella certificate recovered without storing edges.
+  //    Adaptive sizing starts from a small bank and grows only on observed
+  //    sampler failures; recovery itself fans supernode aggregation out
+  //    over 4 threads (bit-identical to 1 thread for this seed).
   SketchOptions opt;
   opt.seed = 42;
-  const SparsifyResult sp = sparsify_stream(stream, k, opt);
+  opt.auto_size.enabled = true;
+  const SparsifyResult sp = sparsify_stream(stream, k, opt, {.threads = 4});
   std::printf("certificate: %d edges (bound k(n-1) = %d), %d sketch copies used\n",
               sp.certificate.num_edges(), k * (n - 1), sp.copies_used);
+  std::printf("auto-sizing: %d attempt(s), settled on columns=%d rounds_slack=%d "
+              "(%lld samples, %lld failed)\n",
+              sp.attempts, sp.columns_used, sp.rounds_slack_used, sp.stats.samples,
+              sp.stats.failures);
   const bool cert_ok = is_k_edge_connected(sp.certificate, k);
   std::printf("certificate %d-edge-connected: %s\n", k, cert_ok ? "yes" : "NO");
 

@@ -18,12 +18,17 @@ A run fails the gate when
 Refreshing a baseline after an intentional change:
   ./build/bench_f7_sketch > f7.out
   scripts/check_bench_regression.py --write-baseline f7.out bench/baselines/f7_sketch.json
+
+Refreshing *every* gated baseline in one go (after building the benches):
+  scripts/check_bench_regression.py --update-baselines --build-dir build
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 
 JSON_BEGIN = "--- json ---"
@@ -32,6 +37,10 @@ JSON_END = "--- end json ---"
 # Per-bench gate configuration: which fields identify a row, and which
 # deterministic metrics must not regress (increase) beyond tolerance.
 GATES = {
+    "f1_2ecss_rounds": {
+        "key": ("family", "n"),
+        "metrics": ("rounds",),
+    },
     "f7_sketch": {
         "key": ("family", "n", "k"),
         "metrics": ("m_certificate", "rounds_sparsified"),
@@ -40,10 +49,23 @@ GATES = {
         "key": ("n", "k", "mode", "shards"),
         "metrics": ("m_certificate", "sketch_copies_used"),
     },
+    "f9_recovery": {
+        "key": ("n", "k", "mode", "threads"),
+        "metrics": ("m_certificate", "sketch_copies_used"),
+    },
+}
+
+# Bench binary behind each gated baseline, for --update-baselines.
+BINARIES = {
+    "f1_2ecss_rounds": "bench_f1_2ecss_rounds",
+    "f7_sketch": "bench_f7_sketch",
+    "f8_shard": "bench_f8_shard",
+    "f9_recovery": "bench_f9_recovery",
 }
 
 # Wall-clock / host-dependent fields, stripped when writing baselines.
-VOLATILE = ("ingest_ms", "halves_per_sec", "speedup_vs_1shard")
+VOLATILE = ("ingest_ms", "halves_per_sec", "speedup_vs_1shard",
+            "recover_ms", "speedup_vs_1thread", "sample_failure_rate")
 
 
 def extract_doc(path: str) -> dict:
@@ -123,16 +145,59 @@ def write_baseline(run: dict, out_path: str) -> None:
     print(f"wrote baseline {out_path}: {len(doc['rows'])} rows")
 
 
+def update_baselines(build_dir: str, baseline_dir: str) -> int:
+    """Convenience mode: run every gated bench binary and rewrite its
+    baseline. Fails if a binary is missing (build it first) or exits
+    nonzero (a correctness flag tripped — never bless a broken run)."""
+    import tempfile
+
+    failures = 0
+    for name, binary in sorted(BINARIES.items()):
+        exe = os.path.join(build_dir, binary)
+        if not os.path.exists(exe):
+            print(f"FAIL: {exe} not built — run `cmake --build {build_dir} --target {binary}`")
+            failures += 1
+            continue
+        proc = subprocess.run([exe], capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"FAIL: {binary} exited {proc.returncode} — not writing a baseline from a "
+                  f"failing run")
+            failures += 1
+            continue
+        with tempfile.NamedTemporaryFile("w", suffix=".out", delete=False) as f:
+            f.write(proc.stdout)
+            capture = f.name
+        try:
+            write_baseline(extract_doc(capture), os.path.join(baseline_dir, f"{name}.json"))
+        finally:
+            os.unlink(capture)
+    return 1 if failures else 0
+
+
 def main() -> int:
     p = argparse.ArgumentParser(description=__doc__,
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
-    p.add_argument("run", help="bench stdout capture or bare JSON document")
-    p.add_argument("baseline", help="checked-in baseline JSON (or output path with --write-baseline)")
+    p.add_argument("run", nargs="?", help="bench stdout capture or bare JSON document")
+    p.add_argument("baseline", nargs="?",
+                   help="checked-in baseline JSON (or output path with --write-baseline)")
     p.add_argument("--tolerance", type=float, default=0.10,
                    help="allowed fractional increase per gated metric (default 0.10)")
     p.add_argument("--write-baseline", action="store_true",
                    help="write/refresh the baseline from the run instead of checking")
+    p.add_argument("--update-baselines", action="store_true",
+                   help="run every gated bench from --build-dir and rewrite all baselines")
+    p.add_argument("--build-dir", default="build",
+                   help="build directory holding bench binaries (--update-baselines)")
+    p.add_argument("--baseline-dir", default="bench/baselines",
+                   help="directory of checked-in baselines (--update-baselines)")
     args = p.parse_args()
+
+    if args.update_baselines:
+        if args.run or args.baseline:
+            p.error("--update-baselines takes no run/baseline arguments")
+        return update_baselines(args.build_dir, args.baseline_dir)
+    if not args.run or not args.baseline:
+        p.error("run and baseline are required unless --update-baselines is given")
 
     run = extract_doc(args.run)
     if args.write_baseline:

@@ -77,8 +77,8 @@ L0Sample L0Sampler::sample() const {
       if (b.count != 1 && b.count != -1) continue;
       const std::int64_t idx = b.index_sum / b.count;
       if (idx < 0 || static_cast<std::uint64_t>(idx) >= universe_) continue;
-      const std::uint64_t expect =
-          static_cast<std::uint64_t>(b.count) * fingerprint_hash(c, static_cast<std::uint64_t>(idx));
+      const std::uint64_t expect = static_cast<std::uint64_t>(b.count) *
+                                   fingerprint_hash(c, static_cast<std::uint64_t>(idx));
       if (expect != b.fingerprint) continue;
       return {L0Sample::Status::kFound, static_cast<std::uint64_t>(idx),
               b.count > 0 ? 1 : -1};

@@ -21,7 +21,8 @@ int shard_of(VertexId src, int n, const ShardOptions& opt) {
     case Sharding::kDynamic:
       break;
   }
-  DECK_CHECK_MSG(false, "shard_of is undefined for dynamic sharding — batches are claimed, not assigned");
+  DECK_CHECK_MSG(false,
+                 "shard_of is undefined for dynamic sharding — batches are claimed, not assigned");
   return 0;
 }
 
@@ -51,7 +52,8 @@ ShardIngestResult apply_sharded(const GraphStream& stream, const SketchOptions& 
       pool.submit([&, s] {
         const auto si = static_cast<std::size_t>(s);
         for (const SourceBatch* b : assigned[si]) {
-          bank.apply_batch(b->src, std::span<const VertexDelta>(b->deltas.data(), b->deltas.size()));
+          bank.apply_batch(b->src,
+                           std::span<const VertexDelta>(b->deltas.data(), b->deltas.size()));
           ++shard_batches[si];
           shard_halves[si] += b->deltas.size();
         }
@@ -94,19 +96,10 @@ ShardIngestResult apply_sharded(const GraphStream& stream, const SketchOptions& 
 }
 
 SparsifyResult sharded_sparsify_stream(const GraphStream& stream, int k, const SketchOptions& sopt,
-                                       const ShardOptions& opt) {
-  DECK_CHECK(k >= 1);
-  SketchOptions o = sopt;
-  o.max_forests = k;
-  ShardIngestResult ingest = apply_sharded(stream, o, opt);
-  SparsifyResult result;
-  result.forests = ingest.sketch.k_spanning_forests(k);
-  result.copies_used = ingest.sketch.copies_used();
-  Graph cert(stream.num_vertices());
-  for (const auto& forest : result.forests)
-    for (const SketchEdge& e : forest) cert.add_edge(e.u, e.v, /*w=*/1);
-  result.certificate = std::move(cert);
-  return result;
+                                       const ShardOptions& opt, const RecoveryOptions& ropt) {
+  return recover_certificate(k, sopt, ropt, [&stream, &opt](const SketchOptions& aopt) {
+    return std::move(apply_sharded(stream, aopt, opt).sketch);
+  });
 }
 
 }  // namespace deck

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <optional>
+#include <utility>
 
 #include "graph/union_find.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace deck {
 
@@ -15,6 +18,24 @@ int boruvka_rounds_budget(int n, int slack) {
   const unsigned un = n > 1 ? static_cast<unsigned>(n - 1) : 1u;
   return static_cast<int>(std::bit_width(un)) + slack;
 }
+
+/// Shared non-convergence contract of the throwing recovery entry points.
+void check_converged(bool converged, bool copies_exhausted) {
+  DECK_CHECK_MSG(converged || !copies_exhausted, "sketch copies exhausted — raise max_forests");
+  DECK_CHECK_MSG(converged, "ℓ₀ sampling did not converge — raise columns or rounds_slack");
+}
+
+/// A contiguous run of one supernode's members, the unit of parallel
+/// aggregation work. Supernodes larger than the segment length split into
+/// several segments whose partial sums are combined after the join —
+/// `partial` indexes the split slot's partial-sum storage, -1 for slots
+/// aggregated (and sampled) entirely within one segment.
+struct Segment {
+  int slot = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  int partial = -1;
+};
 
 }  // namespace
 
@@ -26,6 +47,13 @@ int SketchConnectivity::total_copies_for(int n, const SketchOptions& opt) {
 
 SketchConnectivity::SketchConnectivity(int n, const SketchOptions& opt) : n_(n), opt_(opt) {
   DECK_CHECK(n >= 0);
+  DECK_CHECK(opt_.columns >= 1);
+  // Policy fields are validated even when disabled: banks travel through the
+  // wire format with their policy attached, and a nonsense policy there is
+  // corruption, not configuration.
+  DECK_CHECK_MSG(opt_.auto_size.initial_columns >= 1 && opt_.auto_size.initial_rounds_slack >= 1 &&
+                     opt_.auto_size.growth >= 2 && opt_.auto_size.max_attempts >= 1,
+                 "invalid AutoSizePolicy");
   copies_per_forest_ = boruvka_rounds_budget(n_, opt_.rounds_slack);
   const int total = total_copies_for(n_, opt_);
   const std::uint64_t universe =
@@ -81,7 +109,7 @@ void SketchConnectivity::apply_batch(VertexId src, std::span<const VertexDelta> 
 bool SketchConnectivity::compatible(const SketchConnectivity& other) const {
   return n_ == other.n_ && opt_.seed == other.opt_.seed &&
          opt_.max_forests == other.opt_.max_forests && opt_.columns == other.opt_.columns &&
-         opt_.rounds_slack == other.opt_.rounds_slack;
+         opt_.rounds_slack == other.opt_.rounds_slack && opt_.auto_size == other.opt_.auto_size;
 }
 
 void SketchConnectivity::merge(const SketchConnectivity& other) {
@@ -95,104 +123,313 @@ void SketchConnectivity::merge(const SketchConnectivity& other) {
   }
 }
 
-void SketchConnectivity::erase_from_unused(const SketchEdge& e) {
+void SketchConnectivity::erase_from_copies(const SketchEdge& e, int from) {
   const std::uint64_t index = encode(e.u, e.v);
   auto& lo = sketches_[static_cast<std::size_t>(e.u)];
   auto& hi = sketches_[static_cast<std::size_t>(e.v)];
-  for (std::size_t c = static_cast<std::size_t>(cursor_); c < lo.size(); ++c) {
+  for (std::size_t c = static_cast<std::size_t>(from); c < lo.size(); ++c) {
     lo[c].update(index, -1);
     hi[c].update(index, 1);
   }
 }
 
-std::vector<SketchEdge> SketchConnectivity::spanning_forest() {
-  std::vector<SketchEdge> forest;
-  if (n_ <= 1) return forest;
+bool SketchConnectivity::grow_forest(std::vector<SketchEdge>& forest, ThreadPool* pool,
+                                     RecoveryStats& stats) {
+  if (n_ <= 1) return true;
   UnionFind uf(n_);
+  // The edges already in `forest` (a resumed partial forest) seed the
+  // contraction state; everything recovered below is appended after them.
+  for (const SketchEdge& e : forest) uf.unite(e.u, e.v);
+
   bool maximal = false;
   for (int round = 0; round < copies_per_forest_ && !maximal; ++round) {
     if (uf.num_components() == 1) break;
-    DECK_CHECK_MSG(cursor_ < copies_total(), "sketch copies exhausted — raise max_forests");
-    const int copy = cursor_++;
+    if (cursor_ >= copies_total()) {
+      stats.copies_exhausted = true;
+      return false;
+    }
+    const auto copy = static_cast<std::size_t>(cursor_++);
 
-    // Aggregate the round's copy over each supernode: linearity cancels
-    // intra-component edges, leaving each component's cut.
-    std::vector<int> slot(static_cast<std::size_t>(n_), -1);
-    std::vector<L0Sampler> agg;
+    // Deterministic supernode slots: slot order is first-member vertex
+    // order — the order the single-threaded path visits components in, and
+    // the order the reduction below unites in.
+    std::vector<int> comp(static_cast<std::size_t>(n_));
+    std::vector<int> slot_of_root(static_cast<std::size_t>(n_), -1);
+    int slots = 0;
     for (VertexId v = 0; v < n_; ++v) {
-      const int root = uf.find(v);
-      int& s = slot[static_cast<std::size_t>(root)];
-      if (s < 0) {
-        s = static_cast<int>(agg.size());
-        agg.push_back(sketches_[static_cast<std::size_t>(v)][static_cast<std::size_t>(copy)]);
+      int& s = slot_of_root[static_cast<std::size_t>(uf.find(v))];
+      if (s < 0) s = slots++;
+      comp[static_cast<std::size_t>(v)] = s;
+    }
+
+    // Bucket vertices by slot, preserving vertex order within each slot.
+    std::vector<std::uint32_t> offset(static_cast<std::size_t>(slots) + 1, 0);
+    for (VertexId v = 0; v < n_; ++v)
+      ++offset[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)]) + 1];
+    for (int s = 0; s < slots; ++s)
+      offset[static_cast<std::size_t>(s) + 1] += offset[static_cast<std::size_t>(s)];
+    std::vector<VertexId> members(static_cast<std::size_t>(n_));
+    std::vector<std::uint32_t> fill(offset.begin(), offset.end() - 1);
+    for (VertexId v = 0; v < n_; ++v)
+      members[fill[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])]++] = v;
+
+    // Segment the aggregation so huge supernodes (the endgame: two
+    // components with ~n/2 members each) still split across threads. The
+    // single-thread path keeps one segment per slot — the sequential
+    // structure, with zero partial-sum overhead.
+    const std::uint32_t seg_len =
+        pool ? std::max<std::uint32_t>(256, static_cast<std::uint32_t>(
+                                                (n_ + pool->size() * 8 - 1) / (pool->size() * 8)))
+             : static_cast<std::uint32_t>(n_);
+    std::vector<Segment> segs;
+    segs.reserve(static_cast<std::size_t>(slots));
+    int num_partials = 0;
+    for (int s = 0; s < slots; ++s) {
+      const std::uint32_t b = offset[static_cast<std::size_t>(s)];
+      const std::uint32_t e = offset[static_cast<std::size_t>(s) + 1];
+      if (e - b <= seg_len) {
+        segs.push_back({s, b, e, -1});
       } else {
-        agg[static_cast<std::size_t>(s)].merge(
-            sketches_[static_cast<std::size_t>(v)][static_cast<std::size_t>(copy)]);
+        for (std::uint32_t p = b; p < e; p += seg_len)
+          segs.push_back({s, p, std::min(e, p + seg_len), num_partials++});
       }
     }
 
-    bool merged_any = false;
-    bool failed_any = false;
-    for (const L0Sampler& component : agg) {
-      const L0Sample s = component.sample();
-      if (s.status == L0Sample::Status::kZero) continue;  // no cut edges: done
-      if (s.status == L0Sample::Status::kFail) {
-        failed_any = true;  // retried on the next round's fresh copies
+    std::vector<std::optional<L0Sampler>> partials(static_cast<std::size_t>(num_partials));
+    std::vector<L0Sample> samples(static_cast<std::size_t>(slots));
+    auto run_segment = [&](const Segment& g) {
+      // Linearity cancels intra-supernode edges in the sum, leaving exactly
+      // the supernode's cut. A singleton needs no sum at all — sample the
+      // member's sketch in place.
+      if (g.end - g.begin == 1 && g.partial < 0) {
+        samples[static_cast<std::size_t>(g.slot)] =
+            sketches_[static_cast<std::size_t>(members[g.begin])][copy].sample();
+        return;
+      }
+      L0Sampler agg = sketches_[static_cast<std::size_t>(members[g.begin])][copy];
+      for (std::uint32_t i = g.begin + 1; i < g.end; ++i)
+        agg.merge(sketches_[static_cast<std::size_t>(members[i])][copy]);
+      if (g.partial < 0)
+        samples[static_cast<std::size_t>(g.slot)] = agg.sample();
+      else
+        partials[static_cast<std::size_t>(g.partial)] = std::move(agg);
+    };
+    if (pool)
+      pool->for_range(segs.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) run_segment(segs[i]);
+      });
+    else
+      for (const Segment& g : segs) run_segment(g);
+
+    // Combine split supernodes' partial sums. Bucket merging is wrapping
+    // integer addition — associative and commutative — so any combine order
+    // yields bit-identical buckets; segment order is used for clarity.
+    for (std::size_t i = 0; i < segs.size();) {
+      if (segs[i].partial < 0) {
+        ++i;
         continue;
       }
-      const SketchEdge e = decode(s.index);
-      // Two components can recover the same edge from opposite sides, and a
-      // component processed later this round may have been united already —
-      // unite() deduplicates both cases.
+      const int s = segs[i].slot;
+      L0Sampler agg = std::move(*partials[static_cast<std::size_t>(segs[i].partial)]);
+      for (++i; i < segs.size() && segs[i].slot == s; ++i)
+        agg.merge(*partials[static_cast<std::size_t>(segs[i].partial)]);
+      samples[static_cast<std::size_t>(s)] = agg.sample();
+    }
+
+    // Deterministic reduction: unite the supernode samples into the
+    // contraction forest sequentially in slot order — the tie-break that
+    // keeps any thread count bit-identical to the sequential path. Two
+    // components can recover the same edge from opposite sides, and a
+    // component processed later this round may have been united already —
+    // unite() deduplicates both cases.
+    RoundStats rs;
+    rs.components = slots;
+    for (int s = 0; s < slots; ++s) {
+      const L0Sample& got = samples[static_cast<std::size_t>(s)];
+      if (got.status == L0Sample::Status::kZero) continue;  // no cut edges: done
+      if (got.status == L0Sample::Status::kFail) {
+        ++rs.failures;  // retried on the next round's fresh copies
+        continue;
+      }
+      const SketchEdge e = decode(got.index);
       if (uf.unite(e.u, e.v)) {
         forest.push_back(e);
-        merged_any = true;
+        ++rs.merges;
       }
     }
+    ++stats.rounds;
+    stats.samples += slots;
+    stats.failures += rs.failures;
+    stats.per_round.push_back(rs);
     // No merge and no failure means every component's cut was empty: the
     // forest is maximal (the sketched graph may legitimately be
     // disconnected).
-    maximal = !merged_any && !failed_any;
+    maximal = rs.merges == 0 && rs.failures == 0;
   }
-  DECK_CHECK_MSG(maximal || uf.num_components() == 1,
-                 "ℓ₀ sampling did not converge — raise columns or rounds_slack");
+  return maximal || uf.num_components() == 1;
+}
+
+std::vector<SketchEdge> SketchConnectivity::spanning_forest(const RecoveryOptions& ropt) {
+  DECK_CHECK(ropt.threads >= 1);
+  std::optional<ThreadPool> pool;
+  if (ropt.threads > 1) pool.emplace(ropt.threads);
+  std::vector<SketchEdge> forest;
+  RecoveryStats stats;
+  const bool converged = grow_forest(forest, pool ? &*pool : nullptr, stats);
+  check_converged(converged, stats.copies_exhausted);
   return forest;
 }
 
-std::vector<std::vector<SketchEdge>> SketchConnectivity::k_spanning_forests(int k) {
+std::vector<std::vector<SketchEdge>> SketchConnectivity::k_spanning_forests(
+    int k, const RecoveryOptions& ropt) {
   DECK_CHECK(k >= 1);
   DECK_CHECK_MSG(k <= opt_.max_forests, "k exceeds the sketch's max_forests budget");
-  std::vector<std::vector<SketchEdge>> forests;
-  forests.reserve(static_cast<std::size_t>(k));
-  for (int f = 0; f < k; ++f) {
-    std::vector<SketchEdge> forest = spanning_forest();
-    // Peel: later forests must sketch G minus everything recovered so far.
-    for (const SketchEdge& e : forest) erase_from_unused(e);
-    // Rotate to the next forest's group of copies so every forest starts on
-    // untouched randomness even when this one converged early.
-    cursor_ = std::max(cursor_, (f + 1) * copies_per_forest_);
-    forests.push_back(std::move(forest));
-  }
-  return forests;
+  KForests r = try_k_spanning_forests(k, ropt);
+  check_converged(r.converged, r.stats.copies_exhausted);
+  return std::move(r.forests);
 }
 
-SparsifyResult sparsify_stream(const GraphStream& stream, int k, const SketchOptions& opt) {
+KForests SketchConnectivity::try_k_spanning_forests(int k, const RecoveryOptions& ropt,
+                                                    const KForests* prior) {
   DECK_CHECK(k >= 1);
-  SketchOptions o = opt;
-  o.max_forests = k;
-  SketchConnectivity sk(stream.num_vertices(), o);
-  apply_batched(stream, /*batch_size=*/1024,
-                [&sk](VertexId src, std::span<const VertexDelta> deltas) {
-                  sk.apply_batch(src, deltas);
-                });
+  DECK_CHECK(ropt.threads >= 1);
+  KForests out;
+  std::vector<SketchEdge> partial;
+  if (prior != nullptr) {
+    DECK_CHECK_MSG(cursor_ == 0, "resume requires a fresh bank — copies already consumed");
+    out.forests = prior->forests;
+    if (!prior->converged && !out.forests.empty()) {
+      partial = std::move(out.forests.back());
+      out.forests.pop_back();
+    }
+    DECK_CHECK_MSG(static_cast<int>(out.forests.size()) < k || partial.empty(),
+                   "prior already recovered k forests");
+    // Peel everything already recovered from every copy: linearity makes
+    // the fresh bank sketch G minus the carried forests, so only the
+    // still-missing forests pay for the retry.
+    for (const auto& f : out.forests)
+      for (const SketchEdge& e : f) erase_from_copies(e, 0);
+    for (const SketchEdge& e : partial) erase_from_copies(e, 0);
+  }
+  const int completed = static_cast<int>(out.forests.size());
+  DECK_CHECK_MSG(k - completed <= opt_.max_forests, "k exceeds the sketch's max_forests budget");
+
+  std::optional<ThreadPool> pool;
+  if (ropt.threads > 1) pool.emplace(ropt.threads);
+  out.forests.reserve(static_cast<std::size_t>(k));
+  for (int f = completed; f < k; ++f) {
+    std::vector<SketchEdge> forest =
+        f == completed ? std::move(partial) : std::vector<SketchEdge>{};
+    const std::size_t seeds = forest.size();
+    const std::size_t round_mark = out.stats.per_round.size();
+    const bool converged = grow_forest(forest, pool ? &*pool : nullptr, out.stats);
+    out.stats.last_forest_samples = 0;
+    out.stats.last_forest_failures = 0;
+    for (std::size_t r = round_mark; r < out.stats.per_round.size(); ++r) {
+      out.stats.last_forest_samples += out.stats.per_round[r].components;
+      out.stats.last_forest_failures += out.stats.per_round[r].failures;
+    }
+    const std::size_t grown = forest.size();
+    out.forests.push_back(std::move(forest));
+    if (!converged) {
+      out.converged = false;
+      return out;
+    }
+    // Peel: later forests must sketch G minus everything recovered so far.
+    // Seed edges were already erased from every copy before recovery.
+    const auto& done = out.forests.back();
+    for (std::size_t i = seeds; i < grown; ++i) erase_from_copies(done[i], cursor_);
+    // Rotate to the next forest's group of copies so every forest starts on
+    // untouched randomness even when this one converged early.
+    cursor_ = std::max(cursor_, (f - completed + 1) * copies_per_forest_);
+  }
+  return out;
+}
+
+SparsifyResult recover_certificate(
+    int k, const SketchOptions& opt, const RecoveryOptions& ropt,
+    const std::function<SketchConnectivity(const SketchOptions&)>& ingest) {
+  DECK_CHECK(k >= 1);
+  SketchOptions base = opt;
+  base.max_forests = k;
+
   SparsifyResult result;
-  result.forests = sk.k_spanning_forests(k);
-  result.copies_used = sk.copies_used();
-  Graph cert(stream.num_vertices());
-  for (const auto& forest : result.forests)
-    for (const SketchEdge& e : forest) cert.add_edge(e.u, e.v, /*w=*/1);
-  result.certificate = std::move(cert);
-  return result;
+  const auto finalize = [&result](const SketchConnectivity& bank, KForests&& kf, int attempts,
+                                  const SketchOptions& used) {
+    result.forests = std::move(kf.forests);
+    result.stats = std::move(kf.stats);
+    result.copies_used = bank.copies_used();
+    result.attempts = attempts;
+    result.columns_used = used.columns;
+    result.rounds_slack_used = used.rounds_slack;
+    Graph cert(bank.num_vertices());
+    for (const auto& forest : result.forests)
+      for (const SketchEdge& e : forest) cert.add_edge(e.u, e.v, /*w=*/1);
+    result.certificate = std::move(cert);
+  };
+
+  if (!opt.auto_size.enabled) {
+    SketchConnectivity bank = ingest(base);
+    KForests kf = bank.try_k_spanning_forests(k, ropt);
+    check_converged(kf.converged, kf.stats.copies_exhausted);
+    finalize(bank, std::move(kf), /*attempts=*/1, base);
+    return result;
+  }
+
+  // Adaptive attempt loop: start small, observe the failure signal, grow
+  // only the dimension that starved. The signal is the *failing forest's*
+  // per-round sampler-failure rate: a high rate means too few ℓ₀
+  // repetitions — grow columns (memory cost: bank size is linear in
+  // columns); a low rate that still dried the round budget means the
+  // endgame just needs more retry rounds — grow slack (cheap). Completed
+  // forests carry across attempts, so a retry re-ingests a bank sized only
+  // for the forests still missing.
+  const AutoSizePolicy& policy = opt.auto_size;
+  int columns = policy.initial_columns;
+  int slack = policy.initial_rounds_slack;
+  KForests carry;
+  bool have_carry = false;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    SketchOptions aopt = base;
+    aopt.columns = columns;
+    aopt.rounds_slack = slack;
+    // Fresh randomness per attempt — re-deriving the seeds that just failed
+    // would fail again deterministically.
+    aopt.seed = split_seed(opt.seed, static_cast<std::uint64_t>(attempt));
+    const int completed =
+        have_carry ? static_cast<int>(carry.forests.size()) - (carry.forests.empty() ? 0 : 1) : 0;
+    aopt.max_forests = k - completed;
+    SketchConnectivity bank = ingest(aopt);
+    KForests kf = bank.try_k_spanning_forests(k, ropt, have_carry ? &carry : nullptr);
+    if (kf.converged) {
+      finalize(bank, std::move(kf), attempt + 1, aopt);
+      return result;
+    }
+    const bool columns_starved =
+        kf.stats.last_forest_samples > 0 &&
+        kf.stats.last_forest_failures * 4 >= kf.stats.last_forest_samples;  // >= 25% failed
+    if (columns_starved)
+      columns *= policy.growth;
+    else
+      slack *= policy.growth;
+    carry = std::move(kf);
+    have_carry = true;
+  }
+  DECK_CHECK_MSG(false,
+                 "adaptive sizing did not converge within max_attempts — raise the policy caps");
+  return result;  // unreachable
+}
+
+SparsifyResult sparsify_stream(const GraphStream& stream, int k, const SketchOptions& opt,
+                               const RecoveryOptions& ropt) {
+  return recover_certificate(k, opt, ropt, [&stream](const SketchOptions& aopt) {
+    SketchConnectivity sk(stream.num_vertices(), aopt);
+    apply_batched(stream, /*batch_size=*/1024,
+                  [&sk](VertexId src, std::span<const VertexDelta> deltas) {
+                    sk.apply_batch(src, deltas);
+                  });
+    return sk;
+  });
 }
 
 }  // namespace deck

@@ -14,13 +14,31 @@
 // (the Landscape repo's supernode-cycling trick) and, after peeling a
 // forest, deletes its edges from all still-unused copies via linearity.
 //
+// Recovery parallelizes over supernodes (RecoveryOptions::threads): each
+// Borůvka round partitions the per-supernode aggregation + sampling work
+// across a thread pool. Bucket merging is wrapping integer addition —
+// associative and commutative — and supernode samples are reduced into the
+// contraction forest sequentially in deterministic slot order, so the
+// recovered forests are bit-identical to the single-threaded path for any
+// thread count.
+//
 // The union of the k peeled forests is a Thurimella certificate: ≤ k(n-1)
 // edges, k-edge-connected whenever the streamed graph is (w.h.p. over the
 // sketch seed). sparsify_stream() materializes it as a deck::Graph so the
 // CONGEST pipeline (distributed_kecss / distributed_2ecss) runs on the
 // O(kn)-edge sparsifier instead of the raw stream.
+//
+// Sketch sizing is either fixed (SketchOptions::columns / rounds_slack, the
+// worst-case budget) or adaptive (SketchOptions::auto_size): the adaptive
+// path starts from a deliberately small attempt sizing, observes per-round
+// sampler-failure rates during recovery, and on non-convergence geometrically
+// grows only the failing dimension — columns when samples failed, rounds
+// slack when the round budget ran dry — re-ingesting and retrying *only the
+// still-unrecovered forests* (completed forests and the partial forest are
+// carried across attempts and peeled from the fresh bank by linearity).
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -29,6 +47,29 @@
 #include "sketch/stream.hpp"
 
 namespace deck {
+
+class ThreadPool;
+
+/// Adaptive sketch-sizing policy (SketchOptions::auto_size). When enabled,
+/// sparsify_stream() / sharded_sparsify_stream() ignore the fixed
+/// columns/rounds_slack and instead run an attempt loop: attempt a uses
+/// seed split_seed(opt.seed, a) and the current sizing; a failed recovery
+/// multiplies the failing dimension by `growth` and retries the forests
+/// that did not complete. Every shard of an attempt derives the identical
+/// sizing from the policy, so sharded and sequential adaptive runs agree.
+struct AutoSizePolicy {
+  bool enabled = false;
+  /// Attempt-0 sizing, deliberately below the worst case.
+  int initial_columns = 2;
+  int initial_rounds_slack = 1;
+  /// Multiplier applied to the failing dimension after a failed attempt.
+  int growth = 2;
+  /// Attempts before giving up (the last attempt's sizing is
+  /// initial * growth^(max_attempts-1) in the grown dimension).
+  int max_attempts = 6;
+
+  friend bool operator==(const AutoSizePolicy&, const AutoSizePolicy&) = default;
+};
 
 struct SketchOptions {
   std::uint64_t seed = 1;
@@ -39,6 +80,8 @@ struct SketchOptions {
   /// Borůvka rounds beyond ceil(log2 n) budgeted per forest; failed samples
   /// retry on the next round's fresh copies.
   int rounds_slack = 4;
+  /// Adaptive sizing policy; disabled by default (fixed sizing above).
+  AutoSizePolicy auto_size;
 };
 
 /// An undirected edge recovered from a sketch (no id — stream edges have
@@ -46,6 +89,45 @@ struct SketchOptions {
 struct SketchEdge {
   VertexId u = kNoVertex;
   VertexId v = kNoVertex;
+};
+
+/// Knobs for the recovery (Borůvka-on-sketches) stage.
+struct RecoveryOptions {
+  /// Worker threads for per-round supernode aggregation + sampling. 1 runs
+  /// inline; any value yields bit-identical forests.
+  int threads = 1;
+};
+
+/// Per-Borůvka-round accounting, the signal the adaptive sizing policy acts
+/// on ("failure rate" = failures / components for rounds with components).
+struct RoundStats {
+  int components = 0;  // supernodes sampled this round (cut may be empty)
+  int merges = 0;      // successful unions (forest edges added)
+  int failures = 0;    // ℓ₀ samples that returned kFail
+};
+
+/// Aggregated recovery telemetry across one try_k_spanning_forests() call.
+struct RecoveryStats {
+  int rounds = 0;               // sketch copies consumed
+  long long samples = 0;        // supernode samples drawn
+  long long failures = 0;       // of which failed
+  bool copies_exhausted = false;  // ran out of copies before converging
+  /// Samples/failures within the last forest attempted — the failing one
+  /// when !converged. The adaptive policy keys its growth decision on this
+  /// forest's failure *rate*, not the attempt-wide totals (early forests'
+  /// clean rounds would otherwise drown the signal).
+  long long last_forest_samples = 0;
+  long long last_forest_failures = 0;
+  std::vector<RoundStats> per_round;
+};
+
+/// Result of try_k_spanning_forests(): the recovered forests (the last one
+/// partial when !converged), convergence flag, and round telemetry. A failed
+/// result can be fed back as `prior` to a fresh, larger bank to resume.
+struct KForests {
+  std::vector<std::vector<SketchEdge>> forests;
+  bool converged = true;
+  RecoveryStats stats;
 };
 
 class SketchConnectivity {
@@ -69,7 +151,8 @@ class SketchConnectivity {
   /// Same vertex count, seed and sketch shape (merge precondition). Copy
   /// seeds are split deterministically from opt.seed (split_seed), so two
   /// banks built anywhere — another thread, another process, a decoded
-  /// sketch_io buffer — are compatible iff their (n, options) agree.
+  /// sketch_io buffer — are compatible iff their (n, options) agree,
+  /// auto-sizing policy included.
   bool compatible(const SketchConnectivity& other) const;
 
   /// Bucket-wise sum of every per-vertex copy: afterwards this bank
@@ -79,12 +162,24 @@ class SketchConnectivity {
   void merge(const SketchConnectivity& other);
 
   /// Recovers a maximal spanning forest of the currently-sketched graph
-  /// (Borůvka on sketches), consuming one sketch copy per round.
-  std::vector<SketchEdge> spanning_forest();
+  /// (Borůvka on sketches), consuming one sketch copy per round. Throws on
+  /// non-convergence.
+  std::vector<SketchEdge> spanning_forest(const RecoveryOptions& ropt = {});
 
   /// Peels k edge-disjoint spanning forests F_1..F_k, F_i a maximal
   /// spanning forest of G \ (F_1 ∪ … ∪ F_{i-1}). Requires k <= max_forests.
-  std::vector<std::vector<SketchEdge>> k_spanning_forests(int k);
+  /// Throws on non-convergence.
+  std::vector<std::vector<SketchEdge>> k_spanning_forests(int k, const RecoveryOptions& ropt = {});
+
+  /// Non-throwing k-forest peel with telemetry. `prior` resumes a failed
+  /// recovery on this (fresh — copies_used() == 0) bank: prior's completed
+  /// forests are kept verbatim, their edges (and the partial forest's) are
+  /// peeled from every copy by linearity, and recovery continues from the
+  /// partial forest's contraction state — only the failing forests pay for
+  /// the retry. The bank's max_forests budget must cover k minus the
+  /// forests prior completed.
+  KForests try_k_spanning_forests(int k, const RecoveryOptions& ropt = {},
+                                  const KForests* prior = nullptr);
 
   int num_vertices() const { return n_; }
   const SketchOptions& options() const { return opt_; }
@@ -95,9 +190,16 @@ class SketchConnectivity {
   friend struct SketchIoAccess;  // sketch_io.cpp: raw bucket encode/decode
   std::uint64_t encode(VertexId lo, VertexId hi) const;
   SketchEdge decode(std::uint64_t index) const;
-  /// Deletes a recovered forest edge from every still-unused copy so later
-  /// forests see the peeled graph.
-  void erase_from_unused(const SketchEdge& e);
+  /// Deletes a recovered forest edge from every copy at index >= from so
+  /// later forests see the peeled graph.
+  void erase_from_copies(const SketchEdge& e, int from);
+
+  /// One maximal-forest Borůvka run, consuming up to copies_per_forest_
+  /// copies. `forest`'s existing edges (a resumed partial forest; empty to
+  /// start from singletons) seed the contraction state; recovered edges are
+  /// appended after them and telemetry to `stats`. Returns convergence.
+  /// `pool` is null for the inline single-thread path.
+  bool grow_forest(std::vector<SketchEdge>& forest, ThreadPool* pool, RecoveryStats& stats);
 
   int n_ = 0;
   SketchOptions opt_;
@@ -109,12 +211,31 @@ class SketchConnectivity {
 /// Streaming sparsification front-end: ingest the stream (batched), peel k
 /// forests, and materialize the certificate as a unit-weight deck::Graph on
 /// the same vertex set — ready to wrap in a Network and feed to the CONGEST
-/// algorithms. opt.max_forests is overridden with k.
+/// algorithms. opt.max_forests is overridden with k. With
+/// opt.auto_size.enabled, runs the adaptive attempt loop instead of the
+/// fixed worst-case sizing.
 struct SparsifyResult {
   Graph certificate;
   std::vector<std::vector<SketchEdge>> forests;
   int copies_used = 0;
+  /// Ingest→recover attempts (1 unless auto-sizing retried).
+  int attempts = 1;
+  /// Sizing of the attempt that converged (== opt's fixed sizing when
+  /// auto-sizing is off).
+  int columns_used = 0;
+  int rounds_slack_used = 0;
+  /// Telemetry of the final attempt's recovery.
+  RecoveryStats stats;
 };
-SparsifyResult sparsify_stream(const GraphStream& stream, int k, const SketchOptions& opt = {});
+SparsifyResult sparsify_stream(const GraphStream& stream, int k, const SketchOptions& opt = {},
+                               const RecoveryOptions& ropt = {});
+
+/// Shared ingest→recover driver behind sparsify_stream() and
+/// sharded_sparsify_stream(): `ingest` builds and fills a bank for one
+/// attempt's options (the adaptive loop calls it once per attempt with
+/// geometrically grown sizing and a split_seed-derived attempt seed).
+SparsifyResult recover_certificate(
+    int k, const SketchOptions& opt, const RecoveryOptions& ropt,
+    const std::function<SketchConnectivity(const SketchOptions&)>& ingest);
 
 }  // namespace deck

@@ -32,7 +32,10 @@ constexpr std::size_t kBucketBytes = 24;  // i64 count, i64 index_sum, u64 finge
 constexpr std::size_t kChecksumBytes = 8;
 constexpr std::size_t kSamplerHeaderBytes = 8 + 4 + 4 + 8 + 8;  // magic ver columns universe seed
 // magic ver n seed max_forests columns rounds_slack cursor
-constexpr std::size_t kBankHeaderBytes = 8 + 4 + 4 + 8 + 4 + 4 + 4 + 4;
+constexpr std::size_t kBankHeaderBytesV1 = 8 + 4 + 4 + 8 + 4 + 4 + 4 + 4;
+// v2 appends the auto-size policy: enabled initial_columns
+// initial_rounds_slack growth max_attempts
+constexpr std::size_t kBankHeaderBytes = kBankHeaderBytesV1 + 5 * 4;
 
 std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -71,12 +74,15 @@ class Reader {
  public:
   explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
-  [[noreturn]] static void fail(const std::string& what) { throw SketchIoError("sketch_io: " + what); }
+  [[noreturn]] static void fail(const std::string& what) {
+    throw SketchIoError("sketch_io: " + what);
+  }
 
   std::uint32_t u32() {
     need(4);
     std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
     pos_ += 4;
     return v;
   }
@@ -84,7 +90,8 @@ class Reader {
   std::uint64_t u64() {
     need(8);
     std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
     pos_ += 8;
     return v;
   }
@@ -94,7 +101,8 @@ class Reader {
   void expect_magic(const std::uint8_t (&magic)[8]) {
     need(8);
     for (int i = 0; i < 8; ++i)
-      if (bytes_[pos_ + static_cast<std::size_t>(i)] != magic[i]) fail("bad magic — not a sketch buffer of this kind");
+      if (bytes_[pos_ + static_cast<std::size_t>(i)] != magic[i])
+        fail("bad magic — not a sketch buffer of this kind");
     pos_ += 8;
   }
 
@@ -119,16 +127,19 @@ class Reader {
 
 /// Shared prologue: overall length, trailing checksum, magic, version. After
 /// this, header fields can be read but payload sizes still need validation.
+/// Accepts every format version in [1, kSketchIoVersion] and reports the
+/// buffer's via `version` — the caller decodes (and size-checks) the header
+/// the *declared* version prescribes, never the newest one.
 Reader open_checked(std::span<const std::uint8_t> bytes, const std::uint8_t (&magic)[8],
-                    std::size_t header_bytes) {
-  if (bytes.size() < header_bytes + kChecksumBytes) Reader::fail("truncated buffer");
+                    std::size_t min_header_bytes, std::uint32_t& version) {
+  if (bytes.size() < min_header_bytes + kChecksumBytes) Reader::fail("truncated buffer");
   const std::span<const std::uint8_t> body = bytes.first(bytes.size() - kChecksumBytes);
   Reader tail(bytes.subspan(bytes.size() - kChecksumBytes));
   if (fnv1a(body) != tail.u64()) Reader::fail("checksum mismatch — corrupted buffer");
   Reader r(body);
   r.expect_magic(magic);
-  const std::uint32_t version = r.u32();
-  if (version != kSketchIoVersion)
+  version = r.u32();
+  if (version < 1 || version > kSketchIoVersion)
     Reader::fail("version skew: buffer v" + std::to_string(version) + ", codec v" +
                  std::to_string(kSketchIoVersion));
   return r;
@@ -158,7 +169,9 @@ std::vector<std::uint8_t> encode_sampler(const L0Sampler& s) {
 }
 
 L0Sampler decode_sampler(std::span<const std::uint8_t> bytes) {
-  Reader r = open_checked(bytes, kSamplerMagic, kSamplerHeaderBytes);
+  // The sampler layout is identical in v1 and v2; only the bank header grew.
+  std::uint32_t version = 0;
+  Reader r = open_checked(bytes, kSamplerMagic, kSamplerHeaderBytes, version);
   const std::uint32_t columns = r.u32();
   const std::uint64_t universe = r.u64();
   const std::uint64_t seed = r.u64();
@@ -175,9 +188,10 @@ std::vector<std::uint8_t> encode_bank(const SketchConnectivity& bank) {
   const SketchOptions& opt = bank.options();
   const auto n = static_cast<std::size_t>(bank.num_vertices());
   const std::uint64_t universe = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(n) * n);
-  const auto buckets = n * static_cast<std::size_t>(SketchConnectivity::total_copies_for(bank.num_vertices(), opt)) *
-                       static_cast<std::size_t>(opt.columns) *
-                       static_cast<std::size_t>(L0Sampler::levels_for(universe));
+  const auto buckets =
+      n * static_cast<std::size_t>(SketchConnectivity::total_copies_for(bank.num_vertices(), opt)) *
+      static_cast<std::size_t>(opt.columns) *
+      static_cast<std::size_t>(L0Sampler::levels_for(universe));
   std::vector<std::uint8_t> out;
   out.reserve(kBankHeaderBytes + buckets * kBucketBytes + kChecksumBytes);
   out.insert(out.end(), kBankMagic, kBankMagic + 8);
@@ -188,6 +202,11 @@ std::vector<std::uint8_t> encode_bank(const SketchConnectivity& bank) {
   put_u32(out, static_cast<std::uint32_t>(opt.columns));
   put_u32(out, static_cast<std::uint32_t>(opt.rounds_slack));
   put_u32(out, static_cast<std::uint32_t>(bank.copies_used()));
+  put_u32(out, opt.auto_size.enabled ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(opt.auto_size.initial_columns));
+  put_u32(out, static_cast<std::uint32_t>(opt.auto_size.initial_rounds_slack));
+  put_u32(out, static_cast<std::uint32_t>(opt.auto_size.growth));
+  put_u32(out, static_cast<std::uint32_t>(opt.auto_size.max_attempts));
   for (const auto& copies : SketchIoAccess::sketches(bank))
     for (const L0Sampler& s : copies)
       for (const auto& b : SketchIoAccess::buckets(s)) put_bucket(out, b);
@@ -196,7 +215,8 @@ std::vector<std::uint8_t> encode_bank(const SketchConnectivity& bank) {
 }
 
 SketchConnectivity decode_bank(std::span<const std::uint8_t> bytes) {
-  Reader r = open_checked(bytes, kBankMagic, kBankHeaderBytes);
+  std::uint32_t version = 0;
+  Reader r = open_checked(bytes, kBankMagic, kBankHeaderBytesV1, version);
   const std::uint32_t n = r.u32();
   SketchOptions opt;
   opt.seed = r.u64();
@@ -211,14 +231,37 @@ SketchConnectivity decode_bank(std::span<const std::uint8_t> bytes) {
   opt.max_forests = static_cast<int>(max_forests);
   opt.columns = static_cast<int>(columns);
   opt.rounds_slack = static_cast<int>(rounds_slack);
+  if (version >= 2) {
+    // v2 size metadata: the policy block exists iff the header says v2, and
+    // its fields must be self-consistent — a flag beyond {0,1} or a sizing
+    // field outside its legal range is corruption, not configuration.
+    const std::uint32_t enabled = r.u32();
+    const std::uint32_t initial_columns = r.u32();
+    const std::uint32_t initial_rounds_slack = r.u32();
+    const std::uint32_t growth = r.u32();
+    const std::uint32_t max_attempts = r.u32();
+    if (enabled > 1) Reader::fail("auto-size flag out of range for a v2 buffer");
+    if (initial_columns < 1 || initial_columns > (1u << 16))
+      Reader::fail("auto-size initial_columns out of range");
+    if (initial_rounds_slack < 1 || initial_rounds_slack > (1u << 16))
+      Reader::fail("auto-size initial_rounds_slack out of range");
+    if (growth < 2 || growth > (1u << 16)) Reader::fail("auto-size growth out of range");
+    if (max_attempts < 1 || max_attempts > (1u << 16))
+      Reader::fail("auto-size max_attempts out of range");
+    opt.auto_size.enabled = enabled == 1;
+    opt.auto_size.initial_columns = static_cast<int>(initial_columns);
+    opt.auto_size.initial_rounds_slack = static_cast<int>(initial_rounds_slack);
+    opt.auto_size.growth = static_cast<int>(growth);
+    opt.auto_size.max_attempts = static_cast<int>(max_attempts);
+  }
 
   const std::uint64_t universe =
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n));
   const auto total = static_cast<unsigned __int128>(
       SketchConnectivity::total_copies_for(static_cast<int>(n), opt));
   const auto levels = static_cast<unsigned __int128>(L0Sampler::levels_for(universe));
-  check_payload(r.remaining(),
-                static_cast<unsigned __int128>(n) * total * static_cast<unsigned __int128>(columns) * levels);
+  check_payload(r.remaining(), static_cast<unsigned __int128>(n) * total *
+                                   static_cast<unsigned __int128>(columns) * levels);
   if (cursor > static_cast<std::uint64_t>(total)) Reader::fail("recovery cursor out of range");
 
   SketchConnectivity bank(static_cast<int>(n), opt);

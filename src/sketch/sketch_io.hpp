@@ -39,9 +39,17 @@ class SketchIoError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Serialization format version written into (and required from) every
-/// buffer. Bump on any layout change.
-inline constexpr std::uint32_t kSketchIoVersion = 1;
+/// Serialization format version written into every buffer. Bump on any
+/// layout change. Decoders accept every version up to this one:
+///   v1 — fixed sizing only (no auto-size policy in the bank header).
+///   v2 — bank header additionally carries the AutoSizePolicy (enabled,
+///        initial_columns, initial_rounds_slack, growth, max_attempts), so
+///        shipped shard banks prove which sizing schedule built them.
+/// Decoding validates size metadata *against the declared version*: a v1
+/// buffer carrying v2 policy bytes (or a v2 buffer without them) fails the
+/// exact payload-size check, and v2 policy fields outside their legal
+/// ranges are rejected before any allocation.
+inline constexpr std::uint32_t kSketchIoVersion = 2;
 
 /// Encodes one ℓ₀ sampler: header (universe, seed, columns) + raw buckets.
 std::vector<std::uint8_t> encode_sampler(const L0Sampler& s);

@@ -1,5 +1,6 @@
 #include "support/thread_pool.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "support/check.hpp"
@@ -40,6 +41,26 @@ void ThreadPool::wait() {
     lock.unlock();
     std::rethrow_exception(err);
   }
+}
+
+void ThreadPool::for_range(std::size_t items,
+                           const std::function<void(std::size_t, std::size_t)>& body) {
+  DECK_CHECK(body != nullptr);
+  if (items == 0) return;
+  const auto workers = static_cast<std::size_t>(size());
+  // ~4 chunks per worker: enough slack that one slow chunk (a huge supernode,
+  // a dense vertex) doesn't serialize the whole batch behind it.
+  const std::size_t chunks = std::min(items, workers == 1 ? 1 : workers * 4);
+  if (chunks <= 1) {
+    body(0, items);
+    return;
+  }
+  const std::size_t stride = (items + chunks - 1) / chunks;
+  for (std::size_t begin = 0; begin < items; begin += stride) {
+    const std::size_t end = std::min(items, begin + stride);
+    submit([&body, begin, end] { body(begin, end); });
+  }
+  wait();
 }
 
 int ThreadPool::hardware_threads() {

@@ -41,6 +41,13 @@ class ThreadPool {
   /// the first exception any of them raised (if any).
   void wait();
 
+  /// Fan-out/join over an index range: splits [0, items) into contiguous
+  /// chunks (several per worker, so uneven chunks still balance), runs
+  /// body(begin, end) for each on the pool, and wait()s. Runs body(0, items)
+  /// inline when the pool has a single worker or the range is tiny — the
+  /// caller's loop body must therefore be safe to run on the calling thread.
+  void for_range(std::size_t items, const std::function<void(std::size_t, std::size_t)>& body);
+
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// std::thread::hardware_concurrency with a sane floor of 1.

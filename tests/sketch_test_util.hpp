@@ -1,0 +1,41 @@
+#pragma once
+
+// Shared helpers for the sketch-subsystem test suites (test_sketch,
+// test_shard, test_sketch_io, test_recovery) — one definition of the edge
+// normalization and the churned-stream workload, so every suite tests the
+// same thing.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sketch/sketch_connectivity.hpp"
+#include "sketch/stream.hpp"
+#include "support/rng.hpp"
+
+namespace deck {
+
+/// Flattens recovered forests into a sorted list of normalized (lo, hi)
+/// vertex pairs — the order-insensitive edge-set fingerprint the suites
+/// compare.
+inline std::vector<std::pair<VertexId, VertexId>> sorted_pairs(
+    const std::vector<std::vector<SketchEdge>>& forests) {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  for (const auto& f : forests)
+    for (const SketchEdge& e : f) out.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Standard dynamic-stream workload: a shuffled k-edge-connected graph with
+/// transient insert/delete churn mixed in (net effect zero).
+inline GraphStream churned_stream(int n, int k, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g = random_kec(n, k, 2 * n, rng);
+  GraphStream s = GraphStream::from_graph(g, rng);
+  s.churn(g.num_edges() / 2, rng);
+  return s;
+}
+
+}  // namespace deck

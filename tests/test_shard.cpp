@@ -12,28 +12,12 @@
 #include "sketch/shard.hpp"
 #include "sketch/sketch_io.hpp"
 #include "sketch/stream.hpp"
+#include "sketch_test_util.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
 namespace deck {
 namespace {
-
-std::vector<std::pair<VertexId, VertexId>> sorted_pairs(
-    const std::vector<std::vector<SketchEdge>>& forests) {
-  std::vector<std::pair<VertexId, VertexId>> out;
-  for (const auto& f : forests)
-    for (const SketchEdge& e : f) out.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-GraphStream churned_stream(int n, int k, std::uint64_t seed) {
-  Rng rng(seed);
-  Graph g = random_kec(n, k, 2 * n, rng);
-  GraphStream s = GraphStream::from_graph(g, rng);
-  s.churn(g.num_edges() / 2, rng);
-  return s;
-}
 
 TEST(SplitSeed, MatchesSplitMixStream) {
   // split_seed(base, i) is defined as the i-th SplitMix64 output — the O(1)
@@ -84,6 +68,34 @@ TEST(ThreadPool, WaitIsReusableAcrossBatches) {
     pool.wait();
     EXPECT_EQ(ran.load(), (round + 1) * 10);
   }
+}
+
+TEST(ThreadPool, ForRangeCoversRangeExactlyOnce) {
+  for (int threads : {1, 3, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.for_range(hits.size(), [&hits](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    // Empty ranges are a no-op.
+    pool.for_range(0, [](std::size_t, std::size_t) { FAIL() << "called on empty range"; });
+  }
+}
+
+TEST(ThreadPool, ForRangeRethrowsBodyError) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.for_range(100,
+                              [](std::size_t b, std::size_t) {
+                                if (b == 0) throw std::logic_error("boom");
+                              }),
+               std::logic_error);
+  // Pool stays usable afterwards.
+  std::atomic<int> ran{0};
+  pool.for_range(10, [&ran](std::size_t b, std::size_t e) {
+    ran.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(ran.load(), 10);
 }
 
 TEST(BatchQueue, EachBatchClaimedExactlyOnce) {

@@ -12,18 +12,10 @@
 #include "sketch/l0_sampler.hpp"
 #include "sketch/sketch_connectivity.hpp"
 #include "sketch/stream.hpp"
+#include "sketch_test_util.hpp"
 
 namespace deck {
 namespace {
-
-std::vector<std::pair<VertexId, VertexId>> sorted_pairs(
-    const std::vector<std::vector<SketchEdge>>& forests) {
-  std::vector<std::pair<VertexId, VertexId>> out;
-  for (const auto& f : forests)
-    for (const SketchEdge& e : f) out.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
-  std::sort(out.begin(), out.end());
-  return out;
-}
 
 TEST(L0Sampler, RecoversSingleCoordinate) {
   L0Sampler s(1000, /*seed=*/7);

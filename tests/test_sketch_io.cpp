@@ -10,19 +10,11 @@
 #include "graph/generators.hpp"
 #include "sketch/sketch_io.hpp"
 #include "sketch/stream.hpp"
+#include "sketch_test_util.hpp"
 #include "support/rng.hpp"
 
 namespace deck {
 namespace {
-
-std::vector<std::pair<VertexId, VertexId>> sorted_pairs(
-    const std::vector<std::vector<SketchEdge>>& forests) {
-  std::vector<std::pair<VertexId, VertexId>> out;
-  for (const auto& f : forests)
-    for (const SketchEdge& e : f) out.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
-  std::sort(out.begin(), out.end());
-  return out;
-}
 
 L0Sampler populated_sampler(std::uint64_t universe, std::uint64_t seed, int updates) {
   L0Sampler s(universe, seed);
@@ -161,6 +153,114 @@ TEST(SketchIo, EverySingleByteFlipIsDetected) {
     corrupt[pos] ^= flip;
     EXPECT_THROW((void)decode_sampler(corrupt), SketchIoError) << "pos=" << pos;
   }
+}
+
+// Bank header offsets (after the 8-byte magic): version, then
+// n/seed/max_forests/columns/rounds_slack/cursor, then the v2 policy block.
+constexpr std::size_t kVersionOffset = 8;
+constexpr std::size_t kPolicyOffset = 8 + 4 + 4 + 8 + 4 + 4 + 4 + 4;
+constexpr std::size_t kPolicyBytes = 5 * 4;
+
+void put_u32_at(std::vector<std::uint8_t>& bytes, std::size_t pos, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes[pos + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// Downgrades a v2 bank buffer (policy disabled) to an on-the-wire v1
+/// buffer: strip the policy block, declare version 1, reseal.
+std::vector<std::uint8_t> as_v1(std::vector<std::uint8_t> bytes) {
+  bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(kPolicyOffset),
+              bytes.begin() + static_cast<std::ptrdiff_t>(kPolicyOffset + kPolicyBytes));
+  put_u32_at(bytes, kVersionOffset, 1);
+  reseal(bytes);
+  return bytes;
+}
+
+TEST(SketchIo, V1BankStillDecodes) {
+  // Backward compatibility: a pre-policy (v1) buffer decodes into a bank
+  // with the default (disabled) policy and identical sketch state.
+  SketchConnectivity bank = populated_bank(24, 77);
+  const std::vector<std::uint8_t> v2 = encode_bank(bank);
+  const std::vector<std::uint8_t> v1 = as_v1(v2);
+  SketchConnectivity back = decode_bank(v1);
+  EXPECT_TRUE(back.compatible(bank));
+  EXPECT_FALSE(back.options().auto_size.enabled);
+  EXPECT_EQ(encode_bank(back), v2);  // re-encode upgrades to the current version
+  EXPECT_EQ(sorted_pairs(back.k_spanning_forests(2)), sorted_pairs(bank.k_spanning_forests(2)));
+}
+
+TEST(SketchIo, V1BufferCarryingV2MetadataRejected) {
+  // The header-trust fix: a buffer *declaring* v1 but shaped like v2 (the
+  // policy block present) must fail the declared-version size check — the
+  // decoder never lets header bytes it didn't expect pass as payload.
+  std::vector<std::uint8_t> bytes = encode_bank(populated_bank(12, 8));
+  put_u32_at(bytes, kVersionOffset, 1);  // lie about the version, keep v2 layout
+  reseal(bytes);
+  EXPECT_THROW((void)decode_bank(bytes), SketchIoError);
+}
+
+TEST(SketchIo, V2BufferMissingPolicyBlockRejected) {
+  // The converse lie: declares v2 but ships a v1-shaped body.
+  std::vector<std::uint8_t> bytes = as_v1(encode_bank(populated_bank(12, 8)));
+  put_u32_at(bytes, kVersionOffset, 2);
+  reseal(bytes);
+  EXPECT_THROW((void)decode_bank(bytes), SketchIoError);
+}
+
+TEST(SketchIo, PolicyFieldRangesValidated) {
+  // Fuzz-style negative sweep over the v2 policy block: flag beyond {0,1},
+  // zero sizing fields, growth below 2 — all must raise SketchIoError, and
+  // message-wise blame the metadata rather than the checksum.
+  const std::vector<std::uint8_t> good = encode_bank(populated_bank(12, 8));
+  struct Patch {
+    std::size_t field;  // u32 index into the policy block
+    std::uint32_t value;
+  };
+  const Patch patches[] = {
+      {0, 2}, {0, 0xffffffffu},       // enabled flag beyond {0,1}
+      {1, 0}, {1, 1u << 20},          // initial_columns
+      {2, 0}, {2, 1u << 20},          // initial_rounds_slack
+      {3, 0}, {3, 1}, {3, 1u << 20},  // growth (must be >= 2)
+      {4, 0}, {4, 1u << 20},          // max_attempts
+  };
+  for (const Patch& p : patches) {
+    std::vector<std::uint8_t> bytes = good;
+    put_u32_at(bytes, kPolicyOffset + 4 * p.field, p.value);
+    reseal(bytes);
+    try {
+      (void)decode_bank(bytes);
+      FAIL() << "accepted policy field " << p.field << " = " << p.value;
+    } catch (const SketchIoError& e) {
+      EXPECT_NE(std::string(e.what()).find("auto-size"), std::string::npos) << e.what();
+    }
+  }
+  // All five fields at legal values still decode (sanity for the sweep).
+  std::vector<std::uint8_t> ok = good;
+  put_u32_at(ok, kPolicyOffset + 0, 1);
+  put_u32_at(ok, kPolicyOffset + 4, 3);
+  put_u32_at(ok, kPolicyOffset + 8, 2);
+  put_u32_at(ok, kPolicyOffset + 12, 4);
+  put_u32_at(ok, kPolicyOffset + 16, 5);
+  reseal(ok);
+  const SketchConnectivity back = decode_bank(ok);
+  EXPECT_TRUE(back.options().auto_size.enabled);
+  EXPECT_EQ(back.options().auto_size.initial_columns, 3);
+  EXPECT_EQ(back.options().auto_size.growth, 4);
+  EXPECT_EQ(back.options().auto_size.max_attempts, 5);
+}
+
+TEST(SketchIo, UnknownFutureVersionRejected) {
+  std::vector<std::uint8_t> bytes = encode_bank(populated_bank(12, 8));
+  put_u32_at(bytes, kVersionOffset, kSketchIoVersion + 7);
+  reseal(bytes);
+  try {
+    (void)decode_bank(bytes);
+    FAIL() << "future version accepted";
+  } catch (const SketchIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("version skew"), std::string::npos) << e.what();
+  }
+  put_u32_at(bytes, kVersionOffset, 0);  // version 0 never existed
+  reseal(bytes);
+  EXPECT_THROW((void)decode_bank(bytes), SketchIoError);
 }
 
 TEST(SketchIo, TrailingGarbageRejected) {
