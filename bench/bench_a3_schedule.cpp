@@ -16,7 +16,8 @@ using namespace deck;
 
 int main(int argc, char** argv) {
   const bool large = bench::flag(argc, argv, "--large");
-  const std::vector<int> sizes = large ? std::vector<int>{24, 48, 96} : std::vector<int>{16, 32, 64};
+  const std::vector<int> sizes =
+      large ? std::vector<int>{24, 48, 96} : std::vector<int>{16, 32, 64};
 
   Table t({"k", "n", "rounds strict", "rounds fast", "saving", "same edges?", "weight"});
   for (int k : {2, 3}) {

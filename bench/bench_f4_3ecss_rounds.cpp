@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
             static_cast<double>(net4.rounds()) / static_cast<double>(net5.rounds()));
     }
     t.print("F4a: 3-ECSS rounds on hypercubes (low D, growing n)");
-    std::printf("   sec4/sec5 should grow with n: the section 5 algorithm avoids the Theta(n) term\n\n");
+    std::printf(
+        "   sec4/sec5 should grow with n: the section 5 algorithm avoids the Theta(n) term\n\n");
   }
 
   {

@@ -71,7 +71,8 @@ int main(int argc, char** argv) {
     // must reproduce exactly.
     ShardOptions ref_opt;
     ref_opt.shards = 1;
-    const std::vector<std::uint8_t> ref_bank = encode_bank(apply_sharded(stream, sopt, ref_opt).sketch);
+    const std::vector<std::uint8_t> ref_bank =
+        encode_bank(apply_sharded(stream, sopt, ref_opt).sketch);
     const SparsifyResult ref_cert = sharded_sparsify_stream(stream, k, sopt, ref_opt);
     const bool cert_ok = ref_cert.certificate.num_edges() <= k * (n - 1) &&
                          is_k_edge_connected(ref_cert.certificate, k);
@@ -120,7 +121,8 @@ int main(int argc, char** argv) {
         rows.push(std::move(row));
       }
     }
-    t.print("F8: sharded ingestion scaling, n = " + std::to_string(n) + ", k = " + std::to_string(k));
+    t.print("F8: sharded ingestion scaling, n = " + std::to_string(n) +
+            ", k = " + std::to_string(k));
     std::printf("\n");
   }
 

@@ -115,7 +115,9 @@ int main(int argc, char** argv) {
 
       const double speedup = ms > 0 ? base_ms / ms : 0;
       const double fail_rate =
-          stats.samples > 0 ? static_cast<double>(stats.failures) / static_cast<double>(stats.samples) : 0;
+          stats.samples > 0
+              ? static_cast<double>(stats.failures) / static_cast<double>(stats.samples)
+              : 0;
       t.add(threads, ms, speedup, identical ? "yes" : "NO", m_cert, bank.copies_used(),
             stats.rounds, fail_rate);
 
@@ -147,7 +149,8 @@ int main(int argc, char** argv) {
       aopt.auto_size.enabled = true;
       const int threads = thread_counts.back();
       const auto start = std::chrono::steady_clock::now();
-      const SparsifyResult sp = sharded_sparsify_stream(stream, k, aopt, shopt, {.threads = threads});
+      const SparsifyResult sp =
+          sharded_sparsify_stream(stream, k, aopt, shopt, {.threads = threads});
       const double ms = ms_since(start);
       const bool cert_ok = sp.certificate.num_edges() <= k * (n - 1) &&
                            (n > verify_limit || is_k_edge_connected(sp.certificate, k));

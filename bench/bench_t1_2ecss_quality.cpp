@@ -3,6 +3,12 @@
 // larger ones against the lower bound max(w(MST), degree bound) and the
 // sequential greedy baseline. The guaranteed ratio is O(log n); measured
 // ratios should sit far below the guarantee and within ~2x of greedy.
+//
+// A machine-readable JSON document follows the tables; the bench-regression
+// CI gate diffs the deterministic quality ratios (dist/LB per family and
+// size) against bench/baselines/t1_2ecss_quality.json, so a >10% certificate
+// -quality regression fails the PR. --smoke shrinks part B to one size per
+// family (the gated configuration in CI; also sanitizer-friendly).
 
 #include <cmath>
 #include <cstdio>
@@ -19,6 +25,10 @@ using namespace deck;
 
 int main(int argc, char** argv) {
   const bool large = bench::flag(argc, argv, "--large");
+  const bool smoke = bench::flag(argc, argv, "--smoke");
+
+  Json rows = Json::array();
+  bool all_ok = true;
 
   // Part A: exact comparison on tiny instances.
   {
@@ -44,11 +54,12 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  // Part B: lower-bound ratios across families and sizes.
+  // Part B: lower-bound ratios across families and sizes — the gated rows.
   {
     Table t({"family", "n", "LB", "dist 2-ECSS", "greedy", "dist/LB", "greedy/LB", "log2 n"});
-    const std::vector<int> sizes = large ? std::vector<int>{64, 128, 256, 512}
-                                         : std::vector<int>{48, 96, 192};
+    const std::vector<int> sizes = smoke   ? std::vector<int>{48}
+                                   : large ? std::vector<int>{64, 128, 256, 512}
+                                           : std::vector<int>{48, 96, 192};
     for (const auto& fam : bench::standard_families()) {
       for (int n : sizes) {
         Rng rng(900 + n);
@@ -56,16 +67,32 @@ int main(int argc, char** argv) {
         const Weight lb = kecss_lower_bound(g, 2);
         Network net(g);
         const Ecss2Result r = distributed_2ecss(net, TapOptions{});
-        if (!is_k_edge_connected_subset(g, r.edges, 2)) return 1;
+        const bool valid = is_k_edge_connected_subset(g, r.edges, 2);
+        all_ok = all_ok && valid;
         Weight greedy_w = 0;
         for (EdgeId e : greedy_kecss(g, 2, 1)) greedy_w += g.edge(e).w;
-        t.add(fam.name, g.num_vertices(), lb, r.weight, greedy_w,
-              static_cast<double>(r.weight) / static_cast<double>(lb),
-              static_cast<double>(greedy_w) / static_cast<double>(lb),
+        const double ratio = static_cast<double>(r.weight) / static_cast<double>(lb);
+        const double greedy_ratio = static_cast<double>(greedy_w) / static_cast<double>(lb);
+        t.add(fam.name, g.num_vertices(), lb, r.weight, greedy_w, ratio, greedy_ratio,
               std::log2(static_cast<double>(g.num_vertices())));
+
+        Json row = Json::object();
+        row.set("family", fam.name)
+            .set("n", g.num_vertices())
+            .set("lower_bound", lb)
+            .set("weight_dist", r.weight)
+            .set("weight_greedy", greedy_w)
+            .set("ratio_vs_lb", ratio)
+            .set("greedy_ratio_vs_lb", greedy_ratio)
+            .set("output_2_edge_connected", valid);
+        rows.push(std::move(row));
       }
     }
     t.print("T1b: 2-ECSS vs lower bound across families");
   }
-  return 0;
+
+  Json doc = Json::object();
+  doc.set("bench", "t1_2ecss_quality").set("all_ok", all_ok).set("rows", std::move(rows));
+  bench::print_json(doc);
+  return all_ok ? 0 : 1;
 }

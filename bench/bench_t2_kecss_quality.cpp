@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
 
   {
     Table t({"k", "n", "weights", "LB", "dist", "greedy", "thurimella", "dist/LB"});
-    const std::vector<int> sizes = large ? std::vector<int>{64, 128, 256} : std::vector<int>{48, 96};
+    const std::vector<int> sizes =
+        large ? std::vector<int>{64, 128, 256} : std::vector<int>{48, 96};
     for (int k : {2, 3, 4}) {
       for (int n : sizes) {
         for (int unit : {1, 0}) {

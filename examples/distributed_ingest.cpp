@@ -1,0 +1,131 @@
+// Multi-process sketch ingest, end to end: four *real* worker processes
+// (fork) each ingest a disjoint slice of the update stream into a private
+// ℓ₀ bank and stream it over TCP to the coordinator as framed sketch_io
+// chunks; the coordinator merges chunks as they arrive (BankAssembler — it
+// never buffers a whole shard bank), peels the k forests on a shared
+// thread pool, and feeds the Thurimella certificate to the paper's CONGEST
+// k-ECSS — the distributed twin of examples/sharded_pipeline.
+//
+//   worker process 0..3                     coordinator process
+//   ───────────────────                     ───────────────────
+//   updates[w::4] ─► bank_w ─► chunks ──TCP──► BankAssembler (merge on
+//                                              arrival) ─► recover ─► CONGEST
+//
+//   cmake -B build -G Ninja && cmake --build build && ./build/distributed_ingest
+//
+// The certificate is bit-identical to single-process
+// sharded_sparsify_stream() on the same seeded stream — linearity makes any
+// disjoint stream partition merge to the same bank, and split_seed lets
+// every process derive the same per-copy sampler seeds with zero shared
+// state.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "ecss/distributed_kecss.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "net/ingest.hpp"
+#include "net/transport.hpp"
+#include "sketch/shard.hpp"
+#include "sketch/stream.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace deck;
+  const int n = 96, k = 3, workers = 4;
+
+  // A k-edge-connected graph arrives as a churned dynamic stream. Every
+  // process rebuilds the identical seeded stream; in a real deployment each
+  // worker would read its slice from its own ingest source instead.
+  Rng rng(19);
+  Graph g = random_kec(n, k, /*extra=*/2 * n, rng);
+  GraphStream stream = GraphStream::from_graph(g, rng);
+  stream.churn(/*pairs=*/g.num_edges(), rng);
+  std::printf("stream: %zu updates over n=%d, sliced across %d worker processes\n", stream.size(),
+              n, workers);
+
+  SketchOptions opt;
+  opt.seed = 42;
+  opt.max_forests = k;
+
+  // The coordinator listens on an ephemeral loopback port; workers are
+  // forked before any thread exists and connect back over TCP.
+  TcpListener listener;
+  for (std::uint32_t w = 0; w < static_cast<std::uint32_t>(workers); ++w) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      try {
+        const std::unique_ptr<Transport> t = tcp_connect("127.0.0.1", listener.port());
+        IngestWorkerOptions wopt;
+        wopt.target_chunk_bytes = 64 * 1024;  // bounds the coordinator's per-chunk staging
+        run_ingest_worker(*t, stream, w, static_cast<std::uint32_t>(workers), wopt);
+        _exit(0);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "worker %u: %s\n", w, e.what());
+        _exit(1);
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Transport>> accepted;
+  std::vector<Transport*> raw;
+  for (int w = 0; w < workers; ++w) {
+    accepted.push_back(listener.accept());
+    raw.push_back(accepted.back().get());
+  }
+
+  // One shared pool (4 threads) overlaps the four workers' chunk streams
+  // with assembly, then runs the Borůvka recovery fan-out.
+  IngestCoordinatorOptions copt;
+  copt.threads = 4;
+  const SparsifyResult remote = coordinated_sparsify(raw, n, k, opt, copt);
+  std::printf("coordinator: assembled %d-vertex bank from %d chunk streams, %d forest(s), "
+              "%d copies used\n",
+              n, workers, static_cast<int>(remote.forests.size()), remote.copies_used);
+
+  bool children_ok = true;
+  for (int w = 0; w < workers; ++w) {
+    int status = 0;
+    if (wait(&status) < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) children_ok = false;
+  }
+  std::printf("worker processes exited cleanly: %s\n", children_ok ? "yes" : "NO");
+
+  const bool cert_ok = remote.certificate.num_edges() <= k * (n - 1) &&
+                       is_k_edge_connected(remote.certificate, k);
+  std::printf("certificate: %d edges (bound %d), %d-edge-connected: %s\n",
+              remote.certificate.num_edges(), k * (n - 1), k, cert_ok ? "yes" : "NO");
+
+  // The acceptance bar: the multi-process flow must equal single-process
+  // sharded ingestion (and therefore sequential ingestion) edge for edge.
+  ShardOptions sh;
+  sh.shards = workers;
+  const SparsifyResult local = sharded_sparsify_stream(stream, k, opt, sh);
+  bool identical = local.certificate.num_edges() == remote.certificate.num_edges();
+  if (identical)
+    for (const Edge& e : local.certificate.edges())
+      identical = identical && remote.certificate.has_edge(e.u, e.v);
+  std::printf("identical to single-process sharded_sparsify_stream: %s\n",
+              identical ? "yes" : "NO");
+
+  // The CONGEST pipeline runs on the sparsifier.
+  Network cert_net(remote.certificate);
+  KecssOptions kopt;
+  kopt.seed = 42;
+  const KecssResult result = distributed_kecss(cert_net, k, kopt);
+  const bool out_ok = is_k_edge_connected_subset(remote.certificate, result.edges, k);
+  std::printf("k-ECSS on certificate: %zu edges in %llu rounds, %s\n", result.edges.size(),
+              static_cast<unsigned long long>(cert_net.rounds()),
+              out_ok ? "verified" : "NOT k-edge-connected");
+
+  return (children_ok && cert_ok && identical && out_ok) ? 0 : 1;
+}

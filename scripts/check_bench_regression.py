@@ -53,19 +53,32 @@ GATES = {
         "key": ("n", "k", "mode", "threads"),
         "metrics": ("m_certificate", "sketch_copies_used"),
     },
+    "f10_transport": {
+        "key": ("n", "k", "mode", "workers"),
+        "metrics": ("peak_coordinator_bytes", "m_certificate"),
+    },
+    "t1_2ecss_quality": {
+        "key": ("family", "n"),
+        "metrics": ("ratio_vs_lb",),
+    },
 }
 
-# Bench binary behind each gated baseline, for --update-baselines.
+# Bench invocation behind each gated baseline, for --update-baselines:
+# binary name plus the arguments the CI gate runs it with (baselines must be
+# refreshed under the exact configuration the gate replays).
 BINARIES = {
-    "f1_2ecss_rounds": "bench_f1_2ecss_rounds",
-    "f7_sketch": "bench_f7_sketch",
-    "f8_shard": "bench_f8_shard",
-    "f9_recovery": "bench_f9_recovery",
+    "f1_2ecss_rounds": ("bench_f1_2ecss_rounds",),
+    "f7_sketch": ("bench_f7_sketch",),
+    "f8_shard": ("bench_f8_shard",),
+    "f9_recovery": ("bench_f9_recovery",),
+    "f10_transport": ("bench_f10_transport",),
+    "t1_2ecss_quality": ("bench_t1_2ecss_quality", "--smoke"),
 }
 
 # Wall-clock / host-dependent fields, stripped when writing baselines.
 VOLATILE = ("ingest_ms", "halves_per_sec", "speedup_vs_1shard",
-            "recover_ms", "speedup_vs_1thread", "sample_failure_rate")
+            "recover_ms", "speedup_vs_1thread", "sample_failure_rate",
+            "ship_ms")
 
 
 def extract_doc(path: str) -> dict:
@@ -152,13 +165,14 @@ def update_baselines(build_dir: str, baseline_dir: str) -> int:
     import tempfile
 
     failures = 0
-    for name, binary in sorted(BINARIES.items()):
+    for name, invocation in sorted(BINARIES.items()):
+        binary, args = invocation[0], list(invocation[1:])
         exe = os.path.join(build_dir, binary)
         if not os.path.exists(exe):
             print(f"FAIL: {exe} not built — run `cmake --build {build_dir} --target {binary}`")
             failures += 1
             continue
-        proc = subprocess.run([exe], capture_output=True, text=True)
+        proc = subprocess.run([exe] + args, capture_output=True, text=True)
         if proc.returncode != 0:
             print(f"FAIL: {binary} exited {proc.returncode} — not writing a baseline from a "
                   f"failing run")

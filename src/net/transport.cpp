@@ -1,0 +1,251 @@
+#include "net/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+namespace deck {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw NetError("net: " + what); }
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  fail(what + ": " + std::strerror(errno));
+}
+
+void check_size(std::size_t bytes) {
+  if (static_cast<std::uint64_t>(bytes) > kMaxMessageBytes)
+    fail("message of " + std::to_string(bytes) + " byte(s) exceeds the " +
+         std::to_string(kMaxMessageBytes) + "-byte frame limit");
+}
+
+// ---------------------------------------------------------------------------
+// Loopback: two FIFO queues shared by the endpoint pair. Each endpoint
+// writes its peer's inbox and drains its own; close() wakes the peer so a
+// blocked recv() observes the orderly shutdown.
+
+struct LoopbackChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::vector<std::uint8_t>> queue;
+  bool closed = false;  // the *writer* closed; readable until drained
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<LoopbackChannel> inbox,
+                    std::shared_ptr<LoopbackChannel> outbox)
+      : inbox_(std::move(inbox)), outbox_(std::move(outbox)) {}
+
+  ~LoopbackTransport() override { LoopbackTransport::close(); }
+
+  void send(std::span<const std::uint8_t> message) override {
+    check_size(message.size());
+    std::lock_guard<std::mutex> lock(outbox_->mu);
+    if (outbox_->closed) fail("send on a closed loopback transport");
+    outbox_->queue.emplace_back(message.begin(), message.end());
+    outbox_->cv.notify_one();
+  }
+
+  std::optional<std::vector<std::uint8_t>> recv() override {
+    std::unique_lock<std::mutex> lock(inbox_->mu);
+    inbox_->cv.wait(lock, [this] { return !inbox_->queue.empty() || inbox_->closed; });
+    if (inbox_->queue.empty()) return std::nullopt;  // peer closed, fully drained
+    std::vector<std::uint8_t> message = std::move(inbox_->queue.front());
+    inbox_->queue.pop_front();
+    return message;
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(outbox_->mu);
+    outbox_->closed = true;
+    outbox_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<LoopbackChannel> inbox_;
+  std::shared_ptr<LoopbackChannel> outbox_;
+};
+
+// ---------------------------------------------------------------------------
+// TCP: framed messages over a connected stream socket. All loops handle
+// partial transfers and EINTR; SIGPIPE is suppressed per send so a reset
+// peer surfaces as NetError.
+
+void put_u64_le(std::uint8_t out[8], std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t get_u64_le(const std::uint8_t in[8]) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {}
+
+  ~TcpTransport() override { TcpTransport::close(); }
+
+  void send(std::span<const std::uint8_t> message) override {
+    check_size(message.size());
+    if (fd_ < 0) fail("send on a closed TCP transport");
+    std::uint8_t prefix[8];
+    put_u64_le(prefix, message.size());
+    send_all(prefix, sizeof prefix);
+    send_all(message.data(), message.size());
+  }
+
+  std::optional<std::vector<std::uint8_t>> recv() override {
+    if (fd_ < 0) fail("recv on a closed TCP transport");
+    std::uint8_t prefix[8];
+    const std::size_t got = recv_some(prefix, sizeof prefix);
+    if (got == 0) return std::nullopt;  // orderly close between frames
+    if (got < sizeof prefix) fail("truncated frame: peer closed mid length prefix");
+    const std::uint64_t length = get_u64_le(prefix);
+    if (length > kMaxMessageBytes)
+      fail("frame length " + std::to_string(length) + " exceeds the " +
+           std::to_string(kMaxMessageBytes) + "-byte limit — corrupt or hostile peer");
+    std::vector<std::uint8_t> message(static_cast<std::size_t>(length));
+    if (recv_some(message.data(), message.size()) < message.size())
+      fail("truncated frame: peer closed mid payload");
+    return message;
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  void send_all(const std::uint8_t* data, std::size_t size) {
+    std::size_t sent = 0;
+    while (sent < size) {
+      const ssize_t w = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        fail_errno("send failed");
+      }
+      sent += static_cast<std::size_t>(w);
+    }
+  }
+
+  /// Reads exactly `size` bytes unless EOF interrupts; returns bytes read.
+  std::size_t recv_some(std::uint8_t* data, std::size_t size) {
+    std::size_t got = 0;
+    while (got < size) {
+      const ssize_t r = ::recv(fd_, data + got, size - got, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        fail_errno("recv failed");
+      }
+      if (r == 0) break;  // EOF
+      got += static_cast<std::size_t>(r);
+    }
+    return got;
+  }
+
+  int fd_ = -1;
+};
+
+sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1)
+    fail("invalid IPv4 address '" + address + "'");
+  return addr;
+}
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> loopback_pair() {
+  auto a_to_b = std::make_shared<LoopbackChannel>();
+  auto b_to_a = std::make_shared<LoopbackChannel>();
+  return {std::make_unique<LoopbackTransport>(b_to_a, a_to_b),
+          std::make_unique<LoopbackTransport>(a_to_b, b_to_a)};
+}
+
+TcpListener::TcpListener(std::uint16_t port, const std::string& bind_address) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail_errno("socket failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(bind_address, port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    fail("bind to " + bind_address + ":" + std::to_string(port) + " failed: " + detail);
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    fail_errno("getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_, SOMAXCONN) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    fail_errno("listen failed");
+  }
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Transport> TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<TcpTransport>(fd);
+    if (errno != EINTR) fail_errno("accept failed");
+  }
+}
+
+std::unique_ptr<Transport> tcp_connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket failed");
+  const sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0)
+    return std::make_unique<TcpTransport>(fd);
+  if (errno == EINTR) {
+    // POSIX: an interrupted connect keeps completing asynchronously, and
+    // calling connect() again yields EALREADY — wait for writability and
+    // read the real outcome from SO_ERROR instead.
+    pollfd p{fd, POLLOUT, 0};
+    while (::poll(&p, 1, -1) < 0) {
+      if (errno != EINTR) {
+        const std::string detail = std::strerror(errno);
+        ::close(fd);
+        fail("connect to " + host + ":" + std::to_string(port) + " failed: poll: " + detail);
+      }
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 && err == 0)
+      return std::make_unique<TcpTransport>(fd);
+    const std::string detail = std::strerror(err != 0 ? err : errno);
+    ::close(fd);
+    fail("connect to " + host + ":" + std::to_string(port) + " failed: " + detail);
+  }
+  const std::string detail = std::strerror(errno);
+  ::close(fd);
+  fail("connect to " + host + ":" + std::to_string(port) + " failed: " + detail);
+}
+
+}  // namespace deck

@@ -1,0 +1,94 @@
+#pragma once
+
+// Minimal length-prefixed message transport — the shipping layer under the
+// multi-process sketch ingest (src/net/ingest.*). A Transport moves whole
+// messages (byte vectors) between exactly two endpoints, reliably and in
+// order; framing is a little-endian u64 length prefix followed by the
+// payload, so the receiver always knows message boundaries and a short read
+// is a detectable fault, never a misparse.
+//
+// Two implementations:
+//   - LoopbackTransport (loopback_pair()): an in-process queue pair for
+//     deterministic tests and benches — no sockets, no timing, FIFO per
+//     direction, close() observable from the peer.
+//   - TCP (TcpListener / tcp_connect): POSIX stream sockets over IPv4,
+//     loopback or LAN. Partial reads/writes and EINTR are handled; peers on
+//     different hosts interoperate because framing is endian-stable.
+//
+// Faults raise NetError (closed peer, truncated frame, oversized frame,
+// socket errors) — never UB and never a silent short message. Orderly
+// shutdown is distinguishable: recv() returns std::nullopt when the peer
+// closed after a complete message.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deck {
+
+/// Transport-layer fault: closed/reset peer, truncated or oversized frame,
+/// or an OS socket error.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Frames larger than this are rejected on both send and receive — a forged
+/// length prefix must fail on arithmetic, not on a giant allocation.
+inline constexpr std::uint64_t kMaxMessageBytes = 1ull << 30;
+
+/// Reliable, ordered, message-oriented channel between two endpoints.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Ships one message (empty allowed). Throws NetError if the peer is gone
+  /// or the message exceeds kMaxMessageBytes.
+  virtual void send(std::span<const std::uint8_t> message) = 0;
+
+  /// Blocks for the next message. Returns std::nullopt on orderly close
+  /// (peer closed with no partial frame pending); throws NetError on a
+  /// truncated frame, oversized prefix, or socket error.
+  virtual std::optional<std::vector<std::uint8_t>> recv() = 0;
+
+  /// Closes this endpoint. Further send() calls throw; the peer's pending
+  /// messages stay readable and its next recv() after draining them
+  /// observes the close.
+  virtual void close() = 0;
+};
+
+/// Two connected in-process endpoints: messages sent on `first` arrive at
+/// `second` and vice versa. Thread-safe per endpoint; FIFO per direction.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> loopback_pair();
+
+/// Listening TCP socket bound to an address (default loopback, ephemeral
+/// port — read the chosen one back with port()).
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0, const std::string& bind_address = "127.0.0.1");
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The bound port (the ephemeral choice when constructed with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for one inbound connection. Throws NetError on failure.
+  std::unique_ptr<Transport> accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to a listening peer. Throws NetError when the connection is
+/// refused or the address is invalid.
+std::unique_ptr<Transport> tcp_connect(const std::string& host, std::uint16_t port);
+
+}  // namespace deck

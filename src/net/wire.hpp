@@ -1,0 +1,71 @@
+#pragma once
+
+// Tiny little-endian wire codec for the net layer's protocol messages.
+// Mirrors sketch_io's encoding discipline (explicit byte-by-byte LE, bounds
+// checks before every read) but raises NetError — a malformed protocol
+// message is a transport-layer fault, not a sketch-buffer fault.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace deck::net {
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_bytes(std::vector<std::uint8_t>& out, std::span<const std::uint8_t> bytes) {
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+/// Bounds-checked reader over one received message. Over-reads throw
+/// NetError; rest() hands the unread tail to nested codecs (e.g. a
+/// sketch_io chunk riding in a protocol message).
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  /// The unread remainder of the message.
+  std::span<const std::uint8_t> rest() const { return bytes_.subspan(pos_); }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void need(std::size_t k) {
+    if (bytes_.size() - pos_ < k)
+      throw NetError("net: malformed protocol message — need " + std::to_string(k) +
+                     " byte(s) at offset " + std::to_string(pos_) + ", " +
+                     std::to_string(bytes_.size() - pos_) + " remain");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace deck::net

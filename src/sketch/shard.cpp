@@ -36,7 +36,9 @@ ShardIngestResult apply_sharded(const GraphStream& stream, const SketchOptions& 
   std::vector<SourceBatch> batches = collect_batches(stream, opt.batch_size);
   std::vector<std::size_t> shard_batches(static_cast<std::size_t>(shards), 0);
   std::vector<std::size_t> shard_halves(static_cast<std::size_t>(shards), 0);
-  ThreadPool pool(shards);
+  std::optional<ThreadPool> owned;
+  if (opt.pool == nullptr) owned.emplace(shards);
+  ThreadPool& pool = opt.pool != nullptr ? *opt.pool : *owned;
 
   if (opt.sharding != Sharding::kDynamic) {
     // Ownership fast path. A batch only ever touches its source vertex's

@@ -55,6 +55,13 @@ struct ShardOptions {
   /// Directed halves per SourceBatch handed to a shard at a time.
   std::size_t batch_size = 1024;
   Sharding sharding = Sharding::kHash;
+  /// Caller-owned pool to run the shard jobs on instead of constructing one
+  /// per call — lets one ThreadPool serve ingestion, chunk assembly, and
+  /// recovery back to back (pass it to RecoveryOptions::pool too). The pool
+  /// must be otherwise idle for the duration of the call; its size is
+  /// independent of `shards` (jobs queue), and any size yields the
+  /// bit-identical merged bank.
+  ThreadPool* pool = nullptr;
 };
 
 /// Static assignment of a batch source to a shard (kHash / kVertexRange).

@@ -19,6 +19,17 @@ int boruvka_rounds_budget(int n, int slack) {
   return static_cast<int>(std::bit_width(un)) + slack;
 }
 
+/// Resolves RecoveryOptions to the pool recovery should fan out on: the
+/// caller's pool when one was lent, a fresh one for threads > 1, else null
+/// (inline single-threaded path). `owned` keeps a constructed pool alive
+/// for the caller's scope.
+ThreadPool* recovery_pool(const RecoveryOptions& ropt, std::optional<ThreadPool>& owned) {
+  DECK_CHECK(ropt.threads >= 1);
+  if (ropt.pool != nullptr) return ropt.pool;
+  if (ropt.threads > 1) owned.emplace(ropt.threads);
+  return owned ? &*owned : nullptr;
+}
+
 /// Shared non-convergence contract of the throwing recovery entry points.
 void check_converged(bool converged, bool copies_exhausted) {
   DECK_CHECK_MSG(converged || !copies_exhausted, "sketch copies exhausted — raise max_forests");
@@ -270,12 +281,11 @@ bool SketchConnectivity::grow_forest(std::vector<SketchEdge>& forest, ThreadPool
 }
 
 std::vector<SketchEdge> SketchConnectivity::spanning_forest(const RecoveryOptions& ropt) {
-  DECK_CHECK(ropt.threads >= 1);
-  std::optional<ThreadPool> pool;
-  if (ropt.threads > 1) pool.emplace(ropt.threads);
+  std::optional<ThreadPool> owned;
+  ThreadPool* pool = recovery_pool(ropt, owned);
   std::vector<SketchEdge> forest;
   RecoveryStats stats;
-  const bool converged = grow_forest(forest, pool ? &*pool : nullptr, stats);
+  const bool converged = grow_forest(forest, pool, stats);
   check_converged(converged, stats.copies_exhausted);
   return forest;
 }
@@ -292,9 +302,10 @@ std::vector<std::vector<SketchEdge>> SketchConnectivity::k_spanning_forests(
 KForests SketchConnectivity::try_k_spanning_forests(int k, const RecoveryOptions& ropt,
                                                     const KForests* prior) {
   DECK_CHECK(k >= 1);
-  DECK_CHECK(ropt.threads >= 1);
   KForests out;
   std::vector<SketchEdge> partial;
+  std::optional<ThreadPool> owned;
+  ThreadPool* pool = recovery_pool(ropt, owned);
   if (prior != nullptr) {
     DECK_CHECK_MSG(cursor_ == 0, "resume requires a fresh bank — copies already consumed");
     out.forests = prior->forests;
@@ -314,15 +325,13 @@ KForests SketchConnectivity::try_k_spanning_forests(int k, const RecoveryOptions
   const int completed = static_cast<int>(out.forests.size());
   DECK_CHECK_MSG(k - completed <= opt_.max_forests, "k exceeds the sketch's max_forests budget");
 
-  std::optional<ThreadPool> pool;
-  if (ropt.threads > 1) pool.emplace(ropt.threads);
   out.forests.reserve(static_cast<std::size_t>(k));
   for (int f = completed; f < k; ++f) {
     std::vector<SketchEdge> forest =
         f == completed ? std::move(partial) : std::vector<SketchEdge>{};
     const std::size_t seeds = forest.size();
     const std::size_t round_mark = out.stats.per_round.size();
-    const bool converged = grow_forest(forest, pool ? &*pool : nullptr, out.stats);
+    const bool converged = grow_forest(forest, pool, out.stats);
     out.stats.last_forest_samples = 0;
     out.stats.last_forest_failures = 0;
     for (std::size_t r = round_mark; r < out.stats.per_round.size(); ++r) {

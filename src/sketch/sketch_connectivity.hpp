@@ -96,6 +96,12 @@ struct RecoveryOptions {
   /// Worker threads for per-round supernode aggregation + sampling. 1 runs
   /// inline; any value yields bit-identical forests.
   int threads = 1;
+  /// Caller-owned pool to run on instead of constructing one per call
+  /// (overrides `threads` when set) — how the ingest coordinator shares one
+  /// ThreadPool across network receive, chunk assembly, and recovery. The
+  /// pool must be otherwise idle for the duration of the call; any pool
+  /// size yields bit-identical forests.
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-Borůvka-round accounting, the signal the adaptive sizing policy acts

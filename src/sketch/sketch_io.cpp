@@ -1,6 +1,8 @@
 #include "sketch/sketch_io.hpp"
 
+#include <algorithm>
 #include <cstddef>
+#include <utility>
 
 #include "support/check.hpp"
 
@@ -24,7 +26,7 @@ struct SketchIoAccess {
 namespace {
 
 // Magic tags: 8 ASCII bytes, written verbatim so a hexdump identifies the
-// buffer kind ("DECKSKS1" = sampler, "DECKSKB1" = bank).
+// buffer kind ("DECKSKS1" = sampler, "DECKSKB1" = bank/chunk).
 constexpr std::uint8_t kSamplerMagic[8] = {'D', 'E', 'C', 'K', 'S', 'K', 'S', '1'};
 constexpr std::uint8_t kBankMagic[8] = {'D', 'E', 'C', 'K', 'S', 'K', 'B', '1'};
 
@@ -35,7 +37,10 @@ constexpr std::size_t kSamplerHeaderBytes = 8 + 4 + 4 + 8 + 8;  // magic ver col
 constexpr std::size_t kBankHeaderBytesV1 = 8 + 4 + 4 + 8 + 4 + 4 + 4 + 4;
 // v2 appends the auto-size policy: enabled initial_columns
 // initial_rounds_slack growth max_attempts
-constexpr std::size_t kBankHeaderBytes = kBankHeaderBytesV1 + 5 * 4;
+constexpr std::size_t kBankHeaderBytesV2 = kBankHeaderBytesV1 + 5 * 4;
+// v3 appends the chunk block: source_id chunk_index chunk_count
+// vertex_begin vertex_end
+constexpr std::size_t kBankHeaderBytes = kBankHeaderBytesV2 + 5 * 4;
 
 std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -69,13 +74,23 @@ void put_checksum(std::vector<std::uint8_t>& out) {
 }
 
 /// Bounds-checked little-endian cursor. Every decode failure funnels
-/// through fail() so a malformed buffer can only ever raise SketchIoError.
+/// through fail() so a malformed buffer can only ever raise SketchIoError,
+/// and every message names the offset (and, via field(), the field) that
+/// failed so a bad buffer is diagnosable from the exception alone.
 class Reader {
  public:
   explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
   [[noreturn]] static void fail(const std::string& what) {
     throw SketchIoError("sketch_io: " + what);
+  }
+
+  /// Validation failure of a just-read header field: names the field, the
+  /// offending value, and the byte offset it was read from.
+  [[noreturn]] static void fail_field(const std::string& name, std::uint64_t value,
+                                      std::size_t offset, const std::string& why) {
+    fail("field '" + name + "' " + why + " (value " + std::to_string(value) + ", at byte offset " +
+         std::to_string(offset) + ")");
   }
 
   std::uint32_t u32() {
@@ -102,7 +117,8 @@ class Reader {
     need(8);
     for (int i = 0; i < 8; ++i)
       if (bytes_[pos_ + static_cast<std::size_t>(i)] != magic[i])
-        fail("bad magic — not a sketch buffer of this kind");
+        fail("bad magic — not a sketch buffer of this kind (at byte offset " +
+             std::to_string(pos_ + static_cast<std::size_t>(i)) + ")");
     pos_ += 8;
   }
 
@@ -114,16 +130,38 @@ class Reader {
     return b;
   }
 
+  std::size_t pos() const { return pos_; }
   std::size_t remaining() const { return bytes_.size() - pos_; }
 
  private:
   void need(std::size_t k) {
-    if (bytes_.size() - pos_ < k) fail("truncated buffer");
+    if (bytes_.size() - pos_ < k)
+      fail("truncated buffer: need " + std::to_string(k) + " byte(s) at offset " +
+           std::to_string(pos_) + ", " + std::to_string(bytes_.size() - pos_) + " remain");
   }
 
   std::span<const std::uint8_t> bytes_;
   std::size_t pos_ = 0;
 };
+
+/// A header field together with the offset it was read from, so later range
+/// checks can blame the exact bytes.
+struct Field {
+  std::uint64_t value = 0;
+  std::size_t offset = 0;
+};
+
+Field field32(Reader& r) {
+  const std::size_t off = r.pos();
+  return {r.u32(), off};
+}
+
+/// Fails unless lo <= f.value <= hi, blaming `name` at its offset.
+void check_field(const std::string& name, const Field& f, std::uint64_t lo, std::uint64_t hi) {
+  if (f.value < lo || f.value > hi)
+    Reader::fail_field(name, f.value, f.offset,
+                       "out of range [" + std::to_string(lo) + ", " + std::to_string(hi) + "]");
+}
 
 /// Shared prologue: overall length, trailing checksum, magic, version. After
 /// this, header fields can be read but payload sizes still need validation.
@@ -132,24 +170,165 @@ class Reader {
 /// the *declared* version prescribes, never the newest one.
 Reader open_checked(std::span<const std::uint8_t> bytes, const std::uint8_t (&magic)[8],
                     std::size_t min_header_bytes, std::uint32_t& version) {
-  if (bytes.size() < min_header_bytes + kChecksumBytes) Reader::fail("truncated buffer");
+  if (bytes.size() < min_header_bytes + kChecksumBytes)
+    Reader::fail("truncated buffer: " + std::to_string(bytes.size()) + " byte(s), header needs " +
+                 std::to_string(min_header_bytes + kChecksumBytes));
   const std::span<const std::uint8_t> body = bytes.first(bytes.size() - kChecksumBytes);
   Reader tail(bytes.subspan(bytes.size() - kChecksumBytes));
-  if (fnv1a(body) != tail.u64()) Reader::fail("checksum mismatch — corrupted buffer");
+  if (fnv1a(body) != tail.u64())
+    Reader::fail("checksum mismatch — corrupted buffer (trailer at byte offset " +
+                 std::to_string(body.size()) + ")");
   Reader r(body);
   r.expect_magic(magic);
-  version = r.u32();
+  const Field ver = field32(r);
+  version = static_cast<std::uint32_t>(ver.value);
   if (version < 1 || version > kSketchIoVersion)
     Reader::fail("version skew: buffer v" + std::to_string(version) + ", codec v" +
-                 std::to_string(kSketchIoVersion));
+                 std::to_string(kSketchIoVersion) + " (field 'version' at byte offset " +
+                 std::to_string(ver.offset) + ")");
   return r;
 }
 
 /// Exact payload check without constructing: forged headers must fail on
 /// arithmetic, not on a giant allocation. 128-bit so the product can't wrap.
-void check_payload(std::size_t remaining, unsigned __int128 expected_buckets) {
-  if (expected_buckets * kBucketBytes != static_cast<unsigned __int128>(remaining))
-    Reader::fail("payload size does not match header shape");
+void check_payload(const Reader& r, unsigned __int128 expected_buckets) {
+  if (expected_buckets * kBucketBytes != static_cast<unsigned __int128>(r.remaining()))
+    Reader::fail("payload size does not match header shape (" + std::to_string(r.remaining()) +
+                 " byte(s) from offset " + std::to_string(r.pos()) + ", header implies " +
+                 std::to_string(static_cast<std::uint64_t>(expected_buckets * kBucketBytes)) + ")");
+}
+
+/// Writes the v3 bank/chunk header. Whole banks are the degenerate chunk
+/// 0 of 1 covering [0, n).
+void put_bank_header(std::vector<std::uint8_t>& out, const SketchConnectivity& bank,
+                     std::uint32_t source_id, std::uint32_t chunk_index, std::uint32_t chunk_count,
+                     VertexId begin, VertexId end) {
+  const SketchOptions& opt = bank.options();
+  out.insert(out.end(), kBankMagic, kBankMagic + 8);
+  put_u32(out, kSketchIoVersion);
+  put_u32(out, static_cast<std::uint32_t>(bank.num_vertices()));
+  put_u64(out, opt.seed);
+  put_u32(out, static_cast<std::uint32_t>(opt.max_forests));
+  put_u32(out, static_cast<std::uint32_t>(opt.columns));
+  put_u32(out, static_cast<std::uint32_t>(opt.rounds_slack));
+  put_u32(out, static_cast<std::uint32_t>(bank.copies_used()));
+  put_u32(out, opt.auto_size.enabled ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(opt.auto_size.initial_columns));
+  put_u32(out, static_cast<std::uint32_t>(opt.auto_size.initial_rounds_slack));
+  put_u32(out, static_cast<std::uint32_t>(opt.auto_size.growth));
+  put_u32(out, static_cast<std::uint32_t>(opt.auto_size.max_attempts));
+  put_u32(out, source_id);
+  put_u32(out, chunk_index);
+  put_u32(out, chunk_count);
+  put_u32(out, static_cast<std::uint32_t>(begin));
+  put_u32(out, static_cast<std::uint32_t>(end));
+}
+
+/// Payload buckets a chunk covering `span_vertices` carries.
+unsigned __int128 chunk_buckets(int n, const SketchOptions& opt, std::uint64_t span_vertices) {
+  const std::uint64_t universe =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n));
+  const auto total = static_cast<unsigned __int128>(SketchConnectivity::total_copies_for(n, opt));
+  const auto levels = static_cast<unsigned __int128>(L0Sampler::levels_for(universe));
+  return static_cast<unsigned __int128>(span_vertices) * total *
+         static_cast<unsigned __int128>(opt.columns) * levels;
+}
+
+/// Shared bank/chunk header parse + validation behind decode_bank(),
+/// peek_chunk(), and BankAssembler::add_chunk(). On return the reader is
+/// positioned at the payload, whose size has been checked against the
+/// declared chunk range.
+ChunkInfo open_bank_chunk(std::span<const std::uint8_t> bytes, Reader& out_reader) {
+  std::uint32_t version = 0;
+  Reader r = open_checked(bytes, kBankMagic, kBankHeaderBytesV1, version);
+  ChunkInfo ci;
+  ci.version = version;
+  const Field n = field32(r);
+  ci.options.seed = r.u64();
+  const Field max_forests = field32(r);
+  const Field columns = field32(r);
+  const Field rounds_slack = field32(r);
+  const Field cursor = field32(r);
+  check_field("n", n, 0, 1u << 30);
+  check_field("max_forests", max_forests, 1, 1u << 16);
+  check_field("columns", columns, 1, 1u << 16);
+  check_field("rounds_slack", rounds_slack, 1, 1u << 16);
+  ci.n = static_cast<int>(n.value);
+  ci.options.max_forests = static_cast<int>(max_forests.value);
+  ci.options.columns = static_cast<int>(columns.value);
+  ci.options.rounds_slack = static_cast<int>(rounds_slack.value);
+  if (version >= 2) {
+    // v2 size metadata: the policy block exists iff the header says v2+, and
+    // its fields must be self-consistent — a flag beyond {0,1} or a sizing
+    // field outside its legal range is corruption, not configuration.
+    const Field enabled = field32(r);
+    const Field initial_columns = field32(r);
+    const Field initial_rounds_slack = field32(r);
+    const Field growth = field32(r);
+    const Field max_attempts = field32(r);
+    check_field("auto-size enabled", enabled, 0, 1);
+    check_field("auto-size initial_columns", initial_columns, 1, 1u << 16);
+    check_field("auto-size initial_rounds_slack", initial_rounds_slack, 1, 1u << 16);
+    check_field("auto-size growth", growth, 2, 1u << 16);
+    check_field("auto-size max_attempts", max_attempts, 1, 1u << 16);
+    ci.options.auto_size.enabled = enabled.value == 1;
+    ci.options.auto_size.initial_columns = static_cast<int>(initial_columns.value);
+    ci.options.auto_size.initial_rounds_slack = static_cast<int>(initial_rounds_slack.value);
+    ci.options.auto_size.growth = static_cast<int>(growth.value);
+    ci.options.auto_size.max_attempts = static_cast<int>(max_attempts.value);
+  }
+  if (version >= 3) {
+    // v3 chunk block: which slice of which source's bank this buffer is.
+    const Field source_id = field32(r);
+    const Field chunk_index = field32(r);
+    const Field chunk_count = field32(r);
+    const Field vertex_begin = field32(r);
+    const Field vertex_end = field32(r);
+    // A chunk covers at least one vertex (except the n == 0 singleton), so
+    // no honest encoder emits more than max(n, 1) chunks — and bounding the
+    // count here keeps a forged tiny buffer from making an assembler
+    // allocate per-chunk bookkeeping for 2^30 phantom chunks.
+    check_field("chunk_count", chunk_count, 1, std::max<std::uint64_t>(n.value, 1));
+    if (chunk_index.value >= chunk_count.value)
+      Reader::fail_field("chunk_index", chunk_index.value, chunk_index.offset,
+                         "not below chunk_count " + std::to_string(chunk_count.value));
+    check_field("vertex_end", vertex_end, 0, n.value);
+    if (vertex_begin.value > vertex_end.value)
+      Reader::fail_field("vertex_begin", vertex_begin.value, vertex_begin.offset,
+                         "beyond vertex_end " + std::to_string(vertex_end.value));
+    ci.source_id = static_cast<std::uint32_t>(source_id.value);
+    ci.chunk_index = static_cast<std::uint32_t>(chunk_index.value);
+    ci.chunk_count = static_cast<std::uint32_t>(chunk_count.value);
+    ci.vertex_begin = static_cast<VertexId>(vertex_begin.value);
+    ci.vertex_end = static_cast<VertexId>(vertex_end.value);
+  } else {
+    // Pre-chunk buffers are whole banks: the implied full-range chunk.
+    ci.source_id = 0;
+    ci.chunk_index = 0;
+    ci.chunk_count = 1;
+    ci.vertex_begin = 0;
+    ci.vertex_end = ci.n;
+  }
+  check_payload(r, chunk_buckets(ci.n, ci.options,
+                                 static_cast<std::uint64_t>(ci.vertex_end - ci.vertex_begin)));
+  const auto total =
+      static_cast<std::uint64_t>(SketchConnectivity::total_copies_for(ci.n, ci.options));
+  if (cursor.value > total)
+    Reader::fail_field("cursor", cursor.value, cursor.offset,
+                       "beyond the bank's " + std::to_string(total) + " copies");
+  ci.cursor = static_cast<int>(cursor.value);
+  out_reader = r;
+  return ci;
+}
+
+/// Wrapping bucket addition, the same arithmetic as L0Sampler::merge — via
+/// uint64 so a hostile payload can't trip signed-overflow UB.
+void add_bucket(L0Sampler::Bucket& into, const L0Sampler::Bucket& b) {
+  into.count = static_cast<std::int64_t>(static_cast<std::uint64_t>(into.count) +
+                                         static_cast<std::uint64_t>(b.count));
+  into.index_sum = static_cast<std::int64_t>(static_cast<std::uint64_t>(into.index_sum) +
+                                             static_cast<std::uint64_t>(b.index_sum));
+  into.fingerprint += b.fingerprint;
 }
 
 }  // namespace
@@ -169,44 +348,31 @@ std::vector<std::uint8_t> encode_sampler(const L0Sampler& s) {
 }
 
 L0Sampler decode_sampler(std::span<const std::uint8_t> bytes) {
-  // The sampler layout is identical in v1 and v2; only the bank header grew.
+  // The sampler layout is identical across all versions; only the bank
+  // header grew.
   std::uint32_t version = 0;
   Reader r = open_checked(bytes, kSamplerMagic, kSamplerHeaderBytes, version);
-  const std::uint32_t columns = r.u32();
+  const Field columns = field32(r);
+  const std::size_t universe_offset = r.pos();
   const std::uint64_t universe = r.u64();
   const std::uint64_t seed = r.u64();
-  if (columns < 1 || columns > (1u << 16)) Reader::fail("columns out of range");
-  if (universe < 1) Reader::fail("universe out of range");
+  check_field("columns", columns, 1, 1u << 16);
+  if (universe < 1) Reader::fail_field("universe", universe, universe_offset, "must be positive");
   const auto levels = static_cast<unsigned __int128>(L0Sampler::levels_for(universe));
-  check_payload(r.remaining(), static_cast<unsigned __int128>(columns) * levels);
-  L0Sampler s(universe, seed, static_cast<int>(columns));
+  check_payload(r, static_cast<unsigned __int128>(columns.value) * levels);
+  L0Sampler s(universe, seed, static_cast<int>(columns.value));
   for (auto& b : SketchIoAccess::buckets(s)) b = r.bucket();
   return s;
 }
 
 std::vector<std::uint8_t> encode_bank(const SketchConnectivity& bank) {
-  const SketchOptions& opt = bank.options();
-  const auto n = static_cast<std::size_t>(bank.num_vertices());
-  const std::uint64_t universe = std::max<std::uint64_t>(1, static_cast<std::uint64_t>(n) * n);
-  const auto buckets =
-      n * static_cast<std::size_t>(SketchConnectivity::total_copies_for(bank.num_vertices(), opt)) *
-      static_cast<std::size_t>(opt.columns) *
-      static_cast<std::size_t>(L0Sampler::levels_for(universe));
+  const auto n = static_cast<std::uint32_t>(bank.num_vertices());
+  const auto buckets = static_cast<std::size_t>(
+      chunk_buckets(bank.num_vertices(), bank.options(), static_cast<std::uint64_t>(n)));
   std::vector<std::uint8_t> out;
   out.reserve(kBankHeaderBytes + buckets * kBucketBytes + kChecksumBytes);
-  out.insert(out.end(), kBankMagic, kBankMagic + 8);
-  put_u32(out, kSketchIoVersion);
-  put_u32(out, static_cast<std::uint32_t>(bank.num_vertices()));
-  put_u64(out, opt.seed);
-  put_u32(out, static_cast<std::uint32_t>(opt.max_forests));
-  put_u32(out, static_cast<std::uint32_t>(opt.columns));
-  put_u32(out, static_cast<std::uint32_t>(opt.rounds_slack));
-  put_u32(out, static_cast<std::uint32_t>(bank.copies_used()));
-  put_u32(out, opt.auto_size.enabled ? 1 : 0);
-  put_u32(out, static_cast<std::uint32_t>(opt.auto_size.initial_columns));
-  put_u32(out, static_cast<std::uint32_t>(opt.auto_size.initial_rounds_slack));
-  put_u32(out, static_cast<std::uint32_t>(opt.auto_size.growth));
-  put_u32(out, static_cast<std::uint32_t>(opt.auto_size.max_attempts));
+  put_bank_header(out, bank, /*source_id=*/0, /*chunk_index=*/0, /*chunk_count=*/1,
+                  /*begin=*/0, /*end=*/bank.num_vertices());
   for (const auto& copies : SketchIoAccess::sketches(bank))
     for (const L0Sampler& s : copies)
       for (const auto& b : SketchIoAccess::buckets(s)) put_bucket(out, b);
@@ -214,66 +380,184 @@ std::vector<std::uint8_t> encode_bank(const SketchConnectivity& bank) {
   return out;
 }
 
-SketchConnectivity decode_bank(std::span<const std::uint8_t> bytes) {
-  std::uint32_t version = 0;
-  Reader r = open_checked(bytes, kBankMagic, kBankHeaderBytesV1, version);
-  const std::uint32_t n = r.u32();
-  SketchOptions opt;
-  opt.seed = r.u64();
-  const std::uint32_t max_forests = r.u32();
-  const std::uint32_t columns = r.u32();
-  const std::uint32_t rounds_slack = r.u32();
-  const std::uint32_t cursor = r.u32();
-  if (n > (1u << 30)) Reader::fail("vertex count out of range");
-  if (max_forests < 1 || max_forests > (1u << 16)) Reader::fail("max_forests out of range");
-  if (columns < 1 || columns > (1u << 16)) Reader::fail("columns out of range");
-  if (rounds_slack < 1 || rounds_slack > (1u << 16)) Reader::fail("rounds_slack out of range");
-  opt.max_forests = static_cast<int>(max_forests);
-  opt.columns = static_cast<int>(columns);
-  opt.rounds_slack = static_cast<int>(rounds_slack);
-  if (version >= 2) {
-    // v2 size metadata: the policy block exists iff the header says v2, and
-    // its fields must be self-consistent — a flag beyond {0,1} or a sizing
-    // field outside its legal range is corruption, not configuration.
-    const std::uint32_t enabled = r.u32();
-    const std::uint32_t initial_columns = r.u32();
-    const std::uint32_t initial_rounds_slack = r.u32();
-    const std::uint32_t growth = r.u32();
-    const std::uint32_t max_attempts = r.u32();
-    if (enabled > 1) Reader::fail("auto-size flag out of range for a v2 buffer");
-    if (initial_columns < 1 || initial_columns > (1u << 16))
-      Reader::fail("auto-size initial_columns out of range");
-    if (initial_rounds_slack < 1 || initial_rounds_slack > (1u << 16))
-      Reader::fail("auto-size initial_rounds_slack out of range");
-    if (growth < 2 || growth > (1u << 16)) Reader::fail("auto-size growth out of range");
-    if (max_attempts < 1 || max_attempts > (1u << 16))
-      Reader::fail("auto-size max_attempts out of range");
-    opt.auto_size.enabled = enabled == 1;
-    opt.auto_size.initial_columns = static_cast<int>(initial_columns);
-    opt.auto_size.initial_rounds_slack = static_cast<int>(initial_rounds_slack);
-    opt.auto_size.growth = static_cast<int>(growth);
-    opt.auto_size.max_attempts = static_cast<int>(max_attempts);
+std::vector<std::vector<std::uint8_t>> encode_bank_chunks(const SketchConnectivity& bank,
+                                                          const ChunkOptions& copt) {
+  DECK_CHECK(copt.vertices_per_chunk >= 0);
+  const int n = bank.num_vertices();
+  const SketchOptions& opt = bank.options();
+  std::size_t per_vertex =
+      static_cast<std::size_t>(chunk_buckets(n, opt, 1)) * kBucketBytes;
+  per_vertex = std::max<std::size_t>(1, per_vertex);
+  const int vpc =
+      copt.vertices_per_chunk > 0
+          ? copt.vertices_per_chunk
+          : static_cast<int>(std::max<std::size_t>(
+                1, std::min<std::size_t>(static_cast<std::size_t>(std::max(n, 1)),
+                                         copt.target_chunk_bytes / per_vertex)));
+  const auto count = static_cast<std::uint32_t>(n == 0 ? 1 : (n + vpc - 1) / vpc);
+
+  std::vector<std::vector<std::uint8_t>> chunks;
+  chunks.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const VertexId begin = static_cast<VertexId>(i) * vpc;
+    const VertexId end = std::min<VertexId>(n, begin + vpc);
+    std::vector<std::uint8_t> out;
+    const auto buckets = static_cast<std::size_t>(
+        chunk_buckets(n, opt, static_cast<std::uint64_t>(end - begin)));
+    out.reserve(kBankHeaderBytes + buckets * kBucketBytes + kChecksumBytes);
+    put_bank_header(out, bank, copt.source_id, i, count, begin, end);
+    const auto& sketches = SketchIoAccess::sketches(bank);
+    for (VertexId v = begin; v < end; ++v)
+      for (const L0Sampler& s : sketches[static_cast<std::size_t>(v)])
+        for (const auto& b : SketchIoAccess::buckets(s)) put_bucket(out, b);
+    put_checksum(out);
+    chunks.push_back(std::move(out));
   }
+  return chunks;
+}
 
-  const std::uint64_t universe =
-      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n));
-  const auto total = static_cast<unsigned __int128>(
-      SketchConnectivity::total_copies_for(static_cast<int>(n), opt));
-  const auto levels = static_cast<unsigned __int128>(L0Sampler::levels_for(universe));
-  check_payload(r.remaining(), static_cast<unsigned __int128>(n) * total *
-                                   static_cast<unsigned __int128>(columns) * levels);
-  if (cursor > static_cast<std::uint64_t>(total)) Reader::fail("recovery cursor out of range");
+ChunkInfo peek_chunk(std::span<const std::uint8_t> bytes) {
+  Reader r{std::span<const std::uint8_t>{}};
+  return open_bank_chunk(bytes, r);
+}
 
-  SketchConnectivity bank(static_cast<int>(n), opt);
+SketchConnectivity decode_bank(std::span<const std::uint8_t> bytes) {
+  Reader r{std::span<const std::uint8_t>{}};
+  const ChunkInfo ci = open_bank_chunk(bytes, r);
+  if (ci.chunk_count != 1 || ci.vertex_begin != 0 || ci.vertex_end != ci.n)
+    Reader::fail("partial chunk (chunk " + std::to_string(ci.chunk_index) + " of " +
+                 std::to_string(ci.chunk_count) + " covering [" +
+                 std::to_string(ci.vertex_begin) + ", " + std::to_string(ci.vertex_end) +
+                 ")) — whole-bank decode requires the full vertex range; assemble partial "
+                 "chunks with BankAssembler");
+  SketchConnectivity bank(ci.n, ci.options);
   for (auto& copies : SketchIoAccess::sketches(bank))
     for (L0Sampler& s : copies)
       for (auto& b : SketchIoAccess::buckets(s)) b = r.bucket();
-  SketchIoAccess::set_cursor(bank, static_cast<int>(cursor));
+  SketchIoAccess::set_cursor(bank, ci.cursor);
   return bank;
 }
 
 void merge_encoded(SketchConnectivity& into, std::span<const std::uint8_t> bytes) {
   into.merge(decode_bank(bytes));
+}
+
+BankAssembler::BankAssembler(int n, const SketchOptions& opt) : bank_(n, opt) {}
+
+bool BankAssembler::add_chunk(std::span<const std::uint8_t> bytes) {
+  Reader r{std::span<const std::uint8_t>{}};
+  const ChunkInfo ci = open_bank_chunk(bytes, r);
+  const SketchOptions& mine = bank_.options();
+  if (ci.n != bank_.num_vertices() || ci.options.seed != mine.seed ||
+      ci.options.max_forests != mine.max_forests || ci.options.columns != mine.columns ||
+      ci.options.rounds_slack != mine.rounds_slack || !(ci.options.auto_size == mine.auto_size))
+    Reader::fail("chunk from source " + std::to_string(ci.source_id) +
+                 " is incompatible with the assembling bank (n/seed/shape/policy mismatch)");
+  // Every check below runs before the assembler mutates *anything* (cursor,
+  // source roster, bank buckets) — a rejected chunk must leave the
+  // assembler exactly as it was, or one bad buffer would wedge the healthy
+  // workers' streams too.
+  if (cursor_set_ && ci.cursor != bank_.copies_used())
+    Reader::fail("chunk cursor " + std::to_string(ci.cursor) + " disagrees with the stream's " +
+                 std::to_string(bank_.copies_used()) +
+                 " — merge happens before recovery consumes copies");
+
+  Source* src = nullptr;
+  for (auto& [id, s] : sources_)
+    if (id == ci.source_id) src = &s;
+  if (src != nullptr && src->chunk_count != ci.chunk_count)
+    Reader::fail("source " + std::to_string(ci.source_id) + " announced " +
+                 std::to_string(src->chunk_count) + " chunk(s) but chunk " +
+                 std::to_string(ci.chunk_index) + " claims " + std::to_string(ci.chunk_count));
+  if (src != nullptr && src->received[ci.chunk_index]) {
+    const auto& [b, e] = src->ranges[ci.chunk_index];
+    if (b != ci.vertex_begin || e != ci.vertex_end)
+      Reader::fail("retransmission of chunk " + std::to_string(ci.chunk_index) + " from source " +
+                   std::to_string(ci.source_id) + " covers [" + std::to_string(ci.vertex_begin) +
+                   ", " + std::to_string(ci.vertex_end) + "), original covered [" +
+                   std::to_string(b) + ", " + std::to_string(e) + ")");
+    // Pre-chunk buffers have no source identity — a v1/v2 bank and any other
+    // whole bank under the same implied source are indistinguishable from a
+    // retransmission, in either arrival order, so treating the second as one
+    // would silently drop a shard's whole contribution.
+    if (ci.version < 3 || src->legacy)
+      Reader::fail("second whole-bank buffer for source " + std::to_string(ci.source_id) +
+                   " where at least one is legacy (pre-v3) — legacy buffers carry no source "
+                   "identity; re-encode as v3 chunks or decode and merge them explicitly");
+    return false;  // exact retransmission — idempotent
+  }
+  if (src != nullptr) {
+    for (std::uint32_t j = 0; j < src->chunk_count; ++j) {
+      if (!src->received[j]) continue;
+      const auto& [b, e] = src->ranges[j];
+      if (ci.vertex_begin < e && b < ci.vertex_end)
+        Reader::fail("chunk " + std::to_string(ci.chunk_index) + " from source " +
+                     std::to_string(ci.source_id) + " overlaps chunk " + std::to_string(j) +
+                     " ([" + std::to_string(ci.vertex_begin) + ", " +
+                     std::to_string(ci.vertex_end) + ") vs [" + std::to_string(b) + ", " +
+                     std::to_string(e) + "))");
+    }
+  }
+  const std::size_t remaining_before = src != nullptr ? src->remaining : ci.chunk_count;
+  if (remaining_before == 1) {
+    // This chunk would complete the source, so its chunks must tile [0, n)
+    // exactly — pairwise-disjoint (checked above) and jointly covering
+    // every vertex. A gapped stream throws with the source still
+    // incomplete and the bank untouched.
+    std::uint64_t covered = static_cast<std::uint64_t>(ci.vertex_end - ci.vertex_begin);
+    if (src != nullptr)
+      for (const auto& [b, e] : src->ranges) covered += static_cast<std::uint64_t>(e - b);
+    if (covered != static_cast<std::uint64_t>(bank_.num_vertices()))
+      Reader::fail("source " + std::to_string(ci.source_id) + " chunks cover " +
+                   std::to_string(covered) + " of " + std::to_string(bank_.num_vertices()) +
+                   " vertices");
+  }
+
+  // All checks passed — commit: roster, cursor, payload merge, bookkeeping.
+  if (src == nullptr) {
+    sources_.emplace_back(ci.source_id, Source{});
+    src = &sources_.back().second;
+    src->chunk_count = ci.chunk_count;
+    src->received.assign(ci.chunk_count, false);
+    src->ranges.assign(ci.chunk_count, {0, 0});
+    src->remaining = ci.chunk_count;
+    src->legacy = ci.version < 3;
+  }
+  if (!cursor_set_) {
+    SketchIoAccess::set_cursor(bank_, ci.cursor);
+    cursor_set_ = true;
+  }
+
+  // Merge the payload straight into the assembling bank (sketch addition) —
+  // the chunk buffer is the only transient state, never a whole bank.
+  auto& sketches = SketchIoAccess::sketches(bank_);
+  for (VertexId v = ci.vertex_begin; v < ci.vertex_end; ++v)
+    for (L0Sampler& s : sketches[static_cast<std::size_t>(v)])
+      for (auto& b : SketchIoAccess::buckets(s)) add_bucket(b, r.bucket());
+
+  src->received[ci.chunk_index] = true;
+  src->ranges[ci.chunk_index] = {ci.vertex_begin, ci.vertex_end};
+  --src->remaining;
+  ++chunks_received_;
+  return true;
+}
+
+bool BankAssembler::complete() const {
+  if (sources_.empty()) return false;
+  for (const auto& entry : sources_)
+    if (entry.second.remaining != 0) return false;
+  return true;
+}
+
+SketchConnectivity BankAssembler::take() {
+  if (!complete()) {
+    std::size_t missing = 0;
+    for (const auto& entry : sources_) missing += entry.second.remaining;
+    Reader::fail("incomplete chunk stream: " + std::to_string(missing) +
+                 " chunk(s) still missing across " + std::to_string(sources_.size()) +
+                 " source(s)");
+  }
+  return std::move(bank_);
 }
 
 }  // namespace deck

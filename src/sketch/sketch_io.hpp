@@ -15,13 +15,20 @@
 //     validates length, checksum, header ranges, and payload size before
 //     allocating or touching bucket data. Truncated, bit-flipped, or
 //     malicious buffers raise SketchIoError — never UB, never OOM from a
-//     forged header.
+//     forged header. Error messages name the failing field and its byte
+//     offset so a bad buffer can be diagnosed from the exception alone.
 //   - Minimal: bucket contents only. Hash salts and per-copy seeds are
 //     re-derived from the header's (seed, shape) via the same split_seed
 //     path the constructor uses, which doubles as a compatibility check.
+//   - Chunkable (v3): a bank can be shipped as a framed stream of
+//     per-vertex-range chunks, each independently checksummed and
+//     self-describing, so a coordinator merges them as they arrive
+//     (BankAssembler) instead of buffering whole banks — the streaming
+//     transport path under src/net/.
 //
 // decode_* returns a value or throws SketchIoError; encode_* cannot fail.
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -45,11 +52,17 @@ class SketchIoError : public std::runtime_error {
 ///   v2 — bank header additionally carries the AutoSizePolicy (enabled,
 ///        initial_columns, initial_rounds_slack, growth, max_attempts), so
 ///        shipped shard banks prove which sizing schedule built them.
+///   v3 — bank header additionally carries chunk metadata (source_id,
+///        chunk_index, chunk_count, vertex_begin, vertex_end): every buffer
+///        is a chunk covering a contiguous vertex range, and a whole bank is
+///        the degenerate single chunk [0, n). Partial chunks are assembled
+///        incrementally by BankAssembler; decode_bank() accepts only
+///        whole-bank buffers (v1/v2, or a full-range v3 chunk).
 /// Decoding validates size metadata *against the declared version*: a v1
-/// buffer carrying v2 policy bytes (or a v2 buffer without them) fails the
-/// exact payload-size check, and v2 policy fields outside their legal
-/// ranges are rejected before any allocation.
-inline constexpr std::uint32_t kSketchIoVersion = 2;
+/// buffer carrying v2/v3 header bytes (or vice versa) fails the exact
+/// payload-size check, and header fields outside their legal ranges are
+/// rejected before any allocation.
+inline constexpr std::uint32_t kSketchIoVersion = 3;
 
 /// Encodes one ℓ₀ sampler: header (universe, seed, columns) + raw buckets.
 std::vector<std::uint8_t> encode_sampler(const L0Sampler& s);
@@ -58,15 +71,112 @@ std::vector<std::uint8_t> encode_sampler(const L0Sampler& s);
 L0Sampler decode_sampler(std::span<const std::uint8_t> bytes);
 
 /// Encodes a whole per-vertex sketch bank: header (n, SketchOptions,
-/// recovery cursor) + raw buckets of every copy of every vertex.
+/// recovery cursor, full-range chunk metadata) + raw buckets of every copy
+/// of every vertex.
 std::vector<std::uint8_t> encode_bank(const SketchConnectivity& bank);
 
-/// Inverse of encode_bank. Throws SketchIoError on any invalid input.
+/// Inverse of encode_bank. Accepts v1/v2 whole-bank buffers and v3 buffers
+/// whose chunk covers the full vertex range; a partial v3 chunk raises
+/// SketchIoError (feed it to a BankAssembler instead). Throws SketchIoError
+/// on any invalid input.
 SketchConnectivity decode_bank(std::span<const std::uint8_t> bytes);
 
 /// Decodes a shipped shard bank and merges it into `into` (sketch
 /// addition). Throws SketchIoError on a bad buffer and std::logic_error if
 /// the decoded bank is incompatible with `into`.
 void merge_encoded(SketchConnectivity& into, std::span<const std::uint8_t> bytes);
+
+/// Chunked (v3) bank shipping — how a bank is split into framed chunks.
+struct ChunkOptions {
+  /// Identity of the shipping shard/worker, carried in every chunk header so
+  /// an assembler receiving interleaved streams can tell retransmissions
+  /// (same source, same index — idempotent) from distinct shards' chunks of
+  /// the same vertex range (merged by sketch addition).
+  std::uint32_t source_id = 0;
+  /// Vertices per chunk; 0 derives it from target_chunk_bytes. The final
+  /// chunk of a bank may be smaller.
+  int vertices_per_chunk = 0;
+  /// Soft chunk-size target (payload bytes) used when vertices_per_chunk is
+  /// 0 — the knob that bounds peak coordinator memory per buffered chunk.
+  std::size_t target_chunk_bytes = 64 * 1024;
+};
+
+/// Parsed chunk header — everything needed to route, dedupe, and
+/// compatibility-check a chunk without touching its payload.
+struct ChunkInfo {
+  std::uint32_t version = 0;
+  int n = 0;
+  SketchOptions options;
+  int cursor = 0;
+  std::uint32_t source_id = 0;
+  std::uint32_t chunk_index = 0;
+  std::uint32_t chunk_count = 1;
+  VertexId vertex_begin = 0;
+  VertexId vertex_end = 0;  // exclusive; whole-bank buffers cover [0, n)
+};
+
+/// Splits `bank` into ceil(n / vertices_per_chunk) independently
+/// checksummed, self-describing v3 chunks covering consecutive vertex
+/// ranges. Chunks may be shipped and assembled in any order; an empty bank
+/// (n == 0) still yields one (empty-range) chunk so receivers can detect
+/// completion uniformly.
+std::vector<std::vector<std::uint8_t>> encode_bank_chunks(const SketchConnectivity& bank,
+                                                          const ChunkOptions& copt = {});
+
+/// Validates a buffer's checksum + header and returns the parsed chunk
+/// metadata without decoding the payload. v1/v2 whole-bank buffers report
+/// the implied full-range chunk. Throws SketchIoError on any invalid input.
+ChunkInfo peek_chunk(std::span<const std::uint8_t> bytes);
+
+/// Incremental chunk-stream assembler — the coordinator-side endpoint of
+/// chunked bank shipping. Construct with the expected (n, SketchOptions),
+/// then add_chunk() every arriving buffer (any order, any interleaving of
+/// sources); each chunk's buckets are merged into the assembling bank by
+/// sketch addition immediately, so peak memory is one bank plus one chunk
+/// instead of one bank per shard. When every announced source has delivered
+/// all of its chunks (complete()), take() yields the merged bank —
+/// bit-identical to decoding and merging the sources' whole banks.
+///
+/// Fault behavior: corrupt/truncated/incompatible chunks throw
+/// SketchIoError and leave the assembler unchanged; an exact retransmission
+/// (same source, same chunk index) is ignored (add_chunk returns false), so
+/// a resumed sender can replay chunks safely; a source whose chunks
+/// disagree on chunk_count or overlap in vertex range is rejected.
+class BankAssembler {
+ public:
+  BankAssembler(int n, const SketchOptions& opt);
+
+  /// Merges one shipped chunk (v3) or whole bank (v1/v2, treated as its
+  /// single full-range chunk). Returns false for an already-received
+  /// (source, chunk_index) pair, true when the chunk was merged.
+  bool add_chunk(std::span<const std::uint8_t> bytes);
+
+  /// True when at least one source announced itself and every announced
+  /// source has delivered all chunk_count of its chunks.
+  bool complete() const;
+
+  std::size_t chunks_received() const { return chunks_received_; }
+  std::size_t sources_seen() const { return sources_.size(); }
+
+  /// The assembled bank. Requires complete(); the assembler must not be
+  /// used afterwards.
+  SketchConnectivity take();
+
+ private:
+  struct Source {
+    std::uint32_t chunk_count = 0;
+    std::vector<bool> received;
+    std::vector<std::pair<VertexId, VertexId>> ranges;  // per chunk_index
+    std::size_t remaining = 0;
+    /// Announced by a pre-v3 whole-bank buffer (no real source identity):
+    /// any further whole bank under the same implied source is ambiguous.
+    bool legacy = false;
+  };
+
+  SketchConnectivity bank_;
+  std::vector<std::pair<std::uint32_t, Source>> sources_;  // by source_id
+  std::size_t chunks_received_ = 0;
+  bool cursor_set_ = false;
+};
 
 }  // namespace deck

@@ -17,7 +17,8 @@ TEST(RoundedCeExponent, KnownValues) {
   EXPECT_EQ(rounded_ce_exponent(4, 1), 3);
   EXPECT_EQ(rounded_ce_exponent(1, 2), 0);   // 1/2: 2^0 = 1 > 0.5 (not strict at 2^-1)
   EXPECT_EQ(rounded_ce_exponent(1, 3), -1);  // 1/3: 2^-1 = 0.5 > 1/3
-  EXPECT_EQ(rounded_ce_exponent(1, 1024), -9);  // 2^-9 < 1/1024 < 2^-10? no: 2^-10 = 1/1024, need > => -9
+  // 2^-9 < 1/1024 < 2^-10? no: 2^-10 = 1/1024, need > => -9
+  EXPECT_EQ(rounded_ce_exponent(1, 1024), -9);
   EXPECT_EQ(rounded_ce_exponent(1000, 1), 10);  // 1024 > 1000
 }
 

@@ -45,7 +45,8 @@ TEST(Convergecast, SumsSubtrees) {
   RootedTree t = distributed_bfs(net, 0);
   const CommForest f = CommForest::from_tree(t);
   std::vector<std::uint64_t> ones(8, 1);
-  const auto acc = convergecast(net, f, ones, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  const auto acc =
+      convergecast(net, f, ones, [](std::uint64_t a, std::uint64_t b) { return a + b; });
   EXPECT_EQ(acc[0], 8u);  // root sees everything
 }
 
@@ -150,7 +151,8 @@ TEST(PipelinedBroadcast, AllVerticesGetList) {
   RootedTree t = distributed_bfs(net, 0);
   const CommForest f = CommForest::from_tree(t);
   std::vector<std::vector<KeyedItem>> root_items(16);
-  for (int i = 0; i < 7; ++i) root_items[0].push_back(KeyedItem{static_cast<std::uint64_t>(i), 0, 0});
+  for (int i = 0; i < 7; ++i)
+    root_items[0].push_back(KeyedItem{static_cast<std::uint64_t>(i), 0, 0});
   net.reset_counters();
   const auto got = pipelined_broadcast(net, f, root_items);
   for (VertexId v = 0; v < 16; ++v) EXPECT_EQ(got[static_cast<std::size_t>(v)].size(), 7u);

@@ -161,7 +161,8 @@ TEST(EdgeCases, PrimitivesOnTwoVertexGraphNeedNoPipeline) {
   EXPECT_EQ(t.height(), 1);
   const CommForest f = CommForest::from_tree(t);
   std::vector<std::uint64_t> val{5, 7};
-  const auto acc = convergecast(net, f, val, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  const auto acc =
+      convergecast(net, f, val, [](std::uint64_t a, std::uint64_t b) { return a + b; });
   EXPECT_EQ(acc[0], 12u);
 }
 

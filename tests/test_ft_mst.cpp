@@ -50,7 +50,8 @@ TEST(FtMst, ReplacementsMatchBruteForceOnRandomGraphs) {
   for (int seed = 1; seed <= 6; ++seed) {
     Rng rng(static_cast<std::uint64_t>(seed) * 71);
     Pipeline p(with_weights(random_kec(40 + seed * 13, 2, 60, rng), WeightModel::kUniform, rng));
-    SegmentDecomposition dec(p.net, p.mst.tree, p.mst.fragment, p.mst.global_edges, p.bfs_forest, 0);
+    SegmentDecomposition dec(p.net, p.mst.tree, p.mst.fragment, p.mst.global_edges,
+                             p.bfs_forest, 0);
     const auto got = mst_replacement_edges(p.net, dec, p.bfs_forest, 0);
     const auto expect = brute_replacements(p.g, p.mst.tree);
     for (EdgeId t = 0; t < p.g.num_edges(); ++t) {

@@ -236,7 +236,8 @@ TEST(SketchConnectivity, BatchedApplicationMatchesUpdates) {
     batched.apply_batch(src, deltas);
   });
 
-  EXPECT_EQ(sorted_pairs(direct.k_spanning_forests(2)), sorted_pairs(batched.k_spanning_forests(2)));
+  EXPECT_EQ(sorted_pairs(direct.k_spanning_forests(2)),
+            sorted_pairs(batched.k_spanning_forests(2)));
 }
 
 TEST(SketchConnectivity, RejectsBadEndpoints) {

@@ -156,20 +156,49 @@ TEST(SketchIo, EverySingleByteFlipIsDetected) {
 }
 
 // Bank header offsets (after the 8-byte magic): version, then
-// n/seed/max_forests/columns/rounds_slack/cursor, then the v2 policy block.
+// n/seed/max_forests/columns/rounds_slack/cursor, then the v2 policy block,
+// then the v3 chunk block.
 constexpr std::size_t kVersionOffset = 8;
+constexpr std::size_t kColumnsOffset = 8 + 4 + 4 + 8 + 4;
 constexpr std::size_t kPolicyOffset = 8 + 4 + 4 + 8 + 4 + 4 + 4 + 4;
 constexpr std::size_t kPolicyBytes = 5 * 4;
+constexpr std::size_t kChunkBlockOffset = kPolicyOffset + kPolicyBytes;
+constexpr std::size_t kChunkBlockBytes = 5 * 4;
 
 void put_u32_at(std::vector<std::uint8_t>& bytes, std::size_t pos, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) bytes[pos + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  for (int i = 0; i < 4; ++i)
+    bytes[pos + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
-/// Downgrades a v2 bank buffer (policy disabled) to an on-the-wire v1
-/// buffer: strip the policy block, declare version 1, reseal.
+/// Decoding must fail with a SketchIoError whose message contains every
+/// expected fragment — the offset/field reporting contract.
+void expect_decode_error(const std::vector<std::uint8_t>& bytes,
+                         const std::vector<std::string>& fragments) {
+  try {
+    (void)decode_bank(bytes);
+    FAIL() << "malformed buffer accepted";
+  } catch (const SketchIoError& e) {
+    for (const std::string& fragment : fragments)
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << fragment << "'";
+  }
+}
+
+/// Downgrades a v3 bank buffer to an on-the-wire v2 buffer: strip the chunk
+/// block, declare version 2, reseal.
+std::vector<std::uint8_t> as_v2(std::vector<std::uint8_t> bytes) {
+  bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(kChunkBlockOffset),
+              bytes.begin() + static_cast<std::ptrdiff_t>(kChunkBlockOffset + kChunkBlockBytes));
+  put_u32_at(bytes, kVersionOffset, 2);
+  reseal(bytes);
+  return bytes;
+}
+
+/// Downgrades a v3 bank buffer (policy disabled) to an on-the-wire v1
+/// buffer: strip the chunk and policy blocks, declare version 1, reseal.
 std::vector<std::uint8_t> as_v1(std::vector<std::uint8_t> bytes) {
   bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(kPolicyOffset),
-              bytes.begin() + static_cast<std::ptrdiff_t>(kPolicyOffset + kPolicyBytes));
+              bytes.begin() + static_cast<std::ptrdiff_t>(kChunkBlockOffset + kChunkBlockBytes));
   put_u32_at(bytes, kVersionOffset, 1);
   reseal(bytes);
   return bytes;
@@ -179,31 +208,50 @@ TEST(SketchIo, V1BankStillDecodes) {
   // Backward compatibility: a pre-policy (v1) buffer decodes into a bank
   // with the default (disabled) policy and identical sketch state.
   SketchConnectivity bank = populated_bank(24, 77);
-  const std::vector<std::uint8_t> v2 = encode_bank(bank);
-  const std::vector<std::uint8_t> v1 = as_v1(v2);
+  const std::vector<std::uint8_t> v3 = encode_bank(bank);
+  const std::vector<std::uint8_t> v1 = as_v1(v3);
   SketchConnectivity back = decode_bank(v1);
   EXPECT_TRUE(back.compatible(bank));
   EXPECT_FALSE(back.options().auto_size.enabled);
-  EXPECT_EQ(encode_bank(back), v2);  // re-encode upgrades to the current version
+  EXPECT_EQ(encode_bank(back), v3);  // re-encode upgrades to the current version
   EXPECT_EQ(sorted_pairs(back.k_spanning_forests(2)), sorted_pairs(bank.k_spanning_forests(2)));
 }
 
-TEST(SketchIo, V1BufferCarryingV2MetadataRejected) {
-  // The header-trust fix: a buffer *declaring* v1 but shaped like v2 (the
-  // policy block present) must fail the declared-version size check — the
-  // decoder never lets header bytes it didn't expect pass as payload.
-  std::vector<std::uint8_t> bytes = encode_bank(populated_bank(12, 8));
-  put_u32_at(bytes, kVersionOffset, 1);  // lie about the version, keep v2 layout
-  reseal(bytes);
-  EXPECT_THROW((void)decode_bank(bytes), SketchIoError);
+TEST(SketchIo, V2BankStillDecodes) {
+  // Backward compatibility one version up: a pre-chunk (v2) buffer decodes
+  // as the whole bank it always was.
+  SketchConnectivity bank = populated_bank(24, 78);
+  const std::vector<std::uint8_t> v3 = encode_bank(bank);
+  const std::vector<std::uint8_t> v2 = as_v2(v3);
+  SketchConnectivity back = decode_bank(v2);
+  EXPECT_TRUE(back.compatible(bank));
+  EXPECT_EQ(encode_bank(back), v3);
+  EXPECT_EQ(sorted_pairs(back.k_spanning_forests(2)), sorted_pairs(bank.k_spanning_forests(2)));
 }
 
-TEST(SketchIo, V2BufferMissingPolicyBlockRejected) {
-  // The converse lie: declares v2 but ships a v1-shaped body.
-  std::vector<std::uint8_t> bytes = as_v1(encode_bank(populated_bank(12, 8)));
-  put_u32_at(bytes, kVersionOffset, 2);
-  reseal(bytes);
-  EXPECT_THROW((void)decode_bank(bytes), SketchIoError);
+TEST(SketchIo, DeclaredVersionBoundsThePayload) {
+  // The header-trust fix, across every version pair: a buffer *declaring*
+  // an older version but shaped like a newer one (extra header blocks
+  // present), or vice versa, must fail the declared-version size check —
+  // the decoder never lets header bytes it didn't expect pass as payload.
+  const std::vector<std::uint8_t> v3 = encode_bank(populated_bank(12, 8));
+  for (std::uint32_t lie : {1u, 2u}) {
+    std::vector<std::uint8_t> bytes = v3;  // v3 layout, older version declared
+    put_u32_at(bytes, kVersionOffset, lie);
+    reseal(bytes);
+    expect_decode_error(bytes, {"payload size"});
+  }
+  std::vector<std::uint8_t> v1_shaped = as_v1(v3);
+  for (std::uint32_t lie : {2u, 3u}) {  // v1 layout, newer version declared
+    std::vector<std::uint8_t> bytes = v1_shaped;
+    put_u32_at(bytes, kVersionOffset, lie);
+    reseal(bytes);
+    EXPECT_THROW((void)decode_bank(bytes), SketchIoError) << "declared v" << lie;
+  }
+  std::vector<std::uint8_t> v2_shaped = as_v2(v3);
+  put_u32_at(v2_shaped, kVersionOffset, 3);  // v2 layout, v3 declared
+  reseal(v2_shaped);
+  EXPECT_THROW((void)decode_bank(v2_shaped), SketchIoError);
 }
 
 TEST(SketchIo, PolicyFieldRangesValidated) {
@@ -230,7 +278,12 @@ TEST(SketchIo, PolicyFieldRangesValidated) {
       (void)decode_bank(bytes);
       FAIL() << "accepted policy field " << p.field << " = " << p.value;
     } catch (const SketchIoError& e) {
-      EXPECT_NE(std::string(e.what()).find("auto-size"), std::string::npos) << e.what();
+      const std::string what = e.what();
+      EXPECT_NE(what.find("auto-size"), std::string::npos) << what;
+      // The offset/field contract: the message pins the failing bytes.
+      EXPECT_NE(what.find("byte offset " + std::to_string(kPolicyOffset + 4 * p.field)),
+                std::string::npos)
+          << what;
     }
   }
   // All five fields at legal values still decode (sanity for the sweep).
@@ -246,6 +299,44 @@ TEST(SketchIo, PolicyFieldRangesValidated) {
   EXPECT_EQ(back.options().auto_size.initial_columns, 3);
   EXPECT_EQ(back.options().auto_size.growth, 4);
   EXPECT_EQ(back.options().auto_size.max_attempts, 5);
+}
+
+TEST(SketchIo, ErrorsNameTheFieldAndOffset) {
+  // The decode_bank error contract: validation failures report which field
+  // failed and the byte offset it was read from, not just the failure kind.
+  const std::vector<std::uint8_t> good = encode_bank(populated_bank(12, 8));
+
+  std::vector<std::uint8_t> zero_columns = good;
+  put_u32_at(zero_columns, kColumnsOffset, 0);
+  reseal(zero_columns);
+  expect_decode_error(zero_columns,
+                      {"field 'columns'", "byte offset " + std::to_string(kColumnsOffset)});
+
+  std::vector<std::uint8_t> huge_columns = good;
+  put_u32_at(huge_columns, kColumnsOffset, 1u << 20);
+  reseal(huge_columns);
+  expect_decode_error(huge_columns, {"field 'columns'", "out of range"});
+
+  // Chunk block: chunk_index must stay below chunk_count.
+  std::vector<std::uint8_t> bad_index = good;
+  put_u32_at(bad_index, kChunkBlockOffset + 4, 7);  // chunk_index; count stays 1
+  reseal(bad_index);
+  expect_decode_error(bad_index, {"field 'chunk_index'",
+                                  "byte offset " + std::to_string(kChunkBlockOffset + 4)});
+
+  // Chunk block: vertex_end beyond n.
+  std::vector<std::uint8_t> bad_end = good;
+  put_u32_at(bad_end, kChunkBlockOffset + 16, 1u << 20);
+  reseal(bad_end);
+  expect_decode_error(bad_end, {"field 'vertex_end'",
+                                "byte offset " + std::to_string(kChunkBlockOffset + 16)});
+
+  // Cursor beyond the bank's copy budget.
+  std::vector<std::uint8_t> bad_cursor = good;
+  put_u32_at(bad_cursor, kPolicyOffset - 4, 0xffffu);  // cursor precedes the policy block
+  reseal(bad_cursor);
+  expect_decode_error(bad_cursor, {"field 'cursor'",
+                                   "byte offset " + std::to_string(kPolicyOffset - 4)});
 }
 
 TEST(SketchIo, UnknownFutureVersionRejected) {
@@ -335,6 +426,406 @@ TEST(SketchIo, MergeEncodedRejectsIncompatibleBank) {
   SketchConnectivity into(8, a);
   const SketchConnectivity other(8, b);
   EXPECT_THROW(merge_encoded(into, encode_bank(other)), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked (v3) shipping: encode_bank_chunks + BankAssembler.
+
+TEST(SketchIo, ChunkRoundTripIsExactForAnyChunkSize) {
+  SketchConnectivity bank = populated_bank(26, 4100);
+  const std::vector<std::uint8_t> whole = encode_bank(bank);
+  for (int vpc : {1, 3, 7, 26, 100}) {
+    ChunkOptions copt;
+    copt.vertices_per_chunk = vpc;
+    const auto chunks = encode_bank_chunks(bank, copt);
+    EXPECT_EQ(chunks.size(), static_cast<std::size_t>((26 + vpc - 1) / vpc));
+    BankAssembler assembler(bank.num_vertices(), bank.options());
+    for (const auto& c : chunks) EXPECT_TRUE(assembler.add_chunk(c));
+    ASSERT_TRUE(assembler.complete()) << "vpc=" << vpc;
+    EXPECT_EQ(encode_bank(assembler.take()), whole) << "vpc=" << vpc;
+  }
+}
+
+TEST(SketchIo, ChunkMetadataIsPeekable) {
+  SketchConnectivity bank = populated_bank(20, 4200);
+  ChunkOptions copt;
+  copt.source_id = 9;
+  copt.vertices_per_chunk = 6;
+  const auto chunks = encode_bank_chunks(bank, copt);
+  ASSERT_EQ(chunks.size(), 4u);  // ceil(20 / 6)
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const ChunkInfo info = peek_chunk(chunks[i]);
+    EXPECT_EQ(info.version, kSketchIoVersion);
+    EXPECT_EQ(info.source_id, 9u);
+    EXPECT_EQ(info.chunk_index, static_cast<std::uint32_t>(i));
+    EXPECT_EQ(info.chunk_count, 4u);
+    EXPECT_EQ(info.vertex_begin, static_cast<VertexId>(6 * i));
+    EXPECT_EQ(info.vertex_end, std::min<VertexId>(20, static_cast<VertexId>(6 * (i + 1))));
+    EXPECT_EQ(info.n, 20);
+    EXPECT_EQ(info.options.seed, bank.options().seed);
+  }
+  // A whole-bank buffer peeks as the single full-range chunk; so does a
+  // downgraded pre-chunk (v2) buffer.
+  const ChunkInfo whole = peek_chunk(encode_bank(bank));
+  EXPECT_EQ(whole.chunk_count, 1u);
+  EXPECT_EQ(whole.vertex_begin, 0);
+  EXPECT_EQ(whole.vertex_end, 20);
+  const ChunkInfo v2 = peek_chunk(as_v2(encode_bank(bank)));
+  EXPECT_EQ(v2.version, 2u);
+  EXPECT_EQ(v2.chunk_count, 1u);
+  EXPECT_EQ(v2.vertex_end, 20);
+}
+
+TEST(SketchIo, TargetChunkBytesBoundsChunkSizes) {
+  SketchConnectivity bank = populated_bank(24, 4300);
+  ChunkOptions copt;
+  copt.target_chunk_bytes = 64 * 1024;
+  const auto chunks = encode_bank_chunks(bank, copt);
+  ASSERT_GT(chunks.size(), 1u);  // the target forces a real split
+  // Soft target: a chunk holds whole vertices, so it can overshoot by at
+  // most one vertex's buckets (plus the header) — never by another chunk.
+  for (const auto& c : chunks) EXPECT_LE(c.size(), 2 * copt.target_chunk_bytes);
+  BankAssembler assembler(bank.num_vertices(), bank.options());
+  for (const auto& c : chunks) assembler.add_chunk(c);
+  ASSERT_TRUE(assembler.complete());
+  EXPECT_EQ(encode_bank(assembler.take()), encode_bank(bank));
+}
+
+TEST(SketchIo, ReorderedChunksAssembleIdentically) {
+  SketchConnectivity bank = populated_bank(22, 4400);
+  ChunkOptions copt;
+  copt.vertices_per_chunk = 4;
+  auto chunks = encode_bank_chunks(bank, copt);
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Fisher–Yates with the deck Rng, so the sweep is reproducible.
+    for (std::size_t i = chunks.size(); i > 1; --i)
+      std::swap(chunks[i - 1], chunks[static_cast<std::size_t>(rng.next_below(i))]);
+    BankAssembler assembler(bank.num_vertices(), bank.options());
+    for (const auto& c : chunks) assembler.add_chunk(c);
+    ASSERT_TRUE(assembler.complete());
+    EXPECT_EQ(encode_bank(assembler.take()), encode_bank(bank)) << "trial " << trial;
+  }
+}
+
+TEST(SketchIo, DuplicatedChunksAreIdempotent) {
+  // Resumability: a sender may replay chunks after a reconnect; replays are
+  // detected (add_chunk returns false) and never double-merged.
+  SketchConnectivity bank = populated_bank(18, 4500);
+  ChunkOptions copt;
+  copt.vertices_per_chunk = 5;
+  const auto chunks = encode_bank_chunks(bank, copt);
+  BankAssembler assembler(bank.num_vertices(), bank.options());
+  for (const auto& c : chunks) {
+    EXPECT_TRUE(assembler.add_chunk(c));
+    EXPECT_FALSE(assembler.add_chunk(c));  // immediate replay
+  }
+  EXPECT_FALSE(assembler.add_chunk(chunks[0]));  // late replay
+  ASSERT_TRUE(assembler.complete());
+  EXPECT_EQ(encode_bank(assembler.take()), encode_bank(bank));
+}
+
+TEST(SketchIo, DroppedChunkIsDetected) {
+  SketchConnectivity bank = populated_bank(18, 4600);
+  ChunkOptions copt;
+  copt.vertices_per_chunk = 5;
+  const auto chunks = encode_bank_chunks(bank, copt);
+  ASSERT_GE(chunks.size(), 3u);
+  BankAssembler assembler(bank.num_vertices(), bank.options());
+  for (std::size_t i = 0; i < chunks.size(); ++i)
+    if (i != 1) assembler.add_chunk(chunks[i]);  // chunk 1 lost in transit
+  EXPECT_FALSE(assembler.complete());
+  try {
+    (void)assembler.take();
+    FAIL() << "incomplete stream yielded a bank";
+  } catch (const SketchIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SketchIo, MultiSourceChunksMergeBySketchAddition) {
+  // Two shards chunk their private banks with different chunk sizes; the
+  // assembler must fold the interleaved streams into exactly the bank an
+  // in-process merge builds.
+  const int n = 24;
+  SketchOptions opt;
+  opt.seed = 4700;
+  SketchConnectivity a(n, opt), b(n, opt), both(n, opt);
+  Rng rng(4701);
+  for (int i = 0; i < 80; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) v = (v + 1) % n;
+    const int d = rng.next_bool(0.7) ? 1 : -1;
+    (i % 2 == 0 ? a : b).update(u, v, d);
+    both.update(u, v, d);
+  }
+  ChunkOptions ca, cb;
+  ca.source_id = 0;
+  ca.vertices_per_chunk = 7;
+  cb.source_id = 1;
+  cb.vertices_per_chunk = 5;
+  const auto chunks_a = encode_bank_chunks(a, ca);
+  const auto chunks_b = encode_bank_chunks(b, cb);
+  BankAssembler assembler(n, opt);
+  // Interleave the two streams, a chunk from each in turn.
+  for (std::size_t i = 0; i < std::max(chunks_a.size(), chunks_b.size()); ++i) {
+    if (i < chunks_b.size()) assembler.add_chunk(chunks_b[i]);
+    if (i < chunks_a.size()) assembler.add_chunk(chunks_a[i]);
+  }
+  EXPECT_EQ(assembler.sources_seen(), 2u);
+  ASSERT_TRUE(assembler.complete());
+  EXPECT_EQ(encode_bank(assembler.take()), encode_bank(both));
+}
+
+TEST(SketchIo, AssemblerAcceptsWholeBankBuffersAsSingleChunks) {
+  // v1/v2 senders (or v3 whole-bank shippers) interoperate with a chunked
+  // assembler: a whole bank is its own single full-range chunk.
+  const int n = 16;
+  SketchOptions opt;
+  opt.seed = 4800;
+  SketchConnectivity a(n, opt), b(n, opt), both(n, opt);
+  Rng rng(4801);
+  for (int i = 0; i < 50; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) v = (v + 1) % n;
+    (i % 2 == 0 ? a : b).update(u, v, 1);
+    both.update(u, v, 1);
+  }
+  BankAssembler assembler(n, opt);
+  // Source 0 ships chunked v3; a v1-era sender ships its whole bank. The
+  // two must not collide: the whole bank arrives as source 1.
+  ChunkOptions ca;
+  ca.source_id = 0;
+  ca.vertices_per_chunk = 6;
+  for (const auto& c : encode_bank_chunks(a, ca)) assembler.add_chunk(c);
+  std::vector<std::uint8_t> v1_bank = as_v1(encode_bank(b));
+  // A v1 buffer has no source field (implied source 0) — it would collide
+  // with the chunked source. The assembler must reject the conflicting
+  // chunk_count rather than double-merge.
+  EXPECT_THROW((void)assembler.add_chunk(v1_bank), SketchIoError);
+  // Shipped as a v3 whole-bank chunk under its own source id, it merges.
+  ChunkOptions cb;
+  cb.source_id = 1;
+  cb.vertices_per_chunk = n;  // single chunk
+  for (const auto& c : encode_bank_chunks(b, cb)) assembler.add_chunk(c);
+  ASSERT_TRUE(assembler.complete());
+  EXPECT_EQ(encode_bank(assembler.take()), encode_bank(both));
+}
+
+TEST(SketchIo, PartialChunkRejectedByWholeBankDecode) {
+  SketchConnectivity bank = populated_bank(20, 4900);
+  ChunkOptions copt;
+  copt.vertices_per_chunk = 8;
+  const auto chunks = encode_bank_chunks(bank, copt);
+  ASSERT_GT(chunks.size(), 1u);
+  try {
+    (void)decode_bank(chunks[0]);
+    FAIL() << "partial chunk decoded as a whole bank";
+  } catch (const SketchIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("BankAssembler"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SketchIo, CorruptOrTruncatedChunksRejectedWithoutStateDamage) {
+  SketchConnectivity bank = populated_bank(18, 5000);
+  ChunkOptions copt;
+  copt.vertices_per_chunk = 6;
+  const auto chunks = encode_bank_chunks(bank, copt);
+  BankAssembler assembler(bank.num_vertices(), bank.options());
+  Rng rng(5001);
+  for (const auto& c : chunks) {
+    // Bit-flip and truncation sweeps against every chunk before the good
+    // copy lands: each must throw and leave the assembler consistent.
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<std::uint8_t> corrupt = c;
+      corrupt[static_cast<std::size_t>(rng.next_below(corrupt.size()))] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+      EXPECT_THROW((void)assembler.add_chunk(corrupt), SketchIoError);
+    }
+    for (std::size_t len = 0; len < c.size(); len += 61)
+      EXPECT_THROW(
+          (void)assembler.add_chunk(std::span<const std::uint8_t>(c.data(), len)),
+          SketchIoError);
+    EXPECT_TRUE(assembler.add_chunk(c));
+  }
+  ASSERT_TRUE(assembler.complete());
+  EXPECT_EQ(encode_bank(assembler.take()), encode_bank(bank));
+}
+
+TEST(SketchIo, IncompatibleChunkRejected) {
+  SketchConnectivity bank = populated_bank(18, 5100);
+  const auto chunks = encode_bank_chunks(bank, {});
+  SketchOptions other = bank.options();
+  other.seed ^= 1;
+  BankAssembler assembler(18, other);
+  EXPECT_THROW((void)assembler.add_chunk(chunks[0]), SketchIoError);
+  SketchOptions wrong_n = bank.options();
+  BankAssembler small(17, wrong_n);
+  EXPECT_THROW((void)small.add_chunk(chunks[0]), SketchIoError);
+}
+
+TEST(SketchIo, ChunkedShipRandomizedFuzz) {
+  // The property under stress: random chunk sizes per source, random
+  // arrival order, random replays — the assembled bank is always
+  // bit-identical to the in-process merge, or a typed error, never UB.
+  const int n = 21;
+  for (std::uint64_t trial = 0; trial < 12; ++trial) {
+    Rng rng(6000 + trial);
+    SketchOptions opt;
+    opt.seed = 6100 + trial;
+    const int sources = 1 + static_cast<int>(rng.next_below(3));
+    std::vector<SketchConnectivity> banks;
+    SketchConnectivity whole(n, opt);
+    for (int s = 0; s < sources; ++s) banks.emplace_back(n, opt);
+    for (int i = 0; i < 70; ++i) {
+      const auto u = static_cast<VertexId>(rng.next_below(n));
+      auto v = static_cast<VertexId>(rng.next_below(n));
+      if (u == v) v = (v + 1) % n;
+      const int d = rng.next_bool(0.6) ? 1 : -1;
+      banks[static_cast<std::size_t>(rng.next_below(sources))].update(u, v, d);
+      whole.update(u, v, d);
+    }
+    std::vector<std::vector<std::uint8_t>> wire;
+    for (int s = 0; s < sources; ++s) {
+      ChunkOptions copt;
+      copt.source_id = static_cast<std::uint32_t>(s);
+      copt.vertices_per_chunk = 1 + static_cast<int>(rng.next_below(n + 4));
+      for (auto& c : encode_bank_chunks(banks[static_cast<std::size_t>(s)], copt))
+        wire.push_back(std::move(c));
+    }
+    // Shuffle arrivals and replay a random prefix of them afterwards.
+    for (std::size_t i = wire.size(); i > 1; --i)
+      std::swap(wire[i - 1], wire[static_cast<std::size_t>(rng.next_below(i))]);
+    BankAssembler assembler(n, opt);
+    for (const auto& c : wire) assembler.add_chunk(c);
+    for (std::size_t i = 0; i < wire.size() && i < rng.next_below(4); ++i)
+      EXPECT_FALSE(assembler.add_chunk(wire[i]));
+    ASSERT_TRUE(assembler.complete()) << "trial " << trial;
+    EXPECT_EQ(encode_bank(assembler.take()), encode_bank(whole)) << "trial " << trial;
+  }
+}
+
+TEST(SketchIo, GappedChunkStreamThrowsBeforeMutatingTheBank) {
+  // Two disjoint chunks that claim to be a complete source but leave a
+  // vertex gap: the completing add_chunk must throw *without* merging, so
+  // the assembler still reports the source incomplete instead of yielding
+  // a silently wrong bank.
+  SketchConnectivity bank = populated_bank(18, 5300);
+  ChunkOptions copt;
+  copt.vertices_per_chunk = 7;  // 3 chunks: [0,7) [7,14) [14,18)
+  auto chunks = encode_bank_chunks(bank, copt);
+  ASSERT_EQ(chunks.size(), 3u);
+  // Forge a 2-chunk source out of chunks 0 and 1 — disjoint, valid
+  // payloads, but covering only 14 of 18 vertices.
+  for (std::size_t i = 0; i < 2; ++i) {
+    put_u32_at(chunks[i], kChunkBlockOffset + 8, 2);  // chunk_count 3 → 2
+    reseal(chunks[i]);
+  }
+  BankAssembler assembler(bank.num_vertices(), bank.options());
+  EXPECT_TRUE(assembler.add_chunk(chunks[0]));
+  try {
+    (void)assembler.add_chunk(chunks[1]);
+    FAIL() << "gapped chunk stream completed";
+  } catch (const SketchIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("cover"), std::string::npos) << e.what();
+  }
+  EXPECT_FALSE(assembler.complete());
+  EXPECT_EQ(assembler.chunks_received(), 1u);  // the gapped chunk never merged
+  EXPECT_THROW((void)assembler.take(), SketchIoError);
+}
+
+TEST(SketchIo, ForgedChunkCountRejectedBeforeBookkeeping) {
+  // chunk_count is bounded by the vertex count: a tiny buffer claiming 2^29
+  // chunks must be rejected on the header field, not after allocating
+  // per-chunk bookkeeping for half a billion phantom chunks.
+  SketchConnectivity bank = populated_bank(18, 5400);
+  ChunkOptions copt;
+  copt.vertices_per_chunk = 9;
+  auto chunks = encode_bank_chunks(bank, copt);
+  put_u32_at(chunks[0], kChunkBlockOffset + 8, 1u << 29);
+  reseal(chunks[0]);
+  BankAssembler assembler(bank.num_vertices(), bank.options());
+  try {
+    (void)assembler.add_chunk(chunks[0]);
+    FAIL() << "forged chunk_count accepted";
+  } catch (const SketchIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("chunk_count"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SketchIo, SecondLegacyWholeBankIsAnErrorNotADuplicate) {
+  // Pre-v3 buffers carry no source identity, so two distinct shards' v1/v2
+  // banks look like retransmissions of each other. Dropping the second
+  // would silently lose a shard's contribution — it must throw instead
+  // (v3 whole-bank chunks with distinct source ids are the supported path).
+  const int n = 14;
+  SketchOptions opt;
+  opt.seed = 5500;
+  SketchConnectivity a(n, opt), b(n, opt);
+  a.update(0, 1, 1);
+  b.update(2, 3, 1);
+  BankAssembler assembler(n, opt);
+  EXPECT_TRUE(assembler.add_chunk(as_v1(encode_bank(a))));
+  EXPECT_THROW((void)assembler.add_chunk(as_v1(encode_bank(b))), SketchIoError);
+  EXPECT_THROW((void)assembler.add_chunk(as_v2(encode_bank(b))), SketchIoError);
+  // The ambiguity is symmetric: after a legacy whole bank claimed implied
+  // source 0, a genuine v3 whole-bank chunk under source 0 is equally
+  // indistinguishable from a retransmission and must throw, not be dropped.
+  ChunkOptions whole;
+  whole.vertices_per_chunk = n;
+  EXPECT_THROW((void)assembler.add_chunk(encode_bank_chunks(b, whole)[0]), SketchIoError);
+  // ...and a legacy bank arriving *after* a v3 whole bank throws too.
+  BankAssembler v3_first(n, opt);
+  EXPECT_TRUE(v3_first.add_chunk(encode_bank_chunks(a, whole)[0]));
+  EXPECT_THROW((void)v3_first.add_chunk(as_v2(encode_bank(b))), SketchIoError);
+  // A *true* v3 retransmission stays idempotent.
+  BankAssembler v3(n, opt);
+  const auto chunk = encode_bank_chunks(a, {});
+  EXPECT_TRUE(v3.add_chunk(chunk[0]));
+  EXPECT_FALSE(v3.add_chunk(chunk[0]));
+}
+
+TEST(SketchIo, RejectedChunkLeavesAssemblerUnchanged) {
+  // A validly-checksummed but inconsistent chunk (claims to be a complete
+  // single-chunk source while covering a partial range, and carries a
+  // nonzero cursor) must be rejected without poisoning anything — the
+  // cursor, the source roster, and the bank must all stay pristine so
+  // healthy workers' streams still assemble afterwards.
+  SketchConnectivity used = populated_bank(18, 5600);
+  (void)used.spanning_forest();
+  ASSERT_GT(used.copies_used(), 0);
+  ChunkOptions copt;
+  copt.vertices_per_chunk = 7;  // 3 chunks
+  auto forged = encode_bank_chunks(used, copt);
+  put_u32_at(forged[0], kChunkBlockOffset + 8, 1);  // claim chunk_count 1, range stays [0,7)
+  reseal(forged[0]);
+  const SketchConnectivity fresh = populated_bank(18, 5600);  // same options, cursor 0
+
+  BankAssembler assembler(18, used.options());
+  EXPECT_THROW((void)assembler.add_chunk(forged[0]), SketchIoError);
+  EXPECT_EQ(assembler.sources_seen(), 0u);
+  EXPECT_EQ(assembler.chunks_received(), 0u);
+  for (const auto& c : encode_bank_chunks(fresh, copt)) EXPECT_TRUE(assembler.add_chunk(c));
+  ASSERT_TRUE(assembler.complete());
+  EXPECT_EQ(encode_bank(assembler.take()), encode_bank(fresh));
+}
+
+TEST(SketchIo, ChunkedBankPreservesCursor) {
+  // A bank shipped mid-recovery (copies consumed) chunks and reassembles
+  // with its recovery cursor intact.
+  SketchConnectivity bank = populated_bank(20, 5200);
+  (void)bank.spanning_forest();
+  ASSERT_GT(bank.copies_used(), 0);
+  ChunkOptions copt;
+  copt.vertices_per_chunk = 6;
+  BankAssembler assembler(bank.num_vertices(), bank.options());
+  for (const auto& c : encode_bank_chunks(bank, copt)) assembler.add_chunk(c);
+  ASSERT_TRUE(assembler.complete());
+  const SketchConnectivity back = assembler.take();
+  EXPECT_EQ(back.copies_used(), bank.copies_used());
+  EXPECT_EQ(encode_bank(back), encode_bank(bank));
 }
 
 }  // namespace
