@@ -14,12 +14,13 @@ using namespace deck;
 
 int main(int argc, char** argv) {
   const bool large = bench::flag(argc, argv, "--large");
+  const bench::EngineChoice eng = bench::engine_from_args(argc, argv);
   const int n = large ? 512 : 192;
 
   {
     Rng rng(42);
     Graph g = with_weights(random_kec(n, 2, n, rng), WeightModel::kUniform, rng);
-    Network net(g);
+    Network net(g, eng.hub);
     const Ecss2Result r = distributed_2ecss(net, TapOptions{});
     if (!is_k_edge_connected_subset(g, r.edges, 2)) return 1;
     Table t({"phase", "rounds", "messages", "% rounds"});
@@ -48,7 +49,7 @@ int main(int argc, char** argv) {
     const int kn = large ? 128 : 64;
     Rng rng(43);
     Graph g = with_weights(random_kec(kn, 3, kn, rng), WeightModel::kUniform, rng);
-    Network net(g);
+    Network net(g, eng.hub);
     const KecssResult r = distributed_kecss(net, 3, KecssOptions{});
     if (!is_k_edge_connected_subset(g, r.edges, 3)) return 1;
     Table t({"phase", "rounds", "messages", "% rounds"});

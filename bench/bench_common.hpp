@@ -7,10 +7,14 @@
 // suite completes in minutes on a laptop; pass --large for bigger sweeps.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "congest/distributed_engine.hpp"
+#include "congest/engine.hpp"
 #include "graph/generators.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
@@ -23,6 +27,46 @@ inline bool flag(int argc, char** argv, const char* name) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], name) == 0) return true;
   return false;
+}
+
+/// Value of `--name value`, or nullptr.
+inline const char* arg_value(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return nullptr;
+}
+
+/// CONGEST execution backend selected on the bench command line:
+/// `--engine {seq,pool,net}` plus `--engine-units N` (pool threads / net
+/// workers; defaults: 4 threads, 2 workers). The fleet member keeps the
+/// in-process net workers alive for the duration of the run — every Network
+/// built from `hub` must be destroyed before the EngineChoice is.
+struct EngineChoice {
+  std::string name = "seq";
+  int units = 1;
+  std::shared_ptr<EngineHub> hub = EngineHub::sequential();
+  std::shared_ptr<CongestWorkerFleet> fleet;
+};
+
+inline EngineChoice engine_from_args(int argc, char** argv) {
+  EngineChoice c;
+  const char* kind = arg_value(argc, argv, "--engine");
+  if (kind == nullptr || std::strcmp(kind, "seq") == 0) return c;
+  const char* units = arg_value(argc, argv, "--engine-units");
+  if (std::strcmp(kind, "pool") == 0) {
+    c.name = "pool";
+    c.units = units != nullptr ? std::atoi(units) : 4;
+    c.hub = EngineHub::parallel(c.units);
+  } else if (std::strcmp(kind, "net") == 0) {
+    c.name = "net";
+    c.units = units != nullptr ? std::atoi(units) : 2;
+    c.fleet = std::make_shared<CongestWorkerFleet>(c.units);
+    c.hub = c.fleet->hub();
+  } else {
+    std::fprintf(stderr, "unknown --engine '%s' (expected seq, pool, or net)\n", kind);
+    std::exit(2);
+  }
+  return c;
 }
 
 /// Prints a machine-readable result document after the human tables. The

@@ -23,6 +23,7 @@ using namespace deck;
 
 int main(int argc, char** argv) {
   const bool large = bench::flag(argc, argv, "--large");
+  const bench::EngineChoice eng = bench::engine_from_args(argc, argv);
   const std::vector<int> sizes =
       large ? std::vector<int>{64, 128, 256, 512, 1024} : std::vector<int>{64, 128, 256, 512};
 
@@ -37,7 +38,7 @@ int main(int argc, char** argv) {
       Graph topo = fam.make(n, 2, rng);
       Graph g = with_weights(topo, WeightModel::kUniform, rng);
       const int d = diameter(g);
-      Network net(g);
+      Network net(g, eng.hub);
       const Ecss2Result r = distributed_2ecss(net, TapOptions{});
       const bool out_ok = is_k_edge_connected_subset(g, r.edges, 2);
       if (!out_ok) {
@@ -68,7 +69,10 @@ int main(int argc, char** argv) {
   }
 
   Json doc = Json::object();
-  doc.set("bench", "f1_2ecss_rounds").set("all_ok", all_ok).set("rows", std::move(rows));
+  doc.set("bench", "f1_2ecss_rounds")
+      .set("engine", eng.name)
+      .set("all_ok", all_ok)
+      .set("rows", std::move(rows));
   bench::print_json(doc);
   return all_ok ? 0 : 1;
 }

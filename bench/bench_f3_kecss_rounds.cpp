@@ -16,6 +16,7 @@ using namespace deck;
 
 int main(int argc, char** argv) {
   const bool large = bench::flag(argc, argv, "--large");
+  const bench::EngineChoice eng = bench::engine_from_args(argc, argv);
   const std::vector<int> sizes =
       large ? std::vector<int>{32, 64, 128, 256} : std::vector<int>{24, 48, 96, 160};
 
@@ -26,7 +27,7 @@ int main(int argc, char** argv) {
       Rng rng(3000 + n * k);
       Graph g = with_weights(random_kec(n, k, n, rng), WeightModel::kUniform, rng);
       const int d = diameter(g);
-      Network net(g);
+      Network net(g, eng.hub);
       KecssOptions opt;
       opt.seed = static_cast<std::uint64_t>(n) * k;
       const KecssResult r = distributed_kecss(net, k, opt);

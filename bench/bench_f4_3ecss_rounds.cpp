@@ -20,6 +20,7 @@ using namespace deck;
 
 int main(int argc, char** argv) {
   const bool large = bench::flag(argc, argv, "--large");
+  const bench::EngineChoice eng = bench::engine_from_args(argc, argv);
 
   {
     Table t({"n", "D", "rounds(sec5)", "rounds(sec4)", "D log^3 n", "sec5/pred", "sec4/sec5"});
@@ -27,12 +28,12 @@ int main(int argc, char** argv) {
     for (int d : dims) {
       Graph g = hypercube(d);  // D = d = log n
       const int diam = d;
-      Network net5(g);
+      Network net5(g, eng.hub);
       Ecss3Options opt;
       opt.seed = d;
       const Ecss3Result r5 = distributed_3ecss_unweighted(net5, opt);
       if (!is_k_edge_connected_subset(g, r5.edges, 3)) return 1;
-      Network net4(g);
+      Network net4(g, eng.hub);
       KecssOptions kopt;
       kopt.seed = d;
       const KecssResult r4 = distributed_kecss(net4, 3, kopt);
@@ -56,7 +57,7 @@ int main(int argc, char** argv) {
     for (auto [rows, cols] : shapes) {
       Graph g = torus(rows, cols);
       const int diam = diameter(g);
-      Network net(g);
+      Network net(g, eng.hub);
       Ecss3Options opt;
       opt.seed = rows;
       const Ecss3Result r = distributed_3ecss_unweighted(net, opt);

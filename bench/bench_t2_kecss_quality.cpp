@@ -2,6 +2,11 @@
 // Small instances compare against the exact optimum; larger ones against
 // the degree/MST lower bound, the sequential greedy framework, and (for the
 // unit-weight column) the Thurimella sparse-certificate 2-approximation.
+//
+// A machine-readable JSON document follows the tables; the bench-regression
+// CI gate diffs the deterministic dist/LB ratios (per k, size, and weight
+// model) against bench/baselines/t2_kecss_quality.json. --smoke shrinks the
+// sweep to one size per (k, weights) cell — the gated configuration in CI.
 
 #include <cmath>
 #include <cstdio>
@@ -19,6 +24,10 @@ using namespace deck;
 
 int main(int argc, char** argv) {
   const bool large = bench::flag(argc, argv, "--large");
+  const bool smoke = bench::flag(argc, argv, "--smoke");
+
+  Json rows = Json::array();
+  bool all_ok = true;
 
   {
     Table t({"k", "n", "m", "OPT", "dist", "greedy", "dist/OPT", "greedy/OPT"});
@@ -47,8 +56,9 @@ int main(int argc, char** argv) {
 
   {
     Table t({"k", "n", "weights", "LB", "dist", "greedy", "thurimella", "dist/LB"});
-    const std::vector<int> sizes =
-        large ? std::vector<int>{64, 128, 256} : std::vector<int>{48, 96};
+    const std::vector<int> sizes = smoke   ? std::vector<int>{48}
+                                   : large ? std::vector<int>{64, 128, 256}
+                                           : std::vector<int>{48, 96};
     for (int k : {2, 3, 4}) {
       for (int n : sizes) {
         for (int unit : {1, 0}) {
@@ -60,20 +70,36 @@ int main(int argc, char** argv) {
           KecssOptions kopt;
           kopt.seed = static_cast<std::uint64_t>(n) + k;
           const KecssResult r = distributed_kecss(net, k, kopt);
-          if (!is_k_edge_connected_subset(g, r.edges, k)) return 1;
+          const bool valid = is_k_edge_connected_subset(g, r.edges, k);
+          all_ok = all_ok && valid;
           Weight greedy_w = 0;
           for (EdgeId e : greedy_kecss(g, k, 5)) greedy_w += g.edge(e).w;
           Weight thur_w = 0;
           if (unit) {
             for (EdgeId e : sparse_certificate(g, k)) thur_w += g.edge(e).w;
           }
+          const double ratio = static_cast<double>(r.weight) / static_cast<double>(lb);
           t.add(k, n, unit ? "unit" : "uniform", lb, r.weight, greedy_w,
-                unit ? Table::format_cell(thur_w) : std::string("-"),
-                static_cast<double>(r.weight) / static_cast<double>(lb));
+                unit ? Table::format_cell(thur_w) : std::string("-"), ratio);
+
+          Json row = Json::object();
+          row.set("k", k)
+              .set("n", n)
+              .set("weights", unit ? "unit" : "uniform")
+              .set("lower_bound", lb)
+              .set("weight_dist", r.weight)
+              .set("weight_greedy", greedy_w)
+              .set("ratio_vs_lb", ratio)
+              .set("output_k_edge_connected", valid);
+          rows.push(std::move(row));
         }
       }
     }
     t.print("T2b: k-ECSS vs lower bound / baselines");
   }
-  return 0;
+
+  Json doc = Json::object();
+  doc.set("bench", "t2_kecss_quality").set("all_ok", all_ok).set("rows", std::move(rows));
+  bench::print_json(doc);
+  return all_ok ? 0 : 1;
 }

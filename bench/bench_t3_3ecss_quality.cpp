@@ -2,6 +2,11 @@
 // bound, the Thurimella sparse-certificate 2-approximation, and the greedy
 // framework baseline. The expected guarantee is O(log n); measured ratios
 // should sit well below it.
+//
+// A machine-readable JSON document follows the table; the bench-regression
+// CI gate diffs the deterministic size ratios (per family and size) against
+// bench/baselines/t3_3ecss_quality.json. --smoke shrinks the sweep to one
+// size per family — the gated configuration in CI.
 
 #include <cmath>
 #include <cstdio>
@@ -17,8 +22,13 @@ using namespace deck;
 
 int main(int argc, char** argv) {
   const bool large = bench::flag(argc, argv, "--large");
-  const std::vector<int> sizes =
-      large ? std::vector<int>{64, 128, 256, 512} : std::vector<int>{32, 64, 128};
+  const bool smoke = bench::flag(argc, argv, "--smoke");
+  const std::vector<int> sizes = smoke   ? std::vector<int>{32}
+                                 : large ? std::vector<int>{64, 128, 256, 512}
+                                         : std::vector<int>{32, 64, 128};
+
+  Json rows = Json::array();
+  bool all_ok = true;
 
   Table t({"family", "n", "m", "LB=ceil(3n/2)", "sec5", "thurimella", "greedy", "sec5/LB"});
   for (const auto& fam : bench::standard_families()) {
@@ -31,17 +41,32 @@ int main(int argc, char** argv) {
       Ecss3Options opt;
       opt.seed = n;
       const Ecss3Result r = distributed_3ecss_unweighted(net, opt);
-      if (!is_k_edge_connected_subset(g, r.edges, 3)) {
+      const bool valid = is_k_edge_connected_subset(g, r.edges, 3);
+      if (!valid)
         std::printf("!! output not 3-edge-connected (family=%s n=%d)\n", fam.name.c_str(), n);
-        return 1;
-      }
+      all_ok = all_ok && valid;
       const auto thur = sparse_certificate(g, 3);
       const auto greedy = greedy_kecss(g, 3, 11);
+      const double ratio = static_cast<double>(r.size) / lb;
       t.add(fam.name, g.num_vertices(), g.num_edges(), lb, r.size,
-            static_cast<int>(thur.size()), static_cast<int>(greedy.size()),
-            static_cast<double>(r.size) / lb);
+            static_cast<int>(thur.size()), static_cast<int>(greedy.size()), ratio);
+
+      Json row = Json::object();
+      row.set("family", fam.name)
+          .set("n", g.num_vertices())
+          .set("lower_bound", lb)
+          .set("size_dist", r.size)
+          .set("size_thurimella", static_cast<int>(thur.size()))
+          .set("size_greedy", static_cast<int>(greedy.size()))
+          .set("ratio_vs_lb", ratio)
+          .set("output_3_edge_connected", valid);
+      rows.push(std::move(row));
     }
   }
   t.print("T3: unweighted 3-ECSS size vs lower bound and baselines");
-  return 0;
+
+  Json doc = Json::object();
+  doc.set("bench", "t3_3ecss_quality").set("all_ok", all_ok).set("rows", std::move(rows));
+  bench::print_json(doc);
+  return all_ok ? 0 : 1;
 }

@@ -2,6 +2,11 @@
 // Compares the weighted §5 variant against the generic §4 algorithm (k=3)
 // on the same inputs: quality should be comparable; rounds trade D-vs-h_MST
 // as the remark discusses.
+//
+// A machine-readable JSON document follows the table; the bench-regression
+// CI gate diffs both deterministic weight ratios per size against
+// bench/baselines/t5_weighted_3ecss.json. --smoke shrinks the sweep — the
+// gated configuration in CI.
 
 #include <cstdio>
 
@@ -16,8 +21,13 @@ using namespace deck;
 
 int main(int argc, char** argv) {
   const bool large = bench::flag(argc, argv, "--large");
-  const std::vector<int> sizes =
-      large ? std::vector<int>{32, 64, 128, 256} : std::vector<int>{24, 48, 96};
+  const bool smoke = bench::flag(argc, argv, "--smoke");
+  const std::vector<int> sizes = smoke   ? std::vector<int>{24, 48}
+                                 : large ? std::vector<int>{32, 64, 128, 256}
+                                         : std::vector<int>{24, 48, 96};
+
+  Json rows = Json::array();
+  bool all_ok = true;
 
   Table t({"n", "LB", "sec5.4 weight", "sec4 weight", "sec5.4 rounds", "sec4 rounds",
            "5.4/LB", "4/LB"});
@@ -31,21 +41,36 @@ int main(int argc, char** argv) {
     Ecss3Options opt5;
     opt5.seed = n;
     const auto r5 = distributed_3ecss_weighted(net5, opt5);
-    if (!is_k_edge_connected_subset(g, r5.edges, 3)) {
-      std::printf("!! weighted sec5 output not 3-edge-connected (n=%d)\n", n);
-      return 1;
-    }
+    const bool valid5 = is_k_edge_connected_subset(g, r5.edges, 3);
+    if (!valid5) std::printf("!! weighted sec5 output not 3-edge-connected (n=%d)\n", n);
 
     Network net4(g);
     KecssOptions opt4;
     opt4.seed = n;
     const auto r4 = distributed_kecss(net4, 3, opt4);
-    if (!is_k_edge_connected_subset(g, r4.edges, 3)) return 1;
+    const bool valid4 = is_k_edge_connected_subset(g, r4.edges, 3);
+    all_ok = all_ok && valid5 && valid4;
 
-    t.add(n, lb, r5.weight, r4.weight, net5.rounds(), net4.rounds(),
-          static_cast<double>(r5.weight) / static_cast<double>(lb),
-          static_cast<double>(r4.weight) / static_cast<double>(lb));
+    const double ratio5 = static_cast<double>(r5.weight) / static_cast<double>(lb);
+    const double ratio4 = static_cast<double>(r4.weight) / static_cast<double>(lb);
+    t.add(n, lb, r5.weight, r4.weight, net5.rounds(), net4.rounds(), ratio5, ratio4);
+
+    Json row = Json::object();
+    row.set("n", n)
+        .set("lower_bound", lb)
+        .set("weight_sec54", r5.weight)
+        .set("weight_sec4", r4.weight)
+        .set("rounds_sec54", net5.rounds())
+        .set("rounds_sec4", net4.rounds())
+        .set("ratio_sec54_vs_lb", ratio5)
+        .set("ratio_sec4_vs_lb", ratio4)
+        .set("outputs_3_edge_connected", valid5 && valid4);
+    rows.push(std::move(row));
   }
   t.print("T5: weighted 3-ECSS — section 5.4 label variant vs generic section 4");
-  return 0;
+
+  Json doc = Json::object();
+  doc.set("bench", "t5_weighted_3ecss").set("all_ok", all_ok).set("rows", std::move(rows));
+  bench::print_json(doc);
+  return all_ok ? 0 : 1;
 }

@@ -38,7 +38,7 @@ int main() {
   m0 = net.messages();
   std::vector<std::uint64_t> deg(static_cast<std::size_t>(g.num_vertices()));
   for (VertexId v = 0; v < g.num_vertices(); ++v) deg[static_cast<std::size_t>(v)] = g.degree(v);
-  auto acc = convergecast(net, forest, deg, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  auto acc = convergecast(net, forest, deg, CombineOp::kSum);
   report("degree-sum convergecast", r0, m0);
   std::printf("   root learned sum of degrees = %llu (= 2m = %d)\n",
               static_cast<unsigned long long>(acc[0]), 2 * g.num_edges());

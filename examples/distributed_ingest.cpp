@@ -1,15 +1,19 @@
-// Multi-process sketch ingest, end to end: four *real* worker processes
-// (fork) each ingest a disjoint slice of the update stream into a private
-// ℓ₀ bank and stream it over TCP to the coordinator as framed sketch_io
-// chunks; the coordinator merges chunks as they arrive (BankAssembler — it
-// never buffers a whole shard bank), peels the k forests on a shared
-// thread pool, and feeds the Thurimella certificate to the paper's CONGEST
-// k-ECSS — the distributed twin of examples/sharded_pipeline.
+// Multi-process sketch ingest + distributed CONGEST execution, end to end:
+// four *real* worker processes (fork) each ingest a disjoint slice of the
+// update stream into a private ℓ₀ bank and stream it over TCP to the
+// coordinator as framed sketch_io chunks; the coordinator merges chunks as
+// they arrive (BankAssembler — it never buffers a whole shard bank), peels
+// the k forests on a shared thread pool, and feeds the Thurimella
+// certificate to the paper's CONGEST algorithms — first on the sequential
+// engine, then on the DistributedEngine with a second fleet of forked
+// worker processes each owning a vertex range of the certificate network.
 //
 //   worker process 0..3                     coordinator process
 //   ───────────────────                     ───────────────────
 //   updates[w::4] ─► bank_w ─► chunks ──TCP──► BankAssembler (merge on
-//                                              arrival) ─► recover ─► CONGEST
+//                                              arrival) ─► recover
+//   congest worker 0..1                        │
+//   vertex range step ◄──TCP rounds/msgs──► distributed_2ecss / k-ECSS
 //
 //   cmake -B build -G Ninja && cmake --build build && ./build/distributed_ingest
 //
@@ -17,7 +21,8 @@
 // sharded_sparsify_stream() on the same seeded stream — linearity makes any
 // disjoint stream partition merge to the same bank, and split_seed lets
 // every process derive the same per-copy sampler seeds with zero shared
-// state.
+// state. The 2-ECSS run on the DistributedEngine must match the sequential
+// engine edge for edge, round for round (the engine-identity property).
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -26,7 +31,9 @@
 #include <memory>
 #include <vector>
 
+#include "congest/distributed_engine.hpp"
 #include "congest/network.hpp"
+#include "ecss/distributed_2ecss.hpp"
 #include "ecss/distributed_kecss.hpp"
 #include "graph/edge_connectivity.hpp"
 #include "graph/generators.hpp"
@@ -127,5 +134,69 @@ int main() {
               static_cast<unsigned long long>(cert_net.rounds()),
               out_ok ? "verified" : "NOT k-edge-connected");
 
-  return (children_ok && cert_ok && identical && out_ok) ? 0 : 1;
+  // Finale: the 2-ECSS pipeline on the certificate, executed by the
+  // DistributedEngine over a second fleet of forked worker processes — each
+  // owns a contiguous vertex range and exchanges boundary messages through
+  // the coordinator's per-round barrier over TCP.
+  Network seq_net(remote.certificate);
+  const Ecss2Result seq2 = distributed_2ecss(seq_net, TapOptions{});
+
+  TcpListener congest_listener;
+  const int congest_workers = 2;
+  for (int w = 0; w < congest_workers; ++w) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      try {
+        const std::unique_ptr<Transport> t = tcp_connect("127.0.0.1", congest_listener.port());
+        run_congest_worker(*t);
+        _exit(0);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "congest worker %d: %s\n", w, e.what());
+        _exit(1);
+      }
+    }
+  }
+  std::vector<std::unique_ptr<Transport>> congest_accepted;
+  std::vector<Transport*> congest_raw;
+  for (int w = 0; w < congest_workers; ++w) {
+    congest_accepted.push_back(congest_listener.accept());
+    congest_raw.push_back(congest_accepted.back().get());
+  }
+  bool engine_identical = false;
+  {
+    const std::shared_ptr<DistributedEngineHub> hub = make_distributed_hub(congest_raw);
+    std::uint64_t net_rounds = 0, net_messages = 0;
+    std::vector<EdgeId> net_edges;
+    {
+      Network dist_net(remote.certificate, hub);
+      const Ecss2Result dist2 = distributed_2ecss(dist_net, TapOptions{});
+      net_rounds = dist_net.rounds();
+      net_messages = dist_net.messages();
+      net_edges = dist2.edges;
+    }
+    hub->shutdown();
+    engine_identical = net_edges == seq2.edges && net_rounds == seq_net.rounds() &&
+                       net_messages == seq_net.messages();
+    std::printf("2-ECSS over %d congest worker processes: %zu edges in %llu rounds — "
+                "identical to the sequential engine: %s\n",
+                congest_workers, net_edges.size(), static_cast<unsigned long long>(net_rounds),
+                engine_identical ? "yes" : "NO");
+  }
+  bool congest_children_ok = true;
+  for (int w = 0; w < congest_workers; ++w) {
+    int status = 0;
+    if (wait(&status) < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0)
+      congest_children_ok = false;
+  }
+  std::printf("congest worker processes exited cleanly: %s\n",
+              congest_children_ok ? "yes" : "NO");
+
+  return (children_ok && cert_ok && identical && out_ok && engine_identical &&
+          congest_children_ok)
+             ? 0
+             : 1;
 }

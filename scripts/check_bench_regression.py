@@ -61,6 +61,22 @@ GATES = {
         "key": ("family", "n"),
         "metrics": ("ratio_vs_lb",),
     },
+    "t2_kecss_quality": {
+        "key": ("k", "n", "weights"),
+        "metrics": ("ratio_vs_lb",),
+    },
+    "t3_3ecss_quality": {
+        "key": ("family", "n"),
+        "metrics": ("ratio_vs_lb",),
+    },
+    "t5_weighted_3ecss": {
+        "key": ("n",),
+        "metrics": ("ratio_sec54_vs_lb", "ratio_sec4_vs_lb", "rounds_sec54"),
+    },
+    "f11_engine": {
+        "key": ("engine", "units", "n"),
+        "metrics": ("rounds", "messages"),
+    },
 }
 
 # Bench invocation behind each gated baseline, for --update-baselines:
@@ -73,12 +89,16 @@ BINARIES = {
     "f9_recovery": ("bench_f9_recovery",),
     "f10_transport": ("bench_f10_transport",),
     "t1_2ecss_quality": ("bench_t1_2ecss_quality", "--smoke"),
+    "t2_kecss_quality": ("bench_t2_kecss_quality", "--smoke"),
+    "t3_3ecss_quality": ("bench_t3_3ecss_quality", "--smoke"),
+    "t5_weighted_3ecss": ("bench_t5_weighted_3ecss", "--smoke"),
+    "f11_engine": ("bench_f11_engine",),
 }
 
 # Wall-clock / host-dependent fields, stripped when writing baselines.
 VOLATILE = ("ingest_ms", "halves_per_sec", "speedup_vs_1shard",
             "recover_ms", "speedup_vs_1thread", "sample_failure_rate",
-            "ship_ms")
+            "ship_ms", "wall_ms")
 
 
 def extract_doc(path: str) -> dict:

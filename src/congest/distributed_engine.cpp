@@ -1,0 +1,388 @@
+#include "congest/distributed_engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "congest/programs.hpp"
+#include "net/wire.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+namespace {
+
+using detail::BspRunner;
+
+void put_head(std::vector<std::uint8_t>& out, CongestMsg type) {
+  net::put_u32(out, static_cast<std::uint32_t>(type));
+}
+
+void encode_packet(std::vector<std::uint8_t>& out, EdgeId e, std::uint8_t dir,
+                   const Packet& msg) {
+  net::put_u32(out, static_cast<std::uint32_t>(e));
+  net::put_u32(out, dir);
+  net::put_u32(out, msg.tag);
+  net::put_u64(out, msg.a);
+  net::put_u64(out, msg.b);
+  net::put_u64(out, msg.c);
+}
+
+struct WirePacket {
+  EdgeId edge;
+  std::uint8_t dir;
+  Packet msg;
+};
+
+WirePacket decode_packet(net::WireReader& r) {
+  WirePacket p;
+  p.edge = static_cast<EdgeId>(r.u32());
+  const std::uint32_t dir = r.u32();
+  if (dir > 1) throw NetError("congest: boundary message direction must be 0 or 1");
+  p.dir = static_cast<std::uint8_t>(dir);
+  p.msg.tag = static_cast<std::uint8_t>(r.u32());
+  p.msg.a = r.u64();
+  p.msg.b = r.u64();
+  p.msg.c = r.u64();
+  return p;
+}
+
+/// Contiguous vertex partition: worker w owns [lo(w), lo(w + 1)).
+VertexId range_lo(int n, int workers, int w) {
+  const int base = n / workers, rem = n % workers;
+  return static_cast<VertexId>(w * base + std::min(w, rem));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Coordinator side.
+
+DistributedEngineHub::DistributedEngineHub(std::vector<Transport*> workers)
+    : workers_(std::move(workers)) {
+  DECK_CHECK_MSG(!workers_.empty(), "distributed engine needs at least one worker");
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const std::vector<std::uint8_t> frame = net::recv_expected(*workers_[w], "Hello");
+    net::WireReader r(frame);
+    if (static_cast<CongestMsg>(r.u32()) != CongestMsg::kHello)
+      throw NetError("congest: worker " + std::to_string(w) + " did not open with Hello");
+    const std::uint32_t version = r.u32();
+    if (version != kCongestProtoVersion)
+      throw NetError("congest: worker " + std::to_string(w) + " speaks protocol version " +
+                     std::to_string(version) + ", coordinator speaks " +
+                     std::to_string(kCongestProtoVersion));
+  }
+}
+
+DistributedEngineHub::~DistributedEngineHub() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructor: a dead worker cannot be shut down any harder.
+  }
+}
+
+void DistributedEngineHub::shutdown() {
+  if (down_) return;
+  down_ = true;
+  std::vector<std::uint8_t> frame;
+  put_head(frame, CongestMsg::kShutdown);
+  for (Transport* t : workers_) t->send(frame);
+}
+
+namespace {
+
+class DistributedEngine final : public Engine {
+ public:
+  DistributedEngine(DistributedEngineHub& hub, const Graph& g, std::uint32_t graph_id)
+      : hub_(&hub), g_(&g), graph_id_(graph_id) {
+    const int n = g.num_vertices();
+    const int workers = hub.num_workers();
+    lows_.reserve(static_cast<std::size_t>(workers) + 1);
+    for (int w = 0; w <= workers; ++w) lows_.push_back(range_lo(n, workers, w));
+    // The header + edge list is identical for every worker; only the
+    // trailing owned-range pair differs, so encode the shared prefix once.
+    std::vector<std::uint8_t> frame;
+    put_head(frame, CongestMsg::kLoadGraph);
+    net::put_u32(frame, graph_id_);
+    net::put_u32(frame, static_cast<std::uint32_t>(n));
+    net::put_u32(frame, static_cast<std::uint32_t>(g.num_edges()));
+    for (const Edge& e : g.edges()) {
+      net::put_u32(frame, static_cast<std::uint32_t>(e.u));
+      net::put_u32(frame, static_cast<std::uint32_t>(e.v));
+      net::put_u64(frame, static_cast<std::uint64_t>(e.w));
+    }
+    const std::size_t shared_bytes = frame.size();
+    for (int w = 0; w < workers; ++w) {
+      frame.resize(shared_bytes);
+      net::put_u32(frame, static_cast<std::uint32_t>(lows_[static_cast<std::size_t>(w)]));
+      net::put_u32(frame, static_cast<std::uint32_t>(lows_[static_cast<std::size_t>(w) + 1]));
+      hub_->worker(w).send(frame);
+    }
+  }
+
+  ~DistributedEngine() override {
+    if (hub_->is_down()) return;
+    try {
+      std::vector<std::uint8_t> frame;
+      put_head(frame, CongestMsg::kDropGraph);
+      net::put_u32(frame, graph_id_);
+      for (int w = 0; w < hub_->num_workers(); ++w) hub_->worker(w).send(frame);
+    } catch (...) {
+      // Destructor: the worker that died already surfaced its NetError.
+    }
+  }
+
+  std::string name() const override { return "net"; }
+
+  ExecStats execute(VertexProgram& prog) override {
+    DECK_CHECK_MSG(!hub_->is_down(), "distributed engine used after shutdown");
+    const int workers = hub_->num_workers();
+    // The coordinator-side program instance validates inputs and hosts the
+    // collected outputs; all stepping happens on the workers.
+    prog.setup(*g_);
+
+    std::vector<std::uint8_t> frame;
+    std::vector<std::uint8_t> spec;
+    prog.encode_spec(spec);
+    for (int w = 0; w < workers; ++w) {
+      frame.clear();
+      put_head(frame, CongestMsg::kStart);
+      net::put_u32(frame, graph_id_);
+      net::put_u32(frame, prog.program_id());
+      net::put_bytes(frame, spec);
+      hub_->worker(w).send(frame);
+    }
+
+    ExecStats stats;
+    std::vector<std::vector<std::uint8_t>> deliveries(static_cast<std::size_t>(workers));
+    for (;;) {
+      // Barrier: collect every worker's round result, then route boundary
+      // messages to the owner of each receiving endpoint.
+      std::uint64_t total = 0;
+      for (auto& d : deliveries) d.clear();
+      std::vector<std::uint32_t> delivery_counts(static_cast<std::size_t>(workers), 0);
+      for (int w = 0; w < workers; ++w) {
+        const std::vector<std::uint8_t> done =
+            net::recv_expected(hub_->worker(w), "RoundDone");
+        net::WireReader r(done);
+        if (static_cast<CongestMsg>(r.u32()) != CongestMsg::kRoundDone)
+          throw NetError("congest: expected RoundDone from worker " + std::to_string(w));
+        total += r.u64();
+        const std::uint32_t boundary = r.u32();
+        for (std::uint32_t i = 0; i < boundary; ++i) {
+          const WirePacket p = decode_packet(r);
+          if (p.edge < 0 || p.edge >= g_->num_edges())
+            throw NetError("congest: boundary message on a bogus edge id");
+          const Edge& e = g_->edge(p.edge);
+          const VertexId to = p.dir == 0 ? e.v : e.u;
+          const auto owner = static_cast<int>(
+              std::upper_bound(lows_.begin(), lows_.end(), to) - lows_.begin() - 1);
+          DECK_CHECK(owner >= 0 && owner < workers);
+          encode_packet(deliveries[static_cast<std::size_t>(owner)], p.edge, p.dir, p.msg);
+          ++delivery_counts[static_cast<std::size_t>(owner)];
+        }
+      }
+
+      if (total == 0) break;
+      stats.rounds += 1;
+      stats.messages += total;
+      for (int w = 0; w < workers; ++w) {
+        frame.clear();
+        put_head(frame, CongestMsg::kRound);
+        net::put_u32(frame, delivery_counts[static_cast<std::size_t>(w)]);
+        net::put_bytes(frame, deliveries[static_cast<std::size_t>(w)]);
+        hub_->worker(w).send(frame);
+      }
+    }
+
+    frame.clear();
+    put_head(frame, CongestMsg::kCollect);
+    for (int w = 0; w < hub_->num_workers(); ++w) hub_->worker(w).send(frame);
+    for (int w = 0; w < workers; ++w) {
+      const std::vector<std::uint8_t> outs =
+          net::recv_expected(hub_->worker(w), "Outputs");
+      net::WireReader r(outs);
+      if (static_cast<CongestMsg>(r.u32()) != CongestMsg::kOutputs)
+        throw NetError("congest: expected Outputs from worker " + std::to_string(w));
+      prog.decode_outputs(lows_[static_cast<std::size_t>(w)],
+                          lows_[static_cast<std::size_t>(w) + 1], r.rest());
+    }
+    return stats;
+  }
+
+ private:
+  DistributedEngineHub* hub_;
+  const Graph* g_;
+  std::uint32_t graph_id_;
+  std::vector<VertexId> lows_;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> DistributedEngineHub::engine_for(const Graph& g) {
+  DECK_CHECK_MSG(!down_, "distributed engine hub used after shutdown");
+  return std::make_unique<DistributedEngine>(*this, g, next_graph_id_++);
+}
+
+std::shared_ptr<DistributedEngineHub> make_distributed_hub(std::vector<Transport*> workers) {
+  return std::make_shared<DistributedEngineHub>(std::move(workers));
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+
+namespace {
+
+struct WorkerGraph {
+  Graph g;
+  VertexId lo = 0, hi = 0;
+};
+
+WorkerGraph decode_graph(net::WireReader& r) {
+  WorkerGraph wg;
+  const std::uint32_t n = r.u32();
+  const std::uint32_t m = r.u32();
+  if (m > r.remaining() / 16) throw NetError("congest: LoadGraph edge list longer than frame");
+  wg.g = Graph(static_cast<int>(n));
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const auto u = static_cast<VertexId>(r.u32());
+    const auto v = static_cast<VertexId>(r.u32());
+    const auto w = static_cast<Weight>(r.u64());
+    if (u < 0 || v < 0 || u >= static_cast<VertexId>(n) || v >= static_cast<VertexId>(n))
+      throw NetError("congest: LoadGraph edge endpoint out of range");
+    wg.g.add_edge(u, v, w);
+  }
+  wg.lo = static_cast<VertexId>(r.u32());
+  wg.hi = static_cast<VertexId>(r.u32());
+  if (wg.lo < 0 || wg.hi < wg.lo || wg.hi > static_cast<VertexId>(n))
+    throw NetError("congest: LoadGraph vertex range is malformed");
+  return wg;
+}
+
+/// Executes one Start to quiescence; returns after shipping Outputs.
+void run_program(Transport& coordinator, const WorkerGraph& wg, std::uint32_t program_id,
+                 std::span<const std::uint8_t> spec) {
+  const std::unique_ptr<VertexProgram> prog = decode_congest_program(program_id, spec);
+  BspRunner runner(wg.g, wg.lo, wg.hi, nullptr);
+  runner.start(*prog);
+
+  std::vector<BspRunner::RemoteSend> boundary;
+  std::vector<std::uint8_t> frame;
+  for (int round = 1;; ++round) {
+    boundary.clear();
+    const std::uint64_t sent = runner.run_round(round, &boundary);
+    frame.clear();
+    put_head(frame, CongestMsg::kRoundDone);
+    net::put_u64(frame, sent);
+    net::put_u32(frame, static_cast<std::uint32_t>(boundary.size()));
+    for (const BspRunner::RemoteSend& s : boundary) encode_packet(frame, s.edge, s.dir, s.msg);
+    coordinator.send(frame);
+
+    const std::vector<std::uint8_t> reply = net::recv_expected(coordinator, "Round/Collect");
+    net::WireReader r(reply);
+    const auto type = static_cast<CongestMsg>(r.u32());
+    if (type == CongestMsg::kCollect) {
+      runner.finish();
+      frame.clear();
+      put_head(frame, CongestMsg::kOutputs);
+      prog->encode_outputs(wg.lo, wg.hi, frame);
+      coordinator.send(frame);
+      return;
+    }
+    if (type != CongestMsg::kRound)
+      throw NetError("congest: worker expected Round or Collect mid-phase");
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const WirePacket p = decode_packet(r);
+      if (p.edge < 0 || p.edge >= wg.g.num_edges())
+        throw NetError("congest: Round delivery on a bogus edge id");
+      runner.deliver_remote(round, p.edge, p.dir, p.msg);
+    }
+  }
+}
+
+}  // namespace
+
+void run_congest_worker(Transport& coordinator) {
+  {
+    std::vector<std::uint8_t> hello;
+    put_head(hello, CongestMsg::kHello);
+    net::put_u32(hello, kCongestProtoVersion);
+    coordinator.send(hello);
+  }
+  std::map<std::uint32_t, WorkerGraph> graphs;
+  for (;;) {
+    std::optional<std::vector<std::uint8_t>> frame = coordinator.recv();
+    if (!frame) return;  // orderly close = shutdown
+    net::WireReader r(*frame);
+    switch (static_cast<CongestMsg>(r.u32())) {
+      case CongestMsg::kLoadGraph: {
+        const std::uint32_t id = r.u32();
+        WorkerGraph wg = decode_graph(r);
+        if (!graphs.emplace(id, std::move(wg)).second)
+          throw NetError("congest: LoadGraph reuses live graph id " + std::to_string(id));
+        break;
+      }
+      case CongestMsg::kDropGraph: {
+        const std::uint32_t id = r.u32();
+        if (graphs.erase(id) != 1)
+          throw NetError("congest: DropGraph names unknown graph id " + std::to_string(id));
+        break;
+      }
+      case CongestMsg::kStart: {
+        const std::uint32_t id = r.u32();
+        const auto it = graphs.find(id);
+        if (it == graphs.end())
+          throw NetError("congest: Start names unknown graph id " + std::to_string(id));
+        const std::uint32_t program_id = r.u32();
+        run_program(coordinator, it->second, program_id, r.rest());
+        break;
+      }
+      case CongestMsg::kShutdown:
+        return;
+      default:
+        throw NetError("congest: worker received an unexpected message type");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// In-process fleet.
+
+CongestWorkerFleet::CongestWorkerFleet(int workers) {
+  DECK_CHECK(workers >= 1);
+  std::vector<Transport*> raw;
+  for (int w = 0; w < workers; ++w) {
+    auto [coord, work] = loopback_pair();
+    coordinator_side_.push_back(std::move(coord));
+    raw.push_back(coordinator_side_.back().get());
+    threads_.emplace_back([t = std::shared_ptr<Transport>(std::move(work))] {
+      try {
+        run_congest_worker(*t);
+      } catch (const NetError&) {
+        // Coordinator-side faults close the transport under us; the
+        // coordinator surfaces the error.
+      } catch (const std::exception&) {
+        // Program-invariant failures (DECK_CHECK) must not std::terminate
+        // the host process: close the link so the coordinator observes a
+        // typed NetError instead.
+        t->close();
+      }
+    });
+  }
+  hub_ = make_distributed_hub(std::move(raw));
+}
+
+CongestWorkerFleet::~CongestWorkerFleet() {
+  try {
+    hub_->shutdown();
+  } catch (...) {
+  }
+  for (auto& t : coordinator_side_) t->close();
+  for (auto& th : threads_) th.join();
+}
+
+}  // namespace deck

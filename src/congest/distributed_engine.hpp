@@ -1,0 +1,113 @@
+#pragma once
+
+// Transport-backed CONGEST execution: vertex ranges owned by worker
+// processes, rounds barriered by the coordinator, inter-worker edge
+// messages framed on the src/net/ wire protocol (PR 4's length-prefixed
+// Transport plus the little-endian codec in net/wire.hpp).
+//
+//   worker 0..W-1                         coordinator (DistributedEngine)
+//   ─────────────                         ──────────────────────────────
+//   Hello{version}      ─────────────►    roster validation (hub ctor)
+//                       ◄─────────────    LoadGraph{id, edges, own range}
+//                       ◄─────────────    Start{graph, program id, spec}
+//   step owned range,
+//   RoundDone{sent,     ─────────────►    barrier: sum sends; route
+//     boundary msgs}                      boundary messages to owners
+//                       ◄─────────────    Round{deliveries}   (repeat)
+//                       ◄─────────────    Collect            (quiescent)
+//   Outputs{range}      ─────────────►    program absorbs per-range outputs
+//                       ◄─────────────    DropGraph / Shutdown
+//
+// Every worker steps its own contiguous vertex range with the same BspRunner
+// the local engines use, so schedules, mailbox ordering, and therefore
+// program outputs and round/message counters are bit-identical to
+// SequentialEngine for any worker count. The coordinator counts a round
+// whenever any worker sent (locally or across), exactly like the local
+// engines count non-silent rounds.
+//
+// Faults (peer death, malformed frames, protocol violations) raise NetError
+// on the side that observes them; nothing is silently dropped.
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "congest/engine.hpp"
+#include "net/transport.hpp"
+
+namespace deck {
+
+/// Protocol message types (u32 head of every framed message).
+enum class CongestMsg : std::uint32_t {
+  kHello = 1,      // worker → coordinator: protocol version u32
+  kLoadGraph = 2,  // coordinator → worker: graph id, n, m, edges, owned range
+  kDropGraph = 3,  // coordinator → worker: graph id
+  kStart = 4,      // coordinator → worker: graph id, program id, spec bytes
+  kRoundDone = 5,  // worker → coordinator: sends u64, boundary messages
+  kRound = 6,      // coordinator → worker: boundary deliveries, continue
+  kCollect = 7,    // coordinator → worker: phase quiescent, ship outputs
+  kOutputs = 8,    // worker → coordinator: encode_outputs bytes for the range
+  kShutdown = 9,   // coordinator → worker: no body
+};
+
+inline constexpr std::uint32_t kCongestProtoVersion = 1;
+
+/// Coordinator-side backend factory over connected worker transports. The
+/// constructor validates each worker's Hello; engine_for() ships the graph
+/// (assigning contiguous vertex ranges); shutdown() (or destruction) sends
+/// Shutdown. Not thread-safe: one pipeline drives the fleet at a time, which
+/// is exactly how the algorithms sequence their primitive executions.
+class DistributedEngineHub final : public EngineHub {
+ public:
+  /// Validates the fleet roster. Throws NetError on a bad Hello.
+  explicit DistributedEngineHub(std::vector<Transport*> workers);
+  ~DistributedEngineHub() override;
+
+  std::string name() const override { return "net"; }
+  std::unique_ptr<Engine> engine_for(const Graph& g) override;
+
+  /// Sends Shutdown to every worker once; later engine use throws.
+  void shutdown();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  Transport& worker(int w) { return *workers_[static_cast<std::size_t>(w)]; }
+  bool is_down() const { return down_; }
+
+ private:
+  std::vector<Transport*> workers_;
+  std::uint32_t next_graph_id_ = 1;
+  bool down_ = false;
+};
+
+/// Convenience factory mirroring EngineHub::sequential()/parallel().
+std::shared_ptr<DistributedEngineHub> make_distributed_hub(std::vector<Transport*> workers);
+
+/// Runs one CONGEST worker to completion: announces itself, then serves
+/// LoadGraph/Start/DropGraph until Shutdown (or orderly close). Each Start
+/// executes the identified program over the worker's owned vertex range,
+/// exchanging boundary messages through the coordinator every round. Throws
+/// NetError on transport faults or protocol violations.
+void run_congest_worker(Transport& coordinator);
+
+/// In-process worker fleet for tests, benches, and the `--engine net` axis:
+/// spawns `workers` threads running run_congest_worker over loopback
+/// transports and exposes the connected hub. Destroy every Network using the
+/// hub before the fleet; the fleet destructor shuts the hub down and joins.
+class CongestWorkerFleet {
+ public:
+  explicit CongestWorkerFleet(int workers);
+  ~CongestWorkerFleet();
+
+  CongestWorkerFleet(const CongestWorkerFleet&) = delete;
+  CongestWorkerFleet& operator=(const CongestWorkerFleet&) = delete;
+
+  const std::shared_ptr<DistributedEngineHub>& hub() const { return hub_; }
+
+ private:
+  std::vector<std::unique_ptr<Transport>> coordinator_side_;
+  std::vector<std::thread> threads_;
+  std::shared_ptr<DistributedEngineHub> hub_;
+};
+
+}  // namespace deck

@@ -1,10 +1,22 @@
 #include "congest/network.hpp"
 
+#include <utility>
+
 #include "support/check.hpp"
 
 namespace deck {
 
-Network::Network(const Graph& g) : g_(&g) {}
+Network::Network(const Graph& g) : Network(g, EngineHub::sequential()) {}
+
+Network::Network(const Graph& g, std::shared_ptr<EngineHub> hub)
+    : g_(&g), hub_(std::move(hub)) {
+  DECK_CHECK_MSG(hub_ != nullptr, "Network needs an engine hub");
+}
+
+Engine& Network::engine() {
+  if (!engine_) engine_ = hub_->engine_for(*g_);
+  return *engine_;
+}
 
 void Network::charge(std::uint64_t rounds, std::uint64_t messages) {
   rounds_ += rounds;

@@ -5,40 +5,53 @@
 // The model (paper §1.3): the input graph *is* the communication network;
 // computation proceeds in synchronous rounds; per round, each vertex may send
 // one B-bit message over each incident edge, B = O(log n). Local computation
-// is free. We fix the message budget at two 64-bit payload words (ids +
+// is free. We fix the message budget at a few 64-bit payload words (ids +
 // weight fit comfortably; weights are polynomial in n).
 //
 // Architecture: algorithms are decomposed into *primitives* (flooding,
 // convergecast, pipelined keyed upcast, path downcast, per-edge exchange —
-// see primitives.hpp). Each primitive performs an exact synchronous
-// simulation with per-edge single-message channels and charges the observed
-// rounds/messages to the Network. Phase sequencing between primitives is
-// orchestrated centrally (free, like local computation), but data only ever
-// moves along edges inside primitives, so round and message counts equal
-// those of a real execution.
+// see primitives.hpp), each a genuine per-vertex message-passing program
+// executed on a pluggable Engine (engine.hpp): sequential exact simulation,
+// vertices partitioned over a thread pool, or vertex ranges owned by worker
+// processes over src/net/Transport. Phase sequencing between primitives is
+// orchestrated by the algorithm driver (free, like local computation), but
+// data only ever moves along edges inside primitive executions, so round and
+// message counts equal those of a real execution — and are bit-identical
+// across backends.
 //
 // Per-phase counters support the round-breakdown experiment (A2).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "congest/engine.hpp"
 #include "graph/graph.hpp"
 
 namespace deck {
 
-/// One CONGEST message: fixed two-word payload.
-struct Msg {
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-};
-
 class Network {
  public:
+  /// Sequential engine (exact synchronous simulation) — the default that
+  /// every seed call site keeps using unchanged.
   explicit Network(const Graph& g);
+
+  /// Execution backend chosen by the caller: EngineHub::sequential(),
+  /// EngineHub::parallel(...), or make_distributed_hub(...). Algorithms that
+  /// build internal sub-Networks construct them with this hub so the choice
+  /// rides through every layer.
+  Network(const Graph& g, std::shared_ptr<EngineHub> hub);
 
   const Graph& graph() const { return *g_; }
   int n() const { return g_->num_vertices(); }
+
+  /// The hub this network's engines come from (never null).
+  const std::shared_ptr<EngineHub>& hub() const { return hub_; }
+
+  /// The engine bound to this network's graph, created lazily on first use
+  /// (a distributed hub ships the graph to its workers at that point).
+  Engine& engine();
 
   std::uint64_t rounds() const { return rounds_; }
   std::uint64_t messages() const { return messages_; }
@@ -56,11 +69,13 @@ class Network {
   };
   const std::vector<PhaseStat>& phases() const { return phases_; }
 
-  /// Resets counters and phases (graph unchanged).
+  /// Resets counters and phases (graph and engine unchanged).
   void reset_counters();
 
  private:
   const Graph* g_;
+  std::shared_ptr<EngineHub> hub_;
+  std::unique_ptr<Engine> engine_;
   std::uint64_t rounds_ = 0;
   std::uint64_t messages_ = 0;
   std::vector<PhaseStat> phases_;

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
-#include <set>
+#include <utility>
 
+#include "congest/programs.hpp"
 #include "support/check.hpp"
 
 namespace deck {
@@ -29,236 +29,78 @@ int CommForest::height() const {
   return h;
 }
 
-RootedTree distributed_bfs(Network& net, VertexId root) {
-  const Graph& g = net.graph();
-  const int n = g.num_vertices();
-  std::vector<VertexId> parent(static_cast<std::size_t>(n), kNoVertex);
-  std::vector<EdgeId> parent_edge(static_cast<std::size_t>(n), kNoEdge);
-  std::vector<char> joined(static_cast<std::size_t>(n), 0);
-
-  std::vector<VertexId> frontier{root};
-  joined[static_cast<std::size_t>(root)] = 1;
-  std::uint64_t rounds = 0, messages = 0;
-  while (!frontier.empty()) {
-    ++rounds;
-    // Each frontier vertex announces over every incident edge this round.
-    std::vector<std::pair<VertexId, Adj>> arrivals;  // (sender, adjacency at sender)
-    for (VertexId v : frontier) {
-      for (const Adj& a : g.neighbors(v)) {
-        ++messages;
-        arrivals.emplace_back(v, a);
-      }
-    }
-    // Deterministic adoption: smallest sender id wins.
-    std::sort(arrivals.begin(), arrivals.end(),
-              [](const auto& x, const auto& y) { return x.first < y.first; });
-    std::vector<VertexId> next;
-    for (const auto& [from, a] : arrivals) {
-      if (joined[static_cast<std::size_t>(a.to)]) continue;
-      joined[static_cast<std::size_t>(a.to)] = 1;
-      parent[static_cast<std::size_t>(a.to)] = from;
-      parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
-      next.push_back(a.to);
-    }
-    frontier = std::move(next);
-  }
-  for (char j : joined) DECK_CHECK_MSG(j, "distributed_bfs requires a connected graph");
-  net.charge(rounds, messages);
-  return RootedTree(std::move(parent), std::move(parent_edge));
-}
-
-std::vector<std::uint64_t> convergecast(
-    Network& net, const CommForest& f, std::vector<std::uint64_t> value,
-    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine) {
-  const auto n = f.parent.size();
-  DECK_CHECK(value.size() == n);
-  // Stall-free upward flow: vertex at depth d sends at round (height - d);
-  // total rounds = height, messages = one per non-root vertex.
-  std::vector<VertexId> order(n);
-  for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<VertexId>(v);
-  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
-    return f.depth[static_cast<std::size_t>(a)] > f.depth[static_cast<std::size_t>(b)];
-  });
-  std::uint64_t messages = 0;
-  for (VertexId v : order) {
-    const VertexId p = f.parent[static_cast<std::size_t>(v)];
-    if (p == kNoVertex) continue;
-    DECK_CHECK(f.depth[static_cast<std::size_t>(v)] == f.depth[static_cast<std::size_t>(p)] + 1);
-    value[static_cast<std::size_t>(p)] =
-        combine(value[static_cast<std::size_t>(p)], value[static_cast<std::size_t>(v)]);
-    ++messages;
-  }
-  net.charge(static_cast<std::uint64_t>(f.height()), messages);
-  return value;
-}
-
-std::vector<std::uint64_t> broadcast(Network& net, const CommForest& f,
-                                     std::vector<std::uint64_t> root_value) {
-  const auto n = f.parent.size();
-  DECK_CHECK(root_value.size() == n);
-  std::vector<VertexId> order(n);
-  for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<VertexId>(v);
-  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
-    return f.depth[static_cast<std::size_t>(a)] < f.depth[static_cast<std::size_t>(b)];
-  });
-  std::uint64_t messages = 0;
-  for (VertexId v : order) {
-    const VertexId p = f.parent[static_cast<std::size_t>(v)];
-    if (p == kNoVertex) continue;
-    root_value[static_cast<std::size_t>(v)] = root_value[static_cast<std::size_t>(p)];
-    ++messages;
-  }
-  net.charge(static_cast<std::uint64_t>(f.height()), messages);
-  return root_value;
-}
-
 namespace {
 
-constexpr std::uint64_t kNoLimit = std::numeric_limits<std::uint64_t>::max();
-
-struct ItemValue {
-  std::uint64_t prio;
-  std::uint64_t payload;
-};
-
-/// Shared engine for pipelined keyed-min upcast flows. Exact synchronous
-/// simulation: per round each vertex may push one (key,prio,payload) message
-/// or an end-of-stream marker to its parent; keys flow in ascending order;
-/// a vertex forwards key k only once every child's stream has advanced to
-/// >= k (or ended), so forwarded values are final for the subtree.
-/// `emit_below[v]`: keys >= this stay at v ("finalized" there).
-std::vector<std::vector<KeyedItem>> run_upcast_engine(
-    Network& net, const CommForest& f, std::vector<std::vector<KeyedItem>> items,
-    const std::vector<std::uint64_t>& emit_below) {
-  const auto n = f.parent.size();
-  constexpr std::int64_t kNotYet = -1;
-
-  std::vector<std::map<std::uint64_t, ItemValue>> pending(n);
-  std::vector<std::multiset<std::int64_t>> frontiers(n);  // one entry per non-EOS child
-  std::vector<std::int64_t> my_frontier(n, kNotYet);
-  std::vector<char> eos_sent(n, 0);
-  std::vector<int> live_children(n, 0);
-
-  auto merge_in = [&](std::size_t v, const KeyedItem& it) {
-    auto [pos, fresh] = pending[v].try_emplace(it.key, ItemValue{it.prio, it.payload});
-    if (!fresh && (it.prio < pos->second.prio ||
-                   (it.prio == pos->second.prio && it.payload < pos->second.payload))) {
-      pos->second = ItemValue{it.prio, it.payload};
-    }
-  };
-
-  for (std::size_t v = 0; v < n; ++v) {
-    for (const KeyedItem& it : items[v]) merge_in(v, it);
-    live_children[v] = static_cast<int>(f.children[v].size());
-    for (std::size_t c = 0; c < f.children[v].size(); ++c) frontiers[v].insert(kNotYet);
-  }
-
-  std::vector<char> in_dirty(n, 1);
-  std::vector<VertexId> dirty;
-  dirty.reserve(n);
-  for (std::size_t v = 0; v < n; ++v) dirty.push_back(static_cast<VertexId>(v));
-
-  int remaining = 0;  // non-root vertices that have not sent EOS
-  for (std::size_t v = 0; v < n; ++v)
-    if (f.parent[v] != kNoVertex) ++remaining;
-
-  std::uint64_t rounds = 0, messages = 0;
-
-  struct Emission {
-    VertexId from;
-    bool eos;
-    KeyedItem item;
-  };
-
-  while (remaining > 0) {
-    std::vector<Emission> emissions;
-    std::vector<VertexId> still_dirty;
-    for (VertexId v : dirty) {
-      const auto sv = static_cast<std::size_t>(v);
-      in_dirty[sv] = 0;
-      if (f.parent[sv] == kNoVertex || eos_sent[sv]) continue;
-      // Smallest emittable key.
-      auto it = pending[sv].begin();
-      const bool has_emittable = it != pending[sv].end() && it->first < emit_below[sv];
-      const std::int64_t min_frontier =
-          frontiers[sv].empty() ? std::numeric_limits<std::int64_t>::max() : *frontiers[sv].begin();
-      if (has_emittable) {
-        if (min_frontier >= static_cast<std::int64_t>(it->first)) {
-          emissions.push_back({v, false, KeyedItem{it->first, it->second.prio, it->second.payload}});
-          pending[sv].erase(it);
-          // May have another emittable key next round.
-          still_dirty.push_back(v);
-        }
-        // else: blocked; child emission will re-dirty us.
-      } else if (live_children[sv] == 0) {
-        emissions.push_back({v, true, {}});
-        eos_sent[sv] = 1;
-      }
-      // else: waiting for children to finish; their EOS re-dirties us.
-    }
-
-    DECK_CHECK_MSG(!emissions.empty(), "upcast engine deadlock");
-    ++rounds;
-    for (const Emission& em : emissions) {
-      ++messages;
-      const auto sv = static_cast<std::size_t>(em.from);
-      const auto sp = static_cast<std::size_t>(f.parent[sv]);
-      if (em.eos) {
-        --remaining;
-        frontiers[sp].erase(frontiers[sp].find(my_frontier[sv]));
-        --live_children[sp];
-      } else {
-        merge_in(sp, em.item);
-        frontiers[sp].erase(frontiers[sp].find(my_frontier[sv]));
-        my_frontier[sv] = static_cast<std::int64_t>(em.item.key);
-        frontiers[sp].insert(my_frontier[sv]);
-      }
-      if (!in_dirty[sp]) {
-        in_dirty[sp] = 1;
-        still_dirty.push_back(f.parent[sv]);
-      }
-    }
-    for (VertexId v : still_dirty) in_dirty[static_cast<std::size_t>(v)] = 1;
-    dirty = std::move(still_dirty);
-  }
-
-  net.charge(rounds, messages);
-
-  std::vector<std::vector<KeyedItem>> finalized(n);
-  for (std::size_t v = 0; v < n; ++v) {
-    for (const auto& [key, val] : pending[v])
-      finalized[v].push_back(KeyedItem{key, val.prio, val.payload});
-  }
-  return finalized;
+/// Runs a primitive's program on the network's engine and charges the
+/// observed cost: the counters are exact execution counts, identical across
+/// backends.
+ExecStats run_charged(Network& net, VertexProgram& prog) {
+  const ExecStats stats = net.engine().execute(prog);
+  net.charge(stats.rounds, stats.messages);
+  return stats;
 }
 
 }  // namespace
 
+RootedTree distributed_bfs(Network& net, VertexId root) {
+  const Graph& g = net.graph();
+  const int n = g.num_vertices();
+  BfsProgram prog(n, root);
+  if (n == 1) {
+    // Degenerate single-vertex network: the root's lone announcement round
+    // (seed accounting) moves nothing.
+    net.charge(1, 0);
+    return RootedTree(std::move(prog.parent), std::move(prog.parent_edge));
+  }
+  run_charged(net, prog);
+  return RootedTree(std::move(prog.parent), std::move(prog.parent_edge));
+}
+
+std::vector<std::uint64_t> convergecast(Network& net, const CommForest& f,
+                                        std::vector<std::uint64_t> value, CombineOp op) {
+  DECK_CHECK(value.size() == f.parent.size());
+  ConvergecastProgram prog(ForestData::from_comm_forest(f), op, std::move(value));
+  const ExecStats stats = run_charged(net, prog);
+  DECK_CHECK(stats.rounds == static_cast<std::uint64_t>(f.height()));
+  return std::move(prog.value);
+}
+
+std::vector<std::uint64_t> broadcast(Network& net, const CommForest& f,
+                                     std::vector<std::uint64_t> root_value) {
+  DECK_CHECK(root_value.size() == f.parent.size());
+  BroadcastProgram prog(ForestData::from_comm_forest(f), std::move(root_value));
+  const ExecStats stats = run_charged(net, prog);
+  DECK_CHECK(stats.rounds == static_cast<std::uint64_t>(f.height()));
+  return std::move(prog.value);
+}
+
 std::vector<std::vector<KeyedItem>> keyed_min_upcast(Network& net, const CommForest& f,
                                                      std::vector<std::vector<KeyedItem>> items) {
-  std::vector<std::uint64_t> emit_below(f.parent.size(), kNoLimit);
-  return run_upcast_engine(net, f, std::move(items), emit_below);
+  KeyedUpcastProgram prog(ForestData::from_comm_forest(f), /*ancestor_mode=*/false,
+                          std::move(items));
+  run_charged(net, prog);
+  return std::move(prog.finalized);
 }
 
 std::vector<std::optional<KeyedItem>> ancestor_min_merge(
     Network& net, const CommForest& f, std::vector<std::vector<KeyedItem>> items) {
   const auto n = f.parent.size();
-  std::vector<std::uint64_t> emit_below(n, 0);
   for (std::size_t v = 0; v < n; ++v) {
     const int d = f.depth[v];
-    emit_below[v] = d >= 1 ? static_cast<std::uint64_t>(d - 1) : 0;
     for (const KeyedItem& it : items[v])
       DECK_CHECK_MSG(it.key < static_cast<std::uint64_t>(std::max(d, 1)),
                      "ancestor item key must address a proper ancestor edge");
   }
-  auto fin = run_upcast_engine(net, f, std::move(items), emit_below);
+  KeyedUpcastProgram prog(ForestData::from_comm_forest(f), /*ancestor_mode=*/true,
+                          std::move(items));
+  run_charged(net, prog);
   std::vector<std::optional<KeyedItem>> out(n);
   for (std::size_t v = 0; v < n; ++v) {
-    DECK_CHECK(fin[v].size() <= 1);
-    if (!fin[v].empty()) {
-      DECK_CHECK(f.depth[v] >= 1 &&
-                 fin[v][0].key == static_cast<std::uint64_t>(f.depth[v] - 1));
-      out[v] = fin[v][0];
+    const auto& fin = prog.finalized[v];
+    DECK_CHECK(fin.size() <= 1);
+    if (!fin.empty()) {
+      DECK_CHECK(f.depth[v] >= 1 && fin[0].key == static_cast<std::uint64_t>(f.depth[v] - 1));
+      out[v] = fin[0];
     }
   }
   return out;
@@ -280,70 +122,41 @@ std::vector<std::vector<KeyedItem>> pipelined_broadcast(
   }
   DECK_CHECK_MSG(roots == 1, "pipelined_broadcast expects a single-root tree");
 
-  // FIFO pipeline has no data-dependent stalls: vertex at depth d receives
-  // item j at round d + j; completion = height + L, messages = L per
-  // non-root vertex. An empty list still costs the height (the
-  // end-of-stream marker must reach the leaves so they know nothing comes).
   const auto len = static_cast<std::uint64_t>(root_items[root].size());
-  std::vector<std::vector<KeyedItem>> out(n);
-  for (std::size_t v = 0; v < n; ++v) out[v] = root_items[root];
+  PipelinedBroadcastProgram prog(ForestData::from_comm_forest(f),
+                                 static_cast<VertexId>(root), std::move(root_items[root]));
+  const ExecStats stats = net.engine().execute(prog);
+  // The executed pipeline delivers len items plus the end-of-stream wave:
+  // height + len rounds, (len + 1)(n - 1) frames. The charged message count
+  // keeps the seed's convention of folding the end-of-stream marker into the
+  // final data frame (one spare bit) — except for the empty list, where the
+  // marker is the only traffic.
+  if (n > 1) {
+    DECK_CHECK(stats.rounds == static_cast<std::uint64_t>(f.height()) + len);
+    DECK_CHECK(stats.messages == (len + 1) * (n - 1));
+  }
   net.charge(static_cast<std::uint64_t>(f.height()) + len,
              std::max<std::uint64_t>(len, 1) * (n - 1));
-  return out;
+  return std::move(prog.received);
 }
 
 std::vector<std::vector<KeyedItem>> path_downcast(Network& net, const CommForest& f,
                                                   std::vector<KeyedItem> own_item) {
-  const auto n = f.parent.size();
-  DECK_CHECK(own_item.size() == n);
-  // Vertex v sends, to each child c with depth[c] == depth[v] + 1 (same
-  // forest tree): its own item first, then the stream received from its
-  // parent, FIFO. Stall-free: c receives its j-th proper-ancestor item at
-  // round j. Completion = height - 1 rounds (max items received by any
-  // vertex); messages = sum over vertices of (#proper ancestors above the
-  // parent edge + 1) = sum of forest depths.
-  std::vector<std::vector<KeyedItem>> out(n);
-  std::vector<VertexId> order(n);
-  for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<VertexId>(v);
-  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
-    return f.depth[static_cast<std::size_t>(a)] < f.depth[static_cast<std::size_t>(b)];
-  });
-  std::uint64_t messages = 0;
-  std::uint64_t max_received = 0;
-  for (VertexId v : order) {
-    const auto sv = static_cast<std::size_t>(v);
-    const VertexId p = f.parent[sv];
-    if (p == kNoVertex) continue;  // forest root: empty list
-    const auto sp = static_cast<std::size_t>(p);
-    if (f.depth[sv] == f.depth[sp] + 1 && f.parent[sp] != kNoVertex) {
-      // Same forest tree and the parent is not a forest root: receive the
-      // parent's own item followed by the parent's ancestor stream.
-      out[sv].push_back(own_item[sp]);
-      out[sv].insert(out[sv].end(), out[sp].begin(), out[sp].end());
-    }
-    messages += out[sv].size();
-    max_received = std::max(max_received, static_cast<std::uint64_t>(out[sv].size()));
-  }
-  net.charge(max_received, messages);
-  return out;
+  DECK_CHECK(own_item.size() == f.parent.size());
+  PathDowncastProgram prog(ForestData::from_comm_forest(f), std::move(own_item));
+  run_charged(net, prog);
+  return std::move(prog.received);
 }
 
 ExchangeResult edge_exchange(Network& net, const std::vector<EdgeId>& edges,
                              const std::vector<std::vector<std::uint64_t>>& payload_from_u,
                              const std::vector<std::vector<std::uint64_t>>& payload_from_v) {
   DECK_CHECK(payload_from_u.size() == edges.size() && payload_from_v.size() == edges.size());
-  std::uint64_t rounds = 0, messages = 0;
+  EdgeExchangeProgram prog(net.n(), edges, payload_from_u, payload_from_v);
+  run_charged(net, prog);
   ExchangeResult r;
-  r.at_u.resize(edges.size());
-  r.at_v.resize(edges.size());
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    rounds = std::max({rounds, static_cast<std::uint64_t>(payload_from_u[i].size()),
-                       static_cast<std::uint64_t>(payload_from_v[i].size())});
-    messages += payload_from_u[i].size() + payload_from_v[i].size();
-    r.at_v[i] = payload_from_u[i];
-    r.at_u[i] = payload_from_v[i];
-  }
-  net.charge(rounds, messages);
+  r.at_u = std::move(prog.at_u);
+  r.at_v = std::move(prog.at_v);
   return r;
 }
 

@@ -2,12 +2,14 @@
 
 // CONGEST communication primitives (paper §1.3, §3.1).
 //
-// Every primitive runs an exact synchronous simulation: one message per
-// directed edge per round, message = one Msg (two 64-bit words). The engine
-// loops rounds and moves items; round/message totals are charged to the
+// Every primitive is a genuine per-vertex send/receive program (see
+// congest/programs.hpp) executed on the Network's pluggable engine
+// (congest/engine.hpp): one message per directed edge per round, rounds and
+// messages counted by the engine as they actually move, then charged to the
 // Network. Callers supply and receive *per-vertex* data only — the
 // discipline is that a vertex's outputs depend solely on its inputs and the
-// messages it received.
+// messages it received — and results plus counters are bit-identical across
+// the sequential, thread-pool, and Transport-backed backends.
 //
 // The workhorse is the pipelined keyed-min upcast: every vertex holds
 // (key, value) items; merged min-per-key streams flow towards the root in
@@ -29,7 +31,6 @@
 //                                  (used for non-tree edge computations).
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -65,13 +66,24 @@ struct CommForest {
 /// Requires the graph connected.
 RootedTree distributed_bfs(Network& net, VertexId root);
 
-/// Min-convergecast: combine per-vertex 64-bit values with `combine`
-/// (associative, commutative) up to the forest roots. Returns the value at
-/// each vertex after its subtree is combined (roots hold the totals).
-/// Charges height rounds.
-std::vector<std::uint64_t> convergecast(
-    Network& net, const CommForest& f, std::vector<std::uint64_t> value,
-    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine);
+/// Combine operations a convergecast can run (associative + commutative, so
+/// results are independent of child arrival order). An enum — not an
+/// arbitrary std::function — because the distributed backend ships the
+/// program to worker processes.
+enum class CombineOp : std::uint32_t {
+  kSum = 1,
+  kMin = 2,
+  kMax = 3,
+  kOr = 4,
+};
+
+std::uint64_t apply_combine(CombineOp op, std::uint64_t a, std::uint64_t b);
+
+/// Convergecast: combine per-vertex 64-bit values with `op` up to the
+/// forest roots. Returns the value at each vertex after its subtree is
+/// combined (roots hold the totals). Charges height rounds.
+std::vector<std::uint64_t> convergecast(Network& net, const CommForest& f,
+                                        std::vector<std::uint64_t> value, CombineOp op);
 
 /// Broadcast one value from each forest root down its tree; returns the
 /// per-vertex received value. Charges height rounds.

@@ -331,10 +331,9 @@ std::vector<std::vector<KeyedItem>> segment_broadcast(
   return out;
 }
 
-std::vector<std::uint64_t> segment_aggregate(
-    Network& net, const SegmentDecomposition& dec, const std::vector<std::uint64_t>& value,
-    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine,
-    std::uint64_t identity) {
+std::vector<std::uint64_t> segment_aggregate(Network& net, const SegmentDecomposition& dec,
+                                             const std::vector<std::uint64_t>& value, CombineOp op,
+                                             std::uint64_t identity) {
   const int n = dec.tree().num_vertices();
   DECK_CHECK(static_cast<int>(value.size()) == n);
   std::vector<std::uint64_t> acc(static_cast<std::size_t>(dec.num_segments()), identity);
@@ -342,7 +341,8 @@ std::vector<std::uint64_t> segment_aggregate(
   for (VertexId v = 0; v < n; ++v) {
     const int s = dec.seg_of_vertex(v);
     if (s < 0) continue;
-    acc[static_cast<std::size_t>(s)] = combine(acc[static_cast<std::size_t>(s)], value[static_cast<std::size_t>(v)]);
+    acc[static_cast<std::size_t>(s)] =
+        apply_combine(op, acc[static_cast<std::size_t>(s)], value[static_cast<std::size_t>(v)]);
     max_h = std::max(max_h, static_cast<std::uint64_t>(dec.seg_depth(v)));
     ++messages;
   }

@@ -138,9 +138,8 @@ std::vector<std::vector<KeyedItem>> segment_broadcast(
 /// (hanging subtrees fold into their attachment; the highway folds to r_S).
 /// Returns one value per segment, conceptually delivered at each segment
 /// root. Charges max segment height rounds.
-std::vector<std::uint64_t> segment_aggregate(
-    Network& net, const SegmentDecomposition& dec, const std::vector<std::uint64_t>& value,
-    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine,
-    std::uint64_t identity);
+std::vector<std::uint64_t> segment_aggregate(Network& net, const SegmentDecomposition& dec,
+                                             const std::vector<std::uint64_t>& value, CombineOp op,
+                                             std::uint64_t identity);
 
 }  // namespace deck

@@ -52,7 +52,7 @@ TapResult distributed_tap_standalone(Network& net, const TapInstance& inst,
     forced.add_edge(g.edge(e).u, g.edge(e).v,
                     inst.tree_mask[static_cast<std::size_t>(e)] ? 0 : 1 + g.edge(e).w);
   }
-  Network sub(forced);
+  Network sub(forced, net.hub());
   const RootedTree sub_bfs = distributed_bfs(sub, root);
   MstResult mst = distributed_mst(sub, sub_bfs);
   net.charge(sub.rounds(), sub.messages());

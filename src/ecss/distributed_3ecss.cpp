@@ -21,7 +21,7 @@ namespace {
 
 void control_round(Network& net, const CommForest& bfs) {
   std::vector<std::uint64_t> val(bfs.parent.size(), 0);
-  convergecast(net, bfs, val, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+  convergecast(net, bfs, val, CombineOp::kMax);
   broadcast(net, bfs, val);
 }
 
@@ -106,7 +106,8 @@ int aug3_label_loop(Network& net, const RootedTree& tree, std::vector<char>& ha_
       const auto& sel = selected[static_cast<std::size_t>(x)];
       DECK_CHECK_MSG(sel.has_value(), "tree edge with no covering edge: H not 2-edge-connected");
       const auto estar = static_cast<EdgeId>(sel->prio);
-      int cnt = cs.phi[static_cast<std::size_t>(estar)] == cs.phi[static_cast<std::size_t>(t)] ? 1 : 0;
+      int cnt =
+          cs.phi[static_cast<std::size_t>(estar)] == cs.phi[static_cast<std::size_t>(t)] ? 1 : 0;
       for (EdgeId t2 : cycle_path(estar))
         if (cs.phi[static_cast<std::size_t>(t2)] == cs.phi[static_cast<std::size_t>(t)]) ++cnt;
       nphi[static_cast<std::size_t>(t)] = cnt;

@@ -34,7 +34,7 @@ void share_edges_globally(Network& net, const CommForest& bfs, VertexId root,
 /// O(D) control exchange (max/OR aggregation + broadcast of one word).
 void control_round(Network& net, const CommForest& bfs) {
   std::vector<std::uint64_t> val(bfs.parent.size(), 0);
-  convergecast(net, bfs, val, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+  convergecast(net, bfs, val, CombineOp::kMax);
   broadcast(net, bfs, val);
 }
 
@@ -166,7 +166,7 @@ std::vector<EdgeId> run_connector_level(Network& net, const RootedTree& bfs,
   for (EdgeId e = 0; e < g.num_edges(); ++e)
     forced.add_edge(g.edge(e).u, g.edge(e).v,
                     in_h[static_cast<std::size_t>(e)] ? 0 : 1 + g.edge(e).w);
-  Network sub(forced);
+  Network sub(forced, net.hub());
   const RootedTree sub_bfs = distributed_bfs(sub, bfs.roots()[0]);
   MstResult mst = distributed_mst(sub, sub_bfs);
   net.charge(sub.rounds(), sub.messages());

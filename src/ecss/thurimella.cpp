@@ -38,7 +38,7 @@ std::vector<EdgeId> sparse_certificate_distributed(Network& net, int k) {
     Graph weighted(g.num_vertices());
     for (EdgeId e = 0; e < g.num_edges(); ++e)
       weighted.add_edge(g.edge(e).u, g.edge(e).v, used[static_cast<std::size_t>(e)] ? 2 : 1);
-    Network sub(weighted);
+    Network sub(weighted, net.hub());
     RootedTree bfs = distributed_bfs(sub, 0);
     MstResult mst = distributed_mst(sub, bfs);
     net.charge(sub.rounds(), sub.messages());

@@ -17,7 +17,8 @@ Unweighted2EcssResult unweighted_2ecss_2approx(Network& net, VertexId root) {
 
   std::vector<char> is_tree(static_cast<std::size_t>(g.num_edges()), 0);
   for (VertexId v = 0; v < n; ++v)
-    if (out.bfs.parent_edge(v) != kNoEdge) is_tree[static_cast<std::size_t>(out.bfs.parent_edge(v))] = 1;
+    if (out.bfs.parent_edge(v) != kNoEdge)
+      is_tree[static_cast<std::size_t>(out.bfs.parent_edge(v))] = 1;
 
   // Root-path exchange across every non-tree edge so both endpoints learn
   // the LCA depth (payload = own depth in words; pipelined, O(D) rounds).
@@ -47,8 +48,7 @@ Unweighted2EcssResult unweighted_2ecss_2approx(Network& net, VertexId root) {
       val[static_cast<std::size_t>(x)] = std::min(val[static_cast<std::size_t>(x)], enc);
     }
   }
-  val = convergecast(net, forest, std::move(val),
-                     [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); });
+  val = convergecast(net, forest, std::move(val), CombineOp::kMin);
 
   std::set<EdgeId> aug;
   for (VertexId v = 0; v < n; ++v) {

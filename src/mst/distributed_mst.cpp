@@ -224,7 +224,8 @@ MstResult distributed_mst(Network& net, const RootedTree& bfs) {
     if (s.members[static_cast<std::size_t>(rep)].empty()) continue;
     for (VertexId v : s.members[static_cast<std::size_t>(rep)])
       frag_label[static_cast<std::size_t>(v)] = num_frags;
-    max_size = std::max(max_size, static_cast<int>(s.members[static_cast<std::size_t>(rep)].size()));
+    max_size =
+        std::max(max_size, static_cast<int>(s.members[static_cast<std::size_t>(rep)].size()));
     ++num_frags;
   }
   const auto final_heights = fragment_heights(s, n);
@@ -267,7 +268,8 @@ MstResult distributed_mst(Network& net, const RootedTree& bfs) {
     // Root merges locally.
     std::map<int, int> rep_index;
     std::vector<int> live_list(live.begin(), live.end());
-    for (std::size_t i = 0; i < live_list.size(); ++i) rep_index[live_list[i]] = static_cast<int>(i);
+    for (std::size_t i = 0; i < live_list.size(); ++i)
+      rep_index[live_list[i]] = static_cast<int>(i);
     UnionFind uf(static_cast<int>(live_list.size()));
     std::set<EdgeId> chosen;
     for (const KeyedItem& it : at_root) {
@@ -299,7 +301,8 @@ MstResult distributed_mst(Network& net, const RootedTree& bfs) {
     std::map<int, int> relabel;
     for (int old_rep : live_list)
       relabel[old_rep] = live_list[static_cast<std::size_t>(uf.find(rep_index.at(old_rep)))];
-    for (VertexId v = 0; v < n; ++v) frag2[static_cast<std::size_t>(v)] = relabel.at(frag2[static_cast<std::size_t>(v)]);
+    for (VertexId v = 0; v < n; ++v)
+      frag2[static_cast<std::size_t>(v)] = relabel.at(frag2[static_cast<std::size_t>(v)]);
     for (EdgeId e : chosen) {
       mst.insert(e);
       global_edges.push_back(e);

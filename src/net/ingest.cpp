@@ -61,12 +61,6 @@ SketchOptions decode_attempt(net::WireReader& r) {
 /// recv() that treats orderly close as a protocol violation — both roles
 /// always part with an explicit Done/Shutdown, so a bare EOF means the peer
 /// died mid-conversation.
-std::vector<std::uint8_t> recv_required(Transport& t, const char* who) {
-  std::optional<std::vector<std::uint8_t>> msg = t.recv();
-  if (!msg) fail(std::string(who) + " closed the transport mid-protocol");
-  return std::move(*msg);
-}
-
 }  // namespace
 
 void run_ingest_worker(Transport& coordinator, const GraphStream& stream, std::uint32_t worker_id,
@@ -83,7 +77,7 @@ void run_ingest_worker(Transport& coordinator, const GraphStream& stream, std::u
   coordinator.send(hello);
 
   for (;;) {
-    const std::vector<std::uint8_t> msg = recv_required(coordinator, "coordinator");
+    const std::vector<std::uint8_t> msg = net::recv_expected(coordinator, "coordinator Attempt/Shutdown");
     net::WireReader r(std::span<const std::uint8_t>(msg.data(), msg.size()));
     const auto type = static_cast<IngestMsg>(r.u32());
     if (type == IngestMsg::kShutdown) return;
@@ -135,7 +129,7 @@ SparsifyResult coordinated_sparsify(const std::vector<Transport*>& workers, int 
   std::vector<std::uint32_t> ids;
   ids.reserve(workers.size());
   for (Transport* t : workers) {
-    const std::vector<std::uint8_t> msg = recv_required(*t, "worker");
+    const std::vector<std::uint8_t> msg = net::recv_expected(*t, "worker");
     net::WireReader r(std::span<const std::uint8_t>(msg.data(), msg.size()));
     const auto type = static_cast<IngestMsg>(r.u32());
     if (type != IngestMsg::kHello)
@@ -179,7 +173,7 @@ SparsifyResult coordinated_sparsify(const std::vector<Transport*>& workers, int 
     for (Transport* t : workers) {
       pool.submit([&, t] {
         for (;;) {
-          const std::vector<std::uint8_t> msg = recv_required(*t, "worker");
+          const std::vector<std::uint8_t> msg = net::recv_expected(*t, "worker");
           net::WireReader r(std::span<const std::uint8_t>(msg.data(), msg.size()));
           const auto type = static_cast<IngestMsg>(r.u32());
           if (type == IngestMsg::kDone) {

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -78,9 +79,9 @@ class LoopbackTransport final : public Transport {
 };
 
 // ---------------------------------------------------------------------------
-// TCP: framed messages over a connected stream socket. All loops handle
-// partial transfers and EINTR; SIGPIPE is suppressed per send so a reset
-// peer surfaces as NetError.
+// Stream sockets (TCP and Unix domain): framed messages over a connected
+// socket. All loops handle partial transfers and EINTR; SIGPIPE is
+// suppressed per send so a reset peer surfaces as NetError.
 
 void put_u64_le(std::uint8_t out[8], std::uint64_t v) {
   for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
@@ -92,15 +93,23 @@ std::uint64_t get_u64_le(const std::uint8_t in[8]) {
   return v;
 }
 
-class TcpTransport final : public Transport {
+class StreamTransport final : public Transport {
  public:
-  explicit TcpTransport(int fd) : fd_(fd) {}
+  explicit StreamTransport(int fd, bool tcp) : fd_(fd) {
+    if (tcp) {
+      // Request/response protocols (per-round barriers in the CONGEST
+      // engine, per-attempt ingest coordination) ship many small frames;
+      // leaving Nagle on serializes them against delayed ACKs at ~40ms each.
+      const int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+  }
 
-  ~TcpTransport() override { TcpTransport::close(); }
+  ~StreamTransport() override { StreamTransport::close(); }
 
   void send(std::span<const std::uint8_t> message) override {
     check_size(message.size());
-    if (fd_ < 0) fail("send on a closed TCP transport");
+    if (fd_ < 0) fail("send on a closed stream transport");
     std::uint8_t prefix[8];
     put_u64_le(prefix, message.size());
     send_all(prefix, sizeof prefix);
@@ -108,7 +117,7 @@ class TcpTransport final : public Transport {
   }
 
   std::optional<std::vector<std::uint8_t>> recv() override {
-    if (fd_ < 0) fail("recv on a closed TCP transport");
+    if (fd_ < 0) fail("recv on a closed stream transport");
     std::uint8_t prefix[8];
     const std::size_t got = recv_some(prefix, sizeof prefix);
     if (got == 0) return std::nullopt;  // orderly close between frames
@@ -161,6 +170,16 @@ class TcpTransport final : public Transport {
   int fd_ = -1;
 };
 
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path)
+    fail("unix socket path '" + path + "' must be 1.." +
+         std::to_string(sizeof addr.sun_path - 1) + " bytes");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
 sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -212,7 +231,7 @@ TcpListener::~TcpListener() {
 std::unique_ptr<Transport> TcpListener::accept() {
   for (;;) {
     const int fd = ::accept(fd_, nullptr, nullptr);
-    if (fd >= 0) return std::make_unique<TcpTransport>(fd);
+    if (fd >= 0) return std::make_unique<StreamTransport>(fd, /*tcp=*/true);
     if (errno != EINTR) fail_errno("accept failed");
   }
 }
@@ -222,7 +241,7 @@ std::unique_ptr<Transport> tcp_connect(const std::string& host, std::uint16_t po
   if (fd < 0) fail_errno("socket failed");
   const sockaddr_in addr = make_addr(host, port);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0)
-    return std::make_unique<TcpTransport>(fd);
+    return std::make_unique<StreamTransport>(fd, /*tcp=*/true);
   if (errno == EINTR) {
     // POSIX: an interrupted connect keeps completing asynchronously, and
     // calling connect() again yields EALREADY — wait for writability and
@@ -238,7 +257,7 @@ std::unique_ptr<Transport> tcp_connect(const std::string& host, std::uint16_t po
     int err = 0;
     socklen_t len = sizeof err;
     if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 && err == 0)
-      return std::make_unique<TcpTransport>(fd);
+      return std::make_unique<StreamTransport>(fd, /*tcp=*/true);
     const std::string detail = std::strerror(err != 0 ? err : errno);
     ::close(fd);
     fail("connect to " + host + ":" + std::to_string(port) + " failed: " + detail);
@@ -246,6 +265,53 @@ std::unique_ptr<Transport> tcp_connect(const std::string& host, std::uint16_t po
   const std::string detail = std::strerror(errno);
   ::close(fd);
   fail("connect to " + host + ":" + std::to_string(port) + " failed: " + detail);
+}
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  const sockaddr_un addr = make_unix_addr(path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) fail_errno("socket failed");
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    fail("bind to unix socket '" + path + "' failed: " + detail);
+  }
+  if (::listen(fd_, SOMAXCONN) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+    fail("listen on unix socket '" + path + "' failed: " + detail);
+  }
+}
+
+UnixListener::~UnixListener() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+std::unique_ptr<Transport> UnixListener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<StreamTransport>(fd, /*tcp=*/false);
+    if (errno != EINTR) fail_errno("accept failed");
+  }
+}
+
+std::unique_ptr<Transport> unix_connect(const std::string& path) {
+  const sockaddr_un addr = make_unix_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket failed");
+  // AF_UNIX connect() completes synchronously (or fails); no EINPROGRESS
+  // dance like TCP, but EINTR still needs a retry.
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno == EINTR) continue;
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    fail("connect to unix socket '" + path + "' failed: " + detail);
+  }
+  return std::make_unique<StreamTransport>(fd, /*tcp=*/false);
 }
 
 }  // namespace deck

@@ -7,13 +7,17 @@
 // payload, so the receiver always knows message boundaries and a short read
 // is a detectable fault, never a misparse.
 //
-// Two implementations:
+// Three implementations:
 //   - LoopbackTransport (loopback_pair()): an in-process queue pair for
 //     deterministic tests and benches — no sockets, no timing, FIFO per
 //     direction, close() observable from the peer.
 //   - TCP (TcpListener / tcp_connect): POSIX stream sockets over IPv4,
 //     loopback or LAN. Partial reads/writes and EINTR are handled; peers on
 //     different hosts interoperate because framing is endian-stable.
+//   - Unix domain (UnixListener / unix_connect): stream sockets over a
+//     filesystem path for same-host worker fleets — no port allocation, no
+//     TCP stack, and the listener unlinks its path on destruction. Framing
+//     and fault semantics are identical to TCP (same stream transport).
 //
 // Faults raise NetError (closed peer, truncated frame, oversized frame,
 // socket errors) — never UB and never a silent short message. Orderly
@@ -90,5 +94,30 @@ class TcpListener {
 /// Connects to a listening peer. Throws NetError when the connection is
 /// refused or the address is invalid.
 std::unique_ptr<Transport> tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Listening Unix-domain stream socket bound to a filesystem path. The path
+/// must not exist yet (stale-socket takeover is an operator decision, not a
+/// library default); it is unlinked when the listener is destroyed.
+class UnixListener {
+ public:
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Blocks for one inbound connection. Throws NetError on failure.
+  std::unique_ptr<Transport> accept();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connects to a listening Unix-domain peer. Throws NetError when nothing
+/// listens at `path` or the path does not fit a socket address.
+std::unique_ptr<Transport> unix_connect(const std::string& path);
 
 }  // namespace deck

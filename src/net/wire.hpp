@@ -26,6 +26,17 @@ inline void put_bytes(std::vector<std::uint8_t>& out, std::span<const std::uint8
   out.insert(out.end(), bytes.begin(), bytes.end());
 }
 
+/// Receives one frame, treating orderly close as a protocol fault — for
+/// exchanges that know exactly what they are waiting for (`expecting` names
+/// it in the error). Both the ingest and the CONGEST engine protocols frame
+/// every wait this way.
+inline std::vector<std::uint8_t> recv_expected(Transport& t, const char* expecting) {
+  std::optional<std::vector<std::uint8_t>> frame = t.recv();
+  if (!frame)
+    throw NetError(std::string("net: peer closed while waiting for ") + expecting);
+  return std::move(*frame);
+}
+
 /// Bounds-checked reader over one received message. Over-reads throw
 /// NetError; rest() hands the unread tail to nested codecs (e.g. a
 /// sketch_io chunk riding in a protocol message).

@@ -225,7 +225,9 @@ void TapEngine::refresh_knowledge() {
       const Segment& seg = dec_.segment(s);
       for (std::size_t i = 0; i < seg.highway.size(); ++i)
         lists[static_cast<std::size_t>(s)].push_back(
-            KeyedItem{i, static_cast<std::uint64_t>(covered_[static_cast<std::size_t>(seg.highway[i])]), 0});
+            KeyedItem{
+                i, static_cast<std::uint64_t>(covered_[static_cast<std::size_t>(seg.highway[i])]),
+                0});
     }
     segment_broadcast(net_, dec_, lists);
   }
@@ -239,8 +241,7 @@ void TapEngine::refresh_knowledge() {
       if (dec_.seg_of_edge(pe) == dec_.seg_of_vertex(v) && !covered_[static_cast<std::size_t>(pe)])
         val[static_cast<std::size_t>(v)] = 1;
     }
-    uncov_seg_ = segment_aggregate(
-        net_, dec_, val, [](std::uint64_t a, std::uint64_t b) { return a + b; }, 0);
+    uncov_seg_ = segment_aggregate(net_, dec_, val, CombineOp::kSum, 0);
     // Global share over the BFS pipeline.
     std::vector<std::vector<KeyedItem>> items(static_cast<std::size_t>(n));
     for (int s = 0; s < dec_.num_segments(); ++s)
@@ -281,7 +282,8 @@ std::vector<std::optional<Winner>> TapEngine::winner_passes(
   // (i) Ancestor-path contributions (short range + mid range case 1).
   std::vector<std::vector<KeyedItem>> items(static_cast<std::size_t>(n));
   for (std::size_t idx = 0; idx < edges.size(); ++idx) {
-    const LinkInfo& li = links_[static_cast<std::size_t>(link_index_[static_cast<std::size_t>(edges[idx])])];
+    const LinkInfo& li =
+        links_[static_cast<std::size_t>(link_index_[static_cast<std::size_t>(edges[idx])])];
     const std::uint64_t r = r_of_edge[idx];
     auto contribute = [&](VertexId x, int cover_len) {
       const int sd = dec_.seg_of_vertex(x) < 0 ? 0 : dec_.seg_depth(x);
@@ -299,16 +301,20 @@ std::vector<std::optional<Winner>> TapEngine::winner_passes(
   // (ii) Mid-range case 2: per-attachment minima, then a highway prefix scan.
   std::vector<std::vector<std::optional<Winner>>> attach_min(static_cast<std::size_t>(num_segs));
   for (int s = 0; s < num_segs; ++s)
-    attach_min[static_cast<std::size_t>(s)].assign(dec_.segment(s).highway_vertices.size(), std::nullopt);
+    attach_min[static_cast<std::size_t>(s)].assign(dec_.segment(s).highway_vertices.size(),
+                                                   std::nullopt);
   {
     std::uint64_t max_h = 0, msgs = 0;
     for (std::size_t idx = 0; idx < edges.size(); ++idx) {
-      const LinkInfo& li = links_[static_cast<std::size_t>(link_index_[static_cast<std::size_t>(edges[idx])])];
+      const LinkInfo& li =
+          links_[static_cast<std::size_t>(link_index_[static_cast<std::size_t>(edges[idx])])];
       const Winner w{r_of_edge[idx], li.e};
       auto add = [&](VertexId x, bool below) {
         if (!below) return;
         const int s = dec_.seg_of_vertex(x);
-        take_min(attach_min[static_cast<std::size_t>(s)][static_cast<std::size_t>(dec_.attach_pos(x))], w);
+        take_min(
+            attach_min[static_cast<std::size_t>(s)][static_cast<std::size_t>(dec_.attach_pos(x))],
+            w);
         max_h = std::max(max_h, static_cast<std::uint64_t>(dec_.seg_depth(x)));
         ++msgs;
       };
@@ -326,7 +332,8 @@ std::vector<std::optional<Winner>> TapEngine::winner_passes(
       mid[static_cast<std::size_t>(s)].assign(seg.highway.size(), std::nullopt);
       std::optional<Winner> acc;
       for (std::size_t i = 0; i < seg.highway.size(); ++i) {
-        if (attach_min[static_cast<std::size_t>(s)][i]) take_min(acc, *attach_min[static_cast<std::size_t>(s)][i]);
+        if (attach_min[static_cast<std::size_t>(s)][i])
+          take_min(acc, *attach_min[static_cast<std::size_t>(s)][i]);
         mid[static_cast<std::size_t>(s)][i] = acc;  // covers P(x_i -> d): edges i..end
         if (acc) ++msgs;
       }
@@ -341,7 +348,8 @@ std::vector<std::optional<Winner>> TapEngine::winner_passes(
   {
     std::vector<std::vector<KeyedItem>> lr(static_cast<std::size_t>(n));
     for (std::size_t idx = 0; idx < edges.size(); ++idx) {
-      const LinkInfo& li = links_[static_cast<std::size_t>(link_index_[static_cast<std::size_t>(edges[idx])])];
+      const LinkInfo& li =
+          links_[static_cast<std::size_t>(link_index_[static_cast<std::size_t>(edges[idx])])];
       for (int s : li.chain)
         lr[static_cast<std::size_t>(li.u)].push_back(KeyedItem{
             static_cast<std::uint64_t>(s), r_of_edge[idx], static_cast<std::uint64_t>(li.e)});
@@ -368,7 +376,8 @@ std::vector<std::optional<Winner>> TapEngine::winner_passes(
       const auto pos = static_cast<std::size_t>(dec_.seg_depth(x) - 1);  // highway edge index
       if (pos < mid[static_cast<std::size_t>(s)].size() && mid[static_cast<std::size_t>(s)][pos])
         take_min(w, *mid[static_cast<std::size_t>(s)][pos]);
-      if (best_lr_[static_cast<std::size_t>(s)]) take_min(w, *best_lr_[static_cast<std::size_t>(s)]);
+      if (best_lr_[static_cast<std::size_t>(s)])
+        take_min(w, *best_lr_[static_cast<std::size_t>(s)]);
     }
     winner[static_cast<std::size_t>(pe)] = w;
   }
@@ -417,8 +426,7 @@ void TapEngine::distribute_winners(const std::vector<std::optional<Winner>>& win
       const auto& lr = best_lr_[static_cast<std::size_t>(s)];
       if (w && lr && w->e == lr->e) val[static_cast<std::size_t>(v)] = 1;
     }
-    cnt_lr_ = segment_aggregate(
-        net_, dec_, val, [](std::uint64_t a, std::uint64_t b) { return a + b; }, 0);
+    cnt_lr_ = segment_aggregate(net_, dec_, val, CombineOp::kSum, 0);
     std::vector<std::vector<KeyedItem>> items(static_cast<std::size_t>(n));
     for (int s = 0; s < dec_.num_segments(); ++s)
       items[static_cast<std::size_t>(dec_.segment(s).r)].push_back(
@@ -475,7 +483,8 @@ std::vector<EdgeId> TapEngine::replacements() {
   const auto winner = winner_passes(all_links, prio);
   std::vector<EdgeId> out(static_cast<std::size_t>(g_.num_edges()), kNoEdge);
   for (EdgeId t = 0; t < g_.num_edges(); ++t)
-    if (winner[static_cast<std::size_t>(t)]) out[static_cast<std::size_t>(t)] = winner[static_cast<std::size_t>(t)]->e;
+    if (winner[static_cast<std::size_t>(t)])
+      out[static_cast<std::size_t>(t)] = winner[static_cast<std::size_t>(t)]->e;
   return out;
 }
 
@@ -499,15 +508,19 @@ TapResult TapEngine::run() {
 
   auto mark_covered_by = [&](const std::vector<EdgeId>& adds) {
     for (EdgeId e : adds) {
-      const LinkInfo& li = links_[static_cast<std::size_t>(link_index_[static_cast<std::size_t>(e)])];
+      const LinkInfo& li =
+          links_[static_cast<std::size_t>(link_index_[static_cast<std::size_t>(e)])];
       const auto& eu = dec_.anc_path_edges(li.u);
-      for (int i = 0; i < li.u_anc_cover; ++i) covered_[static_cast<std::size_t>(eu[static_cast<std::size_t>(i)])] = 1;
+      for (int i = 0; i < li.u_anc_cover; ++i)
+        covered_[static_cast<std::size_t>(eu[static_cast<std::size_t>(i)])] = 1;
       const auto& ev = dec_.anc_path_edges(li.v);
-      for (int i = 0; i < li.v_anc_cover; ++i) covered_[static_cast<std::size_t>(ev[static_cast<std::size_t>(i)])] = 1;
+      for (int i = 0; i < li.v_anc_cover; ++i)
+        covered_[static_cast<std::size_t>(ev[static_cast<std::size_t>(i)])] = 1;
       auto mark_highway = [&](VertexId x, bool below) {
         if (!below) return;
         const Segment& s = dec_.segment(dec_.seg_of_vertex(x));
-        for (std::size_t i = static_cast<std::size_t>(dec_.attach_pos(x)); i < s.highway.size(); ++i)
+        for (std::size_t i = static_cast<std::size_t>(dec_.attach_pos(x));
+             i < s.highway.size(); ++i)
           covered_[static_cast<std::size_t>(s.highway[i])] = 1;
       };
       mark_highway(li.u, li.u_highway_below);
@@ -558,7 +571,7 @@ TapResult TapEngine::run() {
     // Convergecast max + broadcast over the BFS tree.
     {
       std::vector<std::uint64_t> val(static_cast<std::size_t>(n), 0);
-      convergecast(net_, bfs_, val, [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+      convergecast(net_, bfs_, val, CombineOp::kMax);
       broadcast(net_, bfs_, val);
     }
     if (global_max == std::numeric_limits<int>::min()) {
@@ -589,7 +602,8 @@ TapResult TapEngine::run() {
     for (std::size_t ci = 0; ci < cands.size(); ++ci) {
       const LinkInfo& li =
           links_[static_cast<std::size_t>(link_index_[static_cast<std::size_t>(cands[ci])])];
-      const std::size_t i = static_cast<std::size_t>(link_index_[static_cast<std::size_t>(cands[ci])]);
+      const std::size_t i =
+          static_cast<std::size_t>(link_index_[static_cast<std::size_t>(cands[ci])]);
       std::uint64_t votes = 0;
       auto count_path = [&](VertexId x, int cover_len) {
         const auto& pe = dec_.anc_path_edges(x);
@@ -605,7 +619,8 @@ TapResult TapEngine::run() {
       auto count_highway = [&](VertexId x, bool below) {
         if (!below) return;
         const Segment& s = dec_.segment(dec_.seg_of_vertex(x));
-        for (std::size_t k = static_cast<std::size_t>(dec_.attach_pos(x)); k < s.highway.size(); ++k) {
+        for (std::size_t k = static_cast<std::size_t>(dec_.attach_pos(x));
+             k < s.highway.size(); ++k) {
           const EdgeId t = s.highway[k];
           if (covered_[static_cast<std::size_t>(t)]) continue;
           const auto& w = winner[static_cast<std::size_t>(t)];
@@ -637,7 +652,7 @@ TapResult TapEngine::run() {
     }
     {
       std::vector<std::uint64_t> val(static_cast<std::size_t>(n), 0);
-      convergecast(net_, bfs_, val, [](std::uint64_t a, std::uint64_t b) { return a | b; });
+      convergecast(net_, bfs_, val, CombineOp::kOr);
       broadcast(net_, bfs_, val);
     }
     if (!any_uncovered) break;

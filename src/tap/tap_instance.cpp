@@ -57,7 +57,8 @@ TapInstance make_tap_instance(const Graph& g, const std::vector<EdgeId>& tree_ed
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     parent[static_cast<std::size_t>(v)] = rt.parent(v);
     const EdgeId pe = rt.parent_edge(v);
-    parent_edge[static_cast<std::size_t>(v)] = pe == kNoEdge ? kNoEdge : back[static_cast<std::size_t>(pe)];
+    parent_edge[static_cast<std::size_t>(v)] =
+        pe == kNoEdge ? kNoEdge : back[static_cast<std::size_t>(pe)];
   }
   inst.tree = RootedTree(std::move(parent), std::move(parent_edge));
   DECK_CHECK_MSG(inst.tree.roots().size() == 1, "tree edges must span a connected tree");

@@ -45,8 +45,7 @@ TEST(Convergecast, SumsSubtrees) {
   RootedTree t = distributed_bfs(net, 0);
   const CommForest f = CommForest::from_tree(t);
   std::vector<std::uint64_t> ones(8, 1);
-  const auto acc =
-      convergecast(net, f, ones, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  const auto acc = convergecast(net, f, ones, CombineOp::kSum);
   EXPECT_EQ(acc[0], 8u);  // root sees everything
 }
 

@@ -187,8 +187,7 @@ TEST(SegmentBroadcastAndAggregate, DeliverPerSegment) {
   auto dec = s.decompose();
   // Aggregate: count members per segment.
   std::vector<std::uint64_t> ones(static_cast<std::size_t>(s.g.num_vertices()), 1);
-  const auto counts = segment_aggregate(
-      s.net, dec, ones, [](std::uint64_t a, std::uint64_t b) { return a + b; }, 0);
+  const auto counts = segment_aggregate(s.net, dec, ones, CombineOp::kSum, 0);
   std::uint64_t total = 0;
   for (auto c : counts) total += c;
   EXPECT_EQ(total, static_cast<std::uint64_t>(s.g.num_vertices() - 1));  // root has no segment

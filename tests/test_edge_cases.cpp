@@ -162,7 +162,7 @@ TEST(EdgeCases, PrimitivesOnTwoVertexGraphNeedNoPipeline) {
   const CommForest f = CommForest::from_tree(t);
   std::vector<std::uint64_t> val{5, 7};
   const auto acc =
-      convergecast(net, f, val, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+      convergecast(net, f, val, CombineOp::kSum);
   EXPECT_EQ(acc[0], 12u);
 }
 

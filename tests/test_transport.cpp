@@ -2,7 +2,10 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
+
+#include <cstring>
 
 #include <cstdint>
 #include <memory>
@@ -138,6 +141,105 @@ TEST(Transport, OversizedFramePrefixRejectedBeforeAllocation) {
     EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos) << e.what();
   }
   ::close(raw);
+}
+
+/// Short unique socket path under /tmp (sun_path is ~108 bytes, so build
+/// dirs are unsafe as prefixes).
+std::string unix_path(const char* tag) {
+  return "/tmp/deck_uds_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+TEST(Transport, UnixRoundTripsAndClosesOrderly) {
+  const std::string path = unix_path("rt");
+  UnixListener listener(path);
+  std::unique_ptr<Transport> client;
+  std::thread connector([&] { client = unix_connect(path); });
+  std::unique_ptr<Transport> server = listener.accept();
+  connector.join();
+
+  // 2 MiB dwarfs the AF_UNIX socket buffer, so the send must overlap the
+  // recv (unlike the TCP suite, where the kernel absorbs the whole frame).
+  std::vector<std::uint8_t> big(2 * 1024 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i * 13 + 5);
+  std::thread sender([&] {
+    client->send(big);
+    client->send(bytes_of({}));
+  });
+  EXPECT_EQ(server->recv(), big);  // framing survives partial socket reads
+  EXPECT_EQ(server->recv(), bytes_of({}));
+  sender.join();
+  server->send(bytes_of({6}));
+  EXPECT_EQ(client->recv(), bytes_of({6}));
+  client->close();
+  EXPECT_EQ(server->recv(), std::nullopt);  // orderly EOF between frames
+}
+
+TEST(Transport, UnixListenerUnlinksItsPath) {
+  const std::string path = unix_path("unlink");
+  {
+    UnixListener listener(path);
+    EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+    // A second listener on the same live path must fail, not steal it.
+    EXPECT_THROW(UnixListener{path}, NetError);
+  }
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+  // Path released: rebinding now works.
+  UnixListener again(path);
+}
+
+TEST(Transport, UnixConnectFaultsAreTyped) {
+  EXPECT_THROW((void)unix_connect(unix_path("nobody-listens")), NetError);
+  EXPECT_THROW((void)unix_connect(std::string(200, 'x')), NetError);  // > sun_path
+  EXPECT_THROW(UnixListener{std::string(200, 'x')}, NetError);
+  EXPECT_THROW(UnixListener{""}, NetError);
+}
+
+TEST(Transport, UnixTruncatedFrameIsATypedError) {
+  const std::string path = unix_path("trunc");
+  UnixListener listener(path);
+  int raw = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::connect(raw, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  std::unique_ptr<Transport> server = listener.accept();
+
+  // A frame that promises 9 payload bytes, delivers 2, then dies.
+  const std::uint8_t prefix[8] = {9, 0, 0, 0, 0, 0, 0, 0};
+  ASSERT_EQ(::send(raw, prefix, sizeof prefix, 0), static_cast<ssize_t>(sizeof prefix));
+  const std::uint8_t partial[2] = {1, 2};
+  ASSERT_EQ(::send(raw, partial, sizeof partial, 0), static_cast<ssize_t>(sizeof partial));
+  ::close(raw);
+  EXPECT_THROW((void)server->recv(), NetError);
+}
+
+TEST(IngestProtocol, IngestRunsOverUnixSockets) {
+  const GraphStream stream = churned_stream(26, 2, 7900);
+  SketchOptions opt;
+  opt.seed = 7901;
+  opt.max_forests = 2;
+  const SparsifyResult local = sparsify_stream(stream, 2, opt);
+
+  const std::string path = unix_path("ingest");
+  UnixListener listener(path);
+  const int workers = 2;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&stream, w, path] {
+      const std::unique_ptr<Transport> t = unix_connect(path);
+      run_ingest_worker(*t, stream, static_cast<std::uint32_t>(w), workers);
+    });
+  }
+  std::vector<std::unique_ptr<Transport>> accepted;
+  std::vector<Transport*> raw;
+  for (int w = 0; w < workers; ++w) {
+    accepted.push_back(listener.accept());
+    raw.push_back(accepted.back().get());
+  }
+  const SparsifyResult remote = coordinated_sparsify(raw, stream.num_vertices(), 2, opt);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(sorted_pairs(remote.forests), sorted_pairs(local.forests));
 }
 
 TEST(Transport, ConnectToClosedPortFails) {
