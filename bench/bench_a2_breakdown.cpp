@@ -23,22 +23,26 @@ int main(int argc, char** argv) {
     Network net(g, eng.hub);
     const Ecss2Result r = distributed_2ecss(net, TapOptions{});
     if (!is_k_edge_connected_subset(g, r.edges, 2)) return 1;
-    Table t({"phase", "rounds", "messages", "% rounds"});
+    net.end_phase();  // finalize the last phase's wall clock
+    Table t({"phase", "rounds", "messages", "% rounds", "wall ms"});
     // Fold repeated tap.iteration phases into one row.
-    std::uint64_t iter_rounds = 0, iter_msgs = 0;
+    std::uint64_t iter_rounds = 0, iter_msgs = 0, iter_wall = 0;
     for (const auto& p : net.phases()) {
       if (p.name == "tap.iteration") {
         iter_rounds += p.rounds;
         iter_msgs += p.messages;
+        iter_wall += p.wall_ns;
       }
     }
     for (const auto& p : net.phases()) {
       if (p.name == "tap.iteration") continue;
       t.add(p.name, p.rounds, p.messages,
-            100.0 * static_cast<double>(p.rounds) / static_cast<double>(net.rounds()));
+            100.0 * static_cast<double>(p.rounds) / static_cast<double>(net.rounds()),
+            static_cast<double>(p.wall_ns) / 1e6);
     }
     t.add(std::string("tap.iteration x") + std::to_string(r.tap_iterations), iter_rounds,
-          iter_msgs, 100.0 * static_cast<double>(iter_rounds) / static_cast<double>(net.rounds()));
+          iter_msgs, 100.0 * static_cast<double>(iter_rounds) / static_cast<double>(net.rounds()),
+          static_cast<double>(iter_wall) / 1e6);
     t.print("A2a: 2-ECSS round breakdown, " + g.summary());
     std::printf("   total rounds: %llu, messages: %llu\n\n",
                 static_cast<unsigned long long>(net.rounds()),
@@ -52,10 +56,12 @@ int main(int argc, char** argv) {
     Network net(g, eng.hub);
     const KecssResult r = distributed_kecss(net, 3, KecssOptions{});
     if (!is_k_edge_connected_subset(g, r.edges, 3)) return 1;
-    Table t({"phase", "rounds", "messages", "% rounds"});
+    net.end_phase();
+    Table t({"phase", "rounds", "messages", "% rounds", "wall ms"});
     for (const auto& p : net.phases())
       t.add(p.name, p.rounds, p.messages,
-            100.0 * static_cast<double>(p.rounds) / static_cast<double>(net.rounds()));
+            100.0 * static_cast<double>(p.rounds) / static_cast<double>(net.rounds()),
+            static_cast<double>(p.wall_ns) / 1e6);
     t.print("A2b: k-ECSS (k=3) round breakdown, " + g.summary());
   }
   return 0;

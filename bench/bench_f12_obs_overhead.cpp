@@ -1,0 +1,178 @@
+// F12 — Observability overhead gate. The src/obs/ contract is "near-zero
+// when off": every hot-path hook (Counter::add, Histogram::observe, Span
+// construction) must cost one relaxed load and branch when the switches are
+// off, and the striped metric write path must stay cheap when metrics are
+// on. This bench measures each hook against a hook-free loop doing the same
+// arithmetic and emits boolean `within_bound` flags the bench-regression
+// gate turns into CI failures. The bounds are deliberately loose (an order
+// of magnitude above the measured cost on a laptop) so the gate catches
+// accidental mutexes, allocation, or false sharing on the hot path — not
+// scheduler noise on a busy runner.
+//
+// The final row asserts the other half of the contract: enabling the whole
+// layer (metrics + tracing) must not change what the algorithms compute —
+// rounds, messages, and the chosen 2-ECSS edges are bit-identical with obs
+// on and off.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_2ecss.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace deck;
+
+namespace {
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+// LCG step the compiler cannot reduce to a closed form; the empty asm keeps
+// the value live so neither the bare nor the hooked loop is eliminated.
+inline std::uint64_t lcg_step(std::uint64_t x) {
+  x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  asm volatile("" : "+r"(x));
+  return x;
+}
+
+/// Best-of-`reps` nanoseconds per iteration of `lcg_step + body`.
+template <typename Body>
+double ns_per_op(int reps, std::uint64_t iters, Body&& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t t0 = wall_ns();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      x = lcg_step(x);
+      body(x);
+    }
+    const std::uint64_t t1 = wall_ns();
+    best = std::min(best, static_cast<double>(t1 - t0) / static_cast<double>(iters));
+  }
+  return best;
+}
+
+struct HookRow {
+  const char* name;
+  std::uint64_t iters = 0;
+  double bare = 0, hook = 0, bound = 0;
+  double overhead() const { return std::max(0.0, hook - bare); }
+  bool ok() const { return overhead() <= bound; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::flag(argc, argv, "--smoke");
+  const int reps = smoke ? 3 : 5;
+  const std::uint64_t iters = smoke ? 200'000 : 2'000'000;
+  // Disabled hooks must vanish into the loop; enabled metric writes are one
+  // striped relaxed fetch_add; an enabled Span buffers a whole event under
+  // the sink mutex (tracing is a profiling mode, bounded loosely).
+  const double kOffBound = 25.0, kOnBound = 250.0, kSpanOnBound = 20'000.0;
+
+  obs::set_enabled(false);
+  obs::set_tracing(false);
+  obs::Counter& ctr = obs::Registry::global().counter("f12.counter");
+  obs::Histogram& hist = obs::Registry::global().histogram("f12.hist");
+
+  const double bare = ns_per_op(reps, iters, [](std::uint64_t) {});
+
+  std::vector<HookRow> rows;
+  rows.push_back({"counter_off", iters, bare,
+                  ns_per_op(reps, iters, [&](std::uint64_t) { ctr.inc(); }), kOffBound});
+  rows.push_back({"histogram_off", iters, bare,
+                  ns_per_op(reps, iters, [&](std::uint64_t x) { hist.observe(x & 0xffff); }),
+                  kOffBound});
+  rows.push_back({"span_off", iters, bare,
+                  ns_per_op(reps, iters, [](std::uint64_t) { obs::Span s("f12.span"); }),
+                  kOffBound});
+
+  obs::set_enabled(true);
+  rows.push_back({"counter_on", iters, bare,
+                  ns_per_op(reps, iters, [&](std::uint64_t) { ctr.inc(); }), kOnBound});
+  rows.push_back({"histogram_on", iters, bare,
+                  ns_per_op(reps, iters, [&](std::uint64_t x) { hist.observe(x & 0xffff); }),
+                  kOnBound});
+  obs::set_enabled(false);
+
+  // Enabled spans allocate and record; measure far fewer iterations and
+  // drop the buffered events between reps so memory stays flat.
+  obs::set_tracing(true);
+  const std::uint64_t span_iters = iters / 40;
+  double span_on = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    span_on = std::min(span_on, ns_per_op(1, span_iters, [](std::uint64_t) {
+                         obs::Span s("f12.span");
+                       }));
+    obs::TraceSink::global().clear();
+  }
+  obs::set_tracing(false);
+  rows.push_back({"span_on", span_iters, bare, span_on, kSpanOnBound});
+
+  bool all_ok = true;
+  Table t({"case", "iters", "bare ns/op", "hook ns/op", "overhead ns/op", "bound ns", "ok"});
+  Json json_rows = Json::array();
+  for (const HookRow& r : rows) {
+    all_ok = all_ok && r.ok();
+    t.add(r.name, r.iters, r.bare, r.hook, r.overhead(), r.bound, r.ok() ? "yes" : "NO");
+    Json row = Json::object();
+    row.set("case", r.name)
+        .set("iters", r.iters)
+        .set("bare_ns_per_op", r.bare)
+        .set("hook_ns_per_op", r.hook)
+        .set("overhead_ns_per_op", r.overhead())
+        .set("bound_ns", r.bound)
+        .set("within_bound", r.ok());
+    json_rows.push(std::move(row));
+  }
+
+  // Determinism half of the contract: obs on vs off must not perturb the
+  // pipeline. Same graph, same seed, full layer enabled on the second run.
+  const int n = smoke ? 48 : 96;
+  Rng rng(1200 + n);
+  const Graph g = with_weights(random_kec(n, 2, n, rng), WeightModel::kUniform, rng);
+  Network net_off(g);
+  const Ecss2Result r_off = distributed_2ecss(net_off, TapOptions{});
+  obs::set_enabled(true);
+  obs::set_tracing(true);
+  obs::set_trace_id(0xf12);
+  Network net_on(g);
+  const Ecss2Result r_on = distributed_2ecss(net_on, TapOptions{});
+  obs::set_enabled(false);
+  obs::set_tracing(false);
+  obs::TraceSink::global().clear();
+  const bool identical = r_on.edges == r_off.edges && net_on.rounds() == net_off.rounds() &&
+                         net_on.messages() == net_off.messages();
+  const bool valid = is_k_edge_connected_subset(g, r_off.edges, 2);
+  all_ok = all_ok && identical && valid;
+  {
+    Json row = Json::object();
+    row.set("case", "engine_invariant")
+        .set("n", g.num_vertices())
+        .set("rounds", net_off.rounds())
+        .set("messages", net_off.messages())
+        .set("edges", static_cast<std::uint64_t>(r_off.edges.size()))
+        .set("output_2_edge_connected", valid)
+        .set("identical_with_obs_on", identical);
+    json_rows.push(std::move(row));
+  }
+
+  t.print("F12: obs hook overhead vs a hook-free loop");
+  std::printf("   2-ECSS with obs enabled: rounds/messages/edges identical to disabled: %s\n",
+              identical ? "yes" : "NO");
+
+  Json doc = Json::object();
+  doc.set("bench", "f12_obs_overhead").set("all_ok", all_ok).set("rows", std::move(json_rows));
+  bench::print_json(doc);
+  return all_ok ? 0 : 1;
+}

@@ -17,6 +17,12 @@
 //
 //   cmake -B build -G Ninja && cmake --build build && ./build/distributed_ingest
 //
+// With --trace-out PATH the run records the obs tracing layer end to end
+// and writes one merged chrome://tracing JSON file: coordinator phases and
+// engine rounds on pid 0, each forked CONGEST worker's execution on its own
+// pid lane, parented under the coordinator's net.execute spans via the
+// trace context the Start message carries (docs/tracing.md).
+//
 // The certificate is bit-identical to single-process
 // sharded_sparsify_stream() on the same seeded stream — linearity makes any
 // disjoint stream partition merge to the same bank, and split_seed lets
@@ -28,7 +34,10 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "congest/distributed_engine.hpp"
@@ -39,13 +48,31 @@
 #include "graph/generators.hpp"
 #include "net/ingest.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sketch/shard.hpp"
 #include "sketch/stream.hpp"
 #include "support/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace deck;
   const int n = 96, k = 3, workers = 4;
+
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-out PATH]\n", argv[0]);
+      return 1;
+    }
+  }
+  const bool tracing = !trace_out.empty();
+  if (tracing) {
+    obs::set_enabled(true);
+    obs::set_tracing(true);
+    obs::set_trace_id(0x5eed);  // any nonzero id names the trace
+  }
 
   // A k-edge-connected graph arrives as a churned dynamic stream. Every
   // process rebuilds the identical seeded stream; in a real deployment each
@@ -142,7 +169,7 @@ int main() {
   const Ecss2Result seq2 = distributed_2ecss(seq_net, TapOptions{});
 
   TcpListener congest_listener;
-  const int congest_workers = 2;
+  const int congest_workers = 4;
   for (int w = 0; w < congest_workers; ++w) {
     const pid_t pid = fork();
     if (pid < 0) {
@@ -195,8 +222,48 @@ int main() {
   std::printf("congest worker processes exited cleanly: %s\n",
               congest_children_ok ? "yes" : "NO");
 
+  // With tracing on, drain the merged timeline (coordinator spans plus the
+  // worker spans shipped back as kTraceData) into one chrome://tracing
+  // file, and verify the cross-process parenting: every forked worker's
+  // execution span must hang under a coordinator net.execute span.
+  bool trace_ok = true;
+  if (tracing) {
+    const std::vector<obs::TraceEvent> events = obs::TraceSink::global().drain();
+    std::set<std::uint64_t> exec_spans;
+    for (const obs::TraceEvent& ev : events)
+      if (ev.pid == 0 && ev.name == "net.execute") exec_spans.insert(ev.span_id);
+    std::set<std::uint32_t> worker_pids;
+    std::size_t worker_execs = 0, orphans = 0;
+    for (const obs::TraceEvent& ev : events) {
+      if (ev.pid == 0 || ev.name != "worker.execute") continue;
+      ++worker_execs;
+      worker_pids.insert(ev.pid);
+      if (exec_spans.count(ev.parent_id) == 0) ++orphans;
+    }
+    trace_ok = worker_pids.size() == static_cast<std::size_t>(congest_workers) && orphans == 0 &&
+               worker_execs > 0;
+    std::printf("trace: %zu events, %zu worker execution span(s) across %zu worker lane(s), "
+                "all parented under coordinator phases: %s\n",
+                events.size(), worker_execs, worker_pids.size(),
+                trace_ok && orphans == 0 ? "yes" : "NO");
+    const std::string json = obs::chrome_trace_json(events);
+    std::FILE* f = std::fopen(trace_out.c_str(), "w");
+    if (f == nullptr || std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+      trace_ok = false;
+    }
+    if (f != nullptr) std::fclose(f);
+    if (trace_ok) std::printf("trace written to %s\n", trace_out.c_str());
+
+    const obs::Snapshot snap = obs::Registry::global().scrape();
+    std::printf("metrics: sketch.updates=%llu net.tx.frames=%llu congest.net.rounds=%llu\n",
+                static_cast<unsigned long long>(snap.counter("sketch.updates")),
+                static_cast<unsigned long long>(snap.counter("net.tx.frames")),
+                static_cast<unsigned long long>(snap.counter("congest.net.rounds")));
+  }
+
   return (children_ok && cert_ok && identical && out_ok && engine_identical &&
-          congest_children_ok)
+          congest_children_ok && trace_ok)
              ? 0
              : 1;
 }

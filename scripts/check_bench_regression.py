@@ -77,6 +77,12 @@ GATES = {
         "key": ("engine", "units", "n"),
         "metrics": ("rounds", "messages"),
     },
+    # Gated entirely through row presence and boolean flags: within_bound
+    # per hook, plus the obs-on/off engine-invariance row.
+    "f12_obs_overhead": {
+        "key": ("case",),
+        "metrics": (),
+    },
 }
 
 # Bench invocation behind each gated baseline, for --update-baselines:
@@ -93,12 +99,14 @@ BINARIES = {
     "t3_3ecss_quality": ("bench_t3_3ecss_quality", "--smoke"),
     "t5_weighted_3ecss": ("bench_t5_weighted_3ecss", "--smoke"),
     "f11_engine": ("bench_f11_engine",),
+    "f12_obs_overhead": ("bench_f12_obs_overhead",),
 }
 
 # Wall-clock / host-dependent fields, stripped when writing baselines.
 VOLATILE = ("ingest_ms", "halves_per_sec", "speedup_vs_1shard",
             "recover_ms", "speedup_vs_1thread", "sample_failure_rate",
-            "ship_ms", "wall_ms")
+            "ship_ms", "wall_ms",
+            "bare_ns_per_op", "hook_ns_per_op", "overhead_ns_per_op")
 
 
 def extract_doc(path: str) -> dict:

@@ -8,6 +8,8 @@
 
 #include "congest/programs.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace deck {
@@ -15,6 +17,23 @@ namespace deck {
 namespace {
 
 using detail::BspRunner;
+
+/// Coordinator-side model and barrier telemetry for the net engine.
+struct NetEngineMetrics {
+  obs::Counter& rounds = obs::Registry::global().counter("congest.net.rounds");
+  obs::Counter& messages = obs::Registry::global().counter("congest.net.messages");
+  obs::Counter& boundary = obs::Registry::global().counter("congest.net.boundary_messages");
+  obs::Histogram& barrier_wait_ns =
+      obs::Registry::global().histogram("congest.net.barrier_wait_ns");
+
+  static NetEngineMetrics& get() {
+    static NetEngineMetrics m;
+    return m;
+  }
+};
+
+/// Cap on per-round trace spans per execution (matches the local engines).
+constexpr int kNetMaxRoundSpans = 64;
 
 void put_head(std::vector<std::uint8_t>& out, CongestMsg type) {
   net::put_u32(out, static_cast<std::uint32_t>(type));
@@ -144,6 +163,14 @@ class DistributedEngine final : public Engine {
     // collected outputs; all stepping happens on the workers.
     prog.setup(*g_);
 
+    // The execute span's context rides in Start; workers parent their spans
+    // under it and ship them back as kTraceData, merging every worker's
+    // timeline under this one node in the coordinator's trace.
+    obs::Span exec_span("net.execute");
+    const bool trace_on = exec_span.live();
+    const obs::TraceContext ctx =
+        trace_on ? exec_span.context() : obs::TraceContext{};
+
     std::vector<std::uint8_t> frame;
     std::vector<std::uint8_t> spec;
     prog.encode_spec(spec);
@@ -152,18 +179,29 @@ class DistributedEngine final : public Engine {
       put_head(frame, CongestMsg::kStart);
       net::put_u32(frame, graph_id_);
       net::put_u32(frame, prog.program_id());
+      net::put_u32(frame, static_cast<std::uint32_t>(w) + 1);  // worker node id (0 = coordinator)
+      net::put_u32(frame, trace_on ? 1 : 0);
+      net::put_u64(frame, ctx.trace_id);
+      net::put_u64(frame, ctx.span_id);
       net::put_bytes(frame, spec);
       hub_->worker(w).send(frame);
     }
 
     ExecStats stats;
+    std::uint64_t boundary_total = 0;
     std::vector<std::vector<std::uint8_t>> deliveries(static_cast<std::size_t>(workers));
-    for (;;) {
+    for (int round = 1;; ++round) {
+      std::optional<obs::Span> round_span;
+      if (trace_on && round <= kNetMaxRoundSpans) {
+        round_span.emplace("round");
+        round_span->arg("round", static_cast<std::uint64_t>(round));
+      }
       // Barrier: collect every worker's round result, then route boundary
       // messages to the owner of each receiving endpoint.
       std::uint64_t total = 0;
       for (auto& d : deliveries) d.clear();
       std::vector<std::uint32_t> delivery_counts(static_cast<std::size_t>(workers), 0);
+      const std::uint64_t barrier_start = obs::enabled() ? obs::now_ns() : 0;
       for (int w = 0; w < workers; ++w) {
         const std::vector<std::uint8_t> done =
             net::recv_expected(hub_->worker(w), "RoundDone");
@@ -172,6 +210,7 @@ class DistributedEngine final : public Engine {
           throw NetError("congest: expected RoundDone from worker " + std::to_string(w));
         total += r.u64();
         const std::uint32_t boundary = r.u32();
+        boundary_total += boundary;
         for (std::uint32_t i = 0; i < boundary; ++i) {
           const WirePacket p = decode_packet(r);
           if (p.edge < 0 || p.edge >= g_->num_edges())
@@ -185,6 +224,9 @@ class DistributedEngine final : public Engine {
           ++delivery_counts[static_cast<std::size_t>(owner)];
         }
       }
+      if (obs::enabled())
+        NetEngineMetrics::get().barrier_wait_ns.observe(obs::now_ns() - barrier_start);
+      if (round_span) round_span->arg("messages", total);
 
       if (total == 0) break;
       stats.rounds += 1;
@@ -210,6 +252,40 @@ class DistributedEngine final : public Engine {
       prog.decode_outputs(lows_[static_cast<std::size_t>(w)],
                           lows_[static_cast<std::size_t>(w) + 1], r.rest());
     }
+
+    if (trace_on) {
+      // Workers ship their local span buffers only when asked (Start's trace
+      // flags), so this wait is unconditional given trace_on.
+      for (int w = 0; w < workers; ++w) {
+        const std::vector<std::uint8_t> td =
+            net::recv_expected(hub_->worker(w), "TraceData");
+        net::WireReader r(td);
+        if (static_cast<CongestMsg>(r.u32()) != CongestMsg::kTraceData)
+          throw NetError("congest: expected TraceData from worker " + std::to_string(w));
+        std::vector<obs::TraceEvent> events;
+        try {
+          events = obs::decode_trace_events(r.rest());
+        } catch (const std::exception& e) {
+          throw NetError(std::string("congest: worker ") + std::to_string(w) +
+                         " shipped malformed trace data: " + e.what());
+        }
+        // Stamp the pid authoritatively — the merged trace's process lanes
+        // must reflect the coordinator's fleet numbering, whatever a worker
+        // put in the field.
+        for (obs::TraceEvent& ev : events) ev.pid = static_cast<std::uint32_t>(w) + 1;
+        obs::TraceSink::global().record_batch(std::move(events));
+      }
+    }
+
+    if (obs::enabled()) {
+      NetEngineMetrics& m = NetEngineMetrics::get();
+      m.rounds.add(stats.rounds);
+      m.messages.add(stats.messages);
+      m.boundary.add(boundary_total);
+    }
+    exec_span.arg("rounds", stats.rounds);
+    exec_span.arg("messages", stats.messages);
+    exec_span.arg("boundary_messages", boundary_total);
     return stats;
   }
 
@@ -262,18 +338,62 @@ WorkerGraph decode_graph(net::WireReader& r) {
   return wg;
 }
 
-/// Executes one Start to quiescence; returns after shipping Outputs.
+/// Trace context a Start message carries for the execution it launches.
+struct StartTrace {
+  std::uint32_t node = 0;       // this worker's process lane in the merged trace
+  bool tracing = false;         // Start's trace flags, bit 0
+  std::uint64_t trace_id = 0;   // coordinator's trace
+  std::uint64_t parent_span = 0;  // coordinator's net.execute span
+};
+
+/// Executes one Start to quiescence; returns after shipping Outputs (and,
+/// when the Start asked for tracing, the worker's span buffer as
+/// kTraceData).
+///
+/// Worker spans are built by hand into a *local* vector rather than through
+/// obs::Span and the global TraceSink: with the in-process fleet, workers
+/// share the coordinator's process, and sink-recorded events would surface
+/// twice (once drained locally, once shipped back). The local buffer keeps
+/// exactly one copy — the shipped one — on every deployment shape.
 void run_program(Transport& coordinator, const WorkerGraph& wg, std::uint32_t program_id,
-                 std::span<const std::uint8_t> spec) {
+                 std::span<const std::uint8_t> spec, const StartTrace& trace) {
   const std::unique_ptr<VertexProgram> prog = decode_congest_program(program_id, spec);
   BspRunner runner(wg.g, wg.lo, wg.hi, nullptr);
   runner.start(*prog);
 
+  std::vector<obs::TraceEvent> local_events;
+  const std::uint64_t exec_span_id = trace.tracing ? obs::next_span_id() : 0;
+  const std::uint64_t exec_start = trace.tracing ? obs::now_ns() : 0;
+  const auto record_local = [&](const char* name, std::uint64_t start, std::uint64_t parent,
+                                std::uint64_t span_id) -> obs::TraceEvent& {
+    obs::TraceEvent ev;
+    ev.name = name;
+    ev.ts_ns = start;
+    ev.dur_ns = obs::now_ns() - start;
+    ev.pid = trace.node;
+    ev.trace_id = trace.trace_id;
+    ev.span_id = span_id;
+    ev.parent_id = parent;
+    local_events.push_back(std::move(ev));
+    return local_events.back();
+  };
+
   std::vector<BspRunner::RemoteSend> boundary;
   std::vector<std::uint8_t> frame;
+  std::uint64_t rounds = 0, messages = 0;
   for (int round = 1;; ++round) {
     boundary.clear();
+    const bool round_traced = trace.tracing && round <= kNetMaxRoundSpans;
+    const std::uint64_t round_start = round_traced ? obs::now_ns() : 0;
     const std::uint64_t sent = runner.run_round(round, &boundary);
+    if (round_traced) {
+      obs::TraceEvent& ev =
+          record_local("worker.round", round_start, exec_span_id, obs::next_span_id());
+      ev.args.emplace_back("round", static_cast<std::uint64_t>(round));
+      ev.args.emplace_back("sent", sent);
+    }
+    rounds += sent != 0 ? 1 : 0;
+    messages += sent;
     frame.clear();
     put_head(frame, CongestMsg::kRoundDone);
     net::put_u64(frame, sent);
@@ -290,6 +410,16 @@ void run_program(Transport& coordinator, const WorkerGraph& wg, std::uint32_t pr
       put_head(frame, CongestMsg::kOutputs);
       prog->encode_outputs(wg.lo, wg.hi, frame);
       coordinator.send(frame);
+      if (trace.tracing) {
+        obs::TraceEvent& ev =
+            record_local("worker.execute", exec_start, trace.parent_span, exec_span_id);
+        ev.args.emplace_back("rounds", rounds);
+        ev.args.emplace_back("messages", messages);
+        frame.clear();
+        put_head(frame, CongestMsg::kTraceData);
+        obs::encode_trace_events(frame, local_events);
+        coordinator.send(frame);
+      }
       return;
     }
     if (type != CongestMsg::kRound)
@@ -338,7 +468,12 @@ void run_congest_worker(Transport& coordinator) {
         if (it == graphs.end())
           throw NetError("congest: Start names unknown graph id " + std::to_string(id));
         const std::uint32_t program_id = r.u32();
-        run_program(coordinator, it->second, program_id, r.rest());
+        StartTrace trace;
+        trace.node = r.u32();
+        trace.tracing = (r.u32() & 1) != 0;
+        trace.trace_id = r.u64();
+        trace.parent_span = r.u64();
+        run_program(coordinator, it->second, program_id, r.rest(), trace);
         break;
       }
       case CongestMsg::kShutdown:

@@ -43,15 +43,21 @@ enum class CongestMsg : std::uint32_t {
   kHello = 1,      // worker → coordinator: protocol version u32
   kLoadGraph = 2,  // coordinator → worker: graph id, n, m, edges, owned range
   kDropGraph = 3,  // coordinator → worker: graph id
-  kStart = 4,      // coordinator → worker: graph id, program id, spec bytes
+  kStart = 4,      // coordinator → worker: graph id, program id, node id,
+                   //   trace flags, trace id, parent span, spec bytes
   kRoundDone = 5,  // worker → coordinator: sends u64, boundary messages
   kRound = 6,      // coordinator → worker: boundary deliveries, continue
   kCollect = 7,    // coordinator → worker: phase quiescent, ship outputs
   kOutputs = 8,    // worker → coordinator: encode_outputs bytes for the range
   kShutdown = 9,   // coordinator → worker: no body
+  kTraceData = 10, // worker → coordinator: encoded trace events for the
+                   //   execution just collected (only when Start's trace
+                   //   flags bit 0 was set)
 };
 
-inline constexpr std::uint32_t kCongestProtoVersion = 1;
+/// v2 added the trace-context fields to Start and the kTraceData reply —
+/// the execution protocol itself (barriers, routing, outputs) is unchanged.
+inline constexpr std::uint32_t kCongestProtoVersion = 2;
 
 /// Coordinator-side backend factory over connected worker transports. The
 /// constructor validates each worker's Hello; engine_for() ships the graph

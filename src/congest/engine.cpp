@@ -4,6 +4,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
@@ -187,27 +189,57 @@ void BspRunner::finish() {
 
 namespace {
 
+/// Model-cost counters shared by every engine backend.
+struct EngineMetrics {
+  obs::Counter& rounds = obs::Registry::global().counter("congest.rounds");
+  obs::Counter& messages = obs::Registry::global().counter("congest.messages");
+
+  static EngineMetrics& get() {
+    static EngineMetrics m;
+    return m;
+  }
+};
+
+/// Per-round spans are capped per execution: long executions (BFS on a path
+/// graph) would otherwise dominate the trace with thousands of slivers.
+constexpr int kMaxRoundSpans = 64;
+
 /// In-process execution over the full vertex range: sequential when `pool`
 /// is null, partitioned over the pool otherwise. Identical schedules either
 /// way — the pool only splits the deterministic active list.
 class LocalEngine : public Engine {
  public:
   LocalEngine(const Graph& g, ThreadPool* pool, std::string name)
-      : g_(&g), pool_(pool), name_(std::move(name)) {}
+      : g_(&g), pool_(pool), name_(std::move(name)), span_name_(name_ + ".execute") {}
 
   std::string name() const override { return name_; }
 
   ExecStats execute(VertexProgram& prog) override {
+    obs::Span exec_span(span_name_.c_str());
     detail::BspRunner runner(*g_, 0, g_->num_vertices(), pool_);
     runner.start(prog);
     ExecStats stats;
     for (int round = 1;; ++round) {
-      const std::uint64_t sent = runner.run_round(round, nullptr);
+      std::uint64_t sent = 0;
+      if (obs::tracing() && round <= kMaxRoundSpans) {
+        obs::Span round_span("round");
+        round_span.arg("round", static_cast<std::uint64_t>(round));
+        sent = runner.run_round(round, nullptr);
+        round_span.arg("messages", sent);
+      } else {
+        sent = runner.run_round(round, nullptr);
+      }
       if (sent == 0) break;  // first silent round = quiescence
       stats.rounds += 1;
       stats.messages += sent;
     }
     runner.finish();
+    if (obs::enabled()) {
+      EngineMetrics::get().rounds.add(stats.rounds);
+      EngineMetrics::get().messages.add(stats.messages);
+    }
+    exec_span.arg("rounds", stats.rounds);
+    exec_span.arg("messages", stats.messages);
     return stats;
   }
 
@@ -215,6 +247,7 @@ class LocalEngine : public Engine {
   const Graph* g_;
   ThreadPool* pool_;
   std::string name_;
+  std::string span_name_;
 };
 
 class SequentialHub final : public EngineHub {

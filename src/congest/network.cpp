@@ -28,13 +28,37 @@ void Network::charge(std::uint64_t rounds, std::uint64_t messages) {
 }
 
 void Network::begin_phase(const std::string& name) {
-  phases_.push_back(PhaseStat{name, 0, 0});
+  end_phase();
+  phases_.push_back(PhaseStat{name, 0, 0, 0});
+  phase_start_ns_ = obs::now_ns();
+  phase_open_ = true;
+  if (obs::tracing()) {
+    if (!have_phase_parent_) {
+      phase_parent_ = obs::current_context();
+      have_phase_parent_ = true;
+    }
+    phase_span_name_ = name;
+    phase_span_ = std::make_unique<obs::Span>(phase_span_name_.c_str(), phase_parent_);
+  }
+}
+
+void Network::end_phase() {
+  if (!phase_open_) return;
+  phases_.back().wall_ns = obs::now_ns() - phase_start_ns_;
+  phase_open_ = false;
+  if (phase_span_) {
+    phase_span_->arg("rounds", phases_.back().rounds);
+    phase_span_->arg("messages", phases_.back().messages);
+    phase_span_.reset();
+  }
 }
 
 void Network::reset_counters() {
+  end_phase();
   rounds_ = 0;
   messages_ = 0;
   phases_.clear();
+  have_phase_parent_ = false;
 }
 
 }  // namespace deck

@@ -28,6 +28,7 @@
 
 #include "congest/engine.hpp"
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 
 namespace deck {
 
@@ -59,13 +60,24 @@ class Network {
   /// Charges exactly-simulated cost (called by primitives).
   void charge(std::uint64_t rounds, std::uint64_t messages);
 
-  /// Begins a named accounting phase; subsequent charges accrue to it.
+  /// Begins a named accounting phase; subsequent charges accrue to it. The
+  /// previous phase (if any) is closed: its wall clock stops and its trace
+  /// span (when tracing) is emitted.
   void begin_phase(const std::string& name);
+
+  /// Closes the currently open phase without starting a new one. Safe to
+  /// call when no phase is open. phases() entries only carry a final
+  /// wall_ns once closed, so readers of the timing column call this first.
+  void end_phase();
 
   struct PhaseStat {
     std::string name;
     std::uint64_t rounds = 0;
     std::uint64_t messages = 0;
+    /// Wall-clock duration via the obs clock (obs::now_ns), 0 while the
+    /// phase is still open. Model costs stay in rounds/messages — wall_ns
+    /// is host-side telemetry and never feeds the simulation.
+    std::uint64_t wall_ns = 0;
   };
   const std::vector<PhaseStat>& phases() const { return phases_; }
 
@@ -79,6 +91,15 @@ class Network {
   std::uint64_t rounds_ = 0;
   std::uint64_t messages_ = 0;
   std::vector<PhaseStat> phases_;
+  std::uint64_t phase_start_ns_ = 0;
+  bool phase_open_ = false;
+  // Open-phase trace span. All phases parent under the context that was
+  // current at the *first* begin_phase (siblings on one timeline), not under
+  // each other; the span name must outlive the span, hence the copy.
+  std::string phase_span_name_;
+  std::unique_ptr<obs::Span> phase_span_;
+  bool have_phase_parent_ = false;
+  obs::TraceContext phase_parent_;
 };
 
 }  // namespace deck

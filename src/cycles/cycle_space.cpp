@@ -49,7 +49,8 @@ CycleSpace compute_labels(const Graph& g, const std::vector<char>& h_mask, const
   std::vector<BitLabel> acc(static_cast<std::size_t>(n));
   for (VertexId v = 0; v < n; ++v) {
     for (const Adj& a : g.neighbors(v)) {
-      if (!h_mask[static_cast<std::size_t>(a.edge)] || is_tree[static_cast<std::size_t>(a.edge)]) continue;
+      if (!h_mask[static_cast<std::size_t>(a.edge)] || is_tree[static_cast<std::size_t>(a.edge)])
+        continue;
       acc[static_cast<std::size_t>(v)] ^= cs.phi[static_cast<std::size_t>(a.edge)];
     }
   }

@@ -38,7 +38,8 @@ SegmentDecomposition::SegmentDecomposition(Network& net, const RootedTree& tree,
       int ids = 0;
       VertexId one = kNone;
       for (VertexId c : tree.children(v)) {
-        if (fragment[static_cast<std::size_t>(c)] != fragment[static_cast<std::size_t>(v)]) continue;
+        if (fragment[static_cast<std::size_t>(c)] != fragment[static_cast<std::size_t>(v)])
+          continue;
         if (carried[static_cast<std::size_t>(c)] != kNone) {
           ++ids;
           one = carried[static_cast<std::size_t>(c)];
@@ -67,8 +68,9 @@ SegmentDecomposition::SegmentDecomposition(Network& net, const RootedTree& tree,
     }
     int max_frag_height = 0;
     for (int f = 0; f < frag_count; ++f)
-      max_frag_height = std::max(
-          max_frag_height, frag_max_depth[static_cast<std::size_t>(f)] - frag_min_depth[static_cast<std::size_t>(f)]);
+      max_frag_height =
+          std::max(max_frag_height, frag_max_depth[static_cast<std::size_t>(f)] -
+                                        frag_min_depth[static_cast<std::size_t>(f)]);
     net.charge(static_cast<std::uint64_t>(max_frag_height) + 1, static_cast<std::uint64_t>(n));
   }
 
@@ -136,7 +138,8 @@ SegmentDecomposition::SegmentDecomposition(Network& net, const RootedTree& tree,
     if (it == root_segment.end()) root_segment[segments_[static_cast<std::size_t>(i)].r] = i;
   }
   for (VertexId v : tree.preorder()) {
-    if (v == root || marked_[static_cast<std::size_t>(v)] || on_highway_[static_cast<std::size_t>(v)])
+    if (v == root || marked_[static_cast<std::size_t>(v)] ||
+        on_highway_[static_cast<std::size_t>(v)])
       continue;
     if (seg_of_vertex_[static_cast<std::size_t>(v)] != -1) continue;  // highway interior handled
     const VertexId p = tree.parent(v);
@@ -177,7 +180,8 @@ SegmentDecomposition::SegmentDecomposition(Network& net, const RootedTree& tree,
   // Segment-id broadcast down the segments (r_S announces (r_S, d_S)).
   {
     int max_h = 0;
-    for (VertexId v = 0; v < n; ++v) max_h = std::max(max_h, seg_depth_[static_cast<std::size_t>(v)]);
+    for (VertexId v = 0; v < n; ++v)
+      max_h = std::max(max_h, seg_depth_[static_cast<std::size_t>(v)]);
     net.charge(static_cast<std::uint64_t>(max_h) + 1, static_cast<std::uint64_t>(n));
   }
 
@@ -188,7 +192,8 @@ SegmentDecomposition::SegmentDecomposition(Network& net, const RootedTree& tree,
   for (VertexId v = 0; v < n; ++v) {
     seg_forest_.parent[static_cast<std::size_t>(v)] = tree.parent(v);
     seg_forest_.depth[static_cast<std::size_t>(v)] = seg_depth_[static_cast<std::size_t>(v)];
-    for (VertexId c : tree.children(v)) seg_forest_.children[static_cast<std::size_t>(v)].push_back(c);
+    for (VertexId c : tree.children(v))
+      seg_forest_.children[static_cast<std::size_t>(v)].push_back(c);
   }
 
   // --- (IV) Knowledge: ancestor paths (Claim 3.1) via path downcast.
@@ -197,8 +202,8 @@ SegmentDecomposition::SegmentDecomposition(Network& net, const RootedTree& tree,
     std::vector<KeyedItem> own(static_cast<std::size_t>(n));
     for (VertexId v = 0; v < n; ++v) {
       if (v == root) continue;
-      own[static_cast<std::size_t>(v)] =
-          KeyedItem{static_cast<std::uint64_t>(tree.parent_edge(v)), static_cast<std::uint64_t>(v), 0};
+      own[static_cast<std::size_t>(v)] = KeyedItem{static_cast<std::uint64_t>(tree.parent_edge(v)),
+                                                   static_cast<std::uint64_t>(v), 0};
     }
     auto received = path_downcast(net, seg_forest_, own);
     anc_edges_.assign(static_cast<std::size_t>(n), {});
@@ -268,7 +273,8 @@ SegmentDecomposition::SegmentDecomposition(Network& net, const RootedTree& tree,
 
   // Stats.
   for (VertexId v = 0; v < n; ++v)
-    max_segment_diameter_ = std::max(max_segment_diameter_, seg_depth_[static_cast<std::size_t>(v)]);
+    max_segment_diameter_ =
+        std::max(max_segment_diameter_, seg_depth_[static_cast<std::size_t>(v)]);
 }
 
 bool SegmentDecomposition::skeleton_is_ancestor(VertexId a, VertexId b) const {
@@ -322,7 +328,8 @@ std::vector<std::vector<KeyedItem>> segment_broadcast(
     const int s = dec.seg_of_vertex(v);
     if (s < 0) continue;
     out[static_cast<std::size_t>(v)] = per_segment_list[static_cast<std::size_t>(s)];
-    const auto len = static_cast<std::uint64_t>(per_segment_list[static_cast<std::size_t>(s)].size());
+    const auto len =
+        static_cast<std::uint64_t>(per_segment_list[static_cast<std::size_t>(s)].size());
     if (len == 0) continue;
     rounds = std::max(rounds, static_cast<std::uint64_t>(dec.seg_depth(v)) + len);
     messages += len;

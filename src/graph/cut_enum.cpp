@@ -101,7 +101,8 @@ CutCollection cuts_size_two(const Graph& g, const std::vector<char>& h_mask) {
 
   std::vector<char> is_tree_edge(static_cast<std::size_t>(g.num_edges()), 0);
   for (VertexId v = 0; v < n; ++v)
-    if (tree.parent_edge(v) != kNoEdge) is_tree_edge[static_cast<std::size_t>(tree.parent_edge(v))] = 1;
+    if (tree.parent_edge(v) != kNoEdge)
+      is_tree_edge[static_cast<std::size_t>(tree.parent_edge(v))] = 1;
 
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     if (!h_mask[static_cast<std::size_t>(e)] || is_tree_edge[static_cast<std::size_t>(e)]) continue;

@@ -12,8 +12,10 @@ Dinic::Dinic(int n) : n_(n), arcs_(static_cast<std::size_t>(n)) { DECK_CHECK(n >
 
 void Dinic::add_arc(VertexId u, VertexId v, std::int64_t c) {
   DECK_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_ && c >= 0);
-  arcs_[static_cast<std::size_t>(u)].push_back({v, c, c, arcs_[static_cast<std::size_t>(v)].size()});
-  arcs_[static_cast<std::size_t>(v)].push_back({u, 0, 0, arcs_[static_cast<std::size_t>(u)].size() - 1});
+  arcs_[static_cast<std::size_t>(u)].push_back(
+      {v, c, c, arcs_[static_cast<std::size_t>(v)].size()});
+  arcs_[static_cast<std::size_t>(v)].push_back(
+      {u, 0, 0, arcs_[static_cast<std::size_t>(u)].size() - 1});
 }
 
 void Dinic::add_undirected(VertexId u, VertexId v, std::int64_t c) {
@@ -42,9 +44,11 @@ bool Dinic::bfs(VertexId s, VertexId t) {
 
 std::int64_t Dinic::dfs(VertexId v, VertexId t, std::int64_t pushed) {
   if (v == t || pushed == 0) return pushed;
-  for (std::size_t& i = it_[static_cast<std::size_t>(v)]; i < arcs_[static_cast<std::size_t>(v)].size(); ++i) {
+  for (std::size_t& i = it_[static_cast<std::size_t>(v)];
+       i < arcs_[static_cast<std::size_t>(v)].size(); ++i) {
     Arc& a = arcs_[static_cast<std::size_t>(v)][i];
-    if (a.cap <= 0 || level_[static_cast<std::size_t>(a.to)] != level_[static_cast<std::size_t>(v)] + 1)
+    if (a.cap <= 0 ||
+        level_[static_cast<std::size_t>(a.to)] != level_[static_cast<std::size_t>(v)] + 1)
       continue;
     const std::int64_t got = dfs(a.to, t, std::min(pushed, a.cap));
     if (got > 0) {

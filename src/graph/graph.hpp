@@ -62,7 +62,9 @@ class Graph {
   std::span<const Adj> neighbors(VertexId v) const {
     return {adj_[static_cast<std::size_t>(v)].data(), adj_[static_cast<std::size_t>(v)].size()};
   }
-  int degree(VertexId v) const { return static_cast<int>(adj_[static_cast<std::size_t>(v)].size()); }
+  int degree(VertexId v) const {
+    return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+  }
 
   Weight total_weight() const;
 

@@ -27,7 +27,8 @@ std::vector<EdgeId> crossing_edges(const Graph& g, const std::vector<char>& in_s
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     if (!in_subgraph[static_cast<std::size_t>(e)]) continue;
     const Edge& ed = g.edge(e);
-    if (side[static_cast<std::size_t>(ed.u)] != side[static_cast<std::size_t>(ed.v)]) out.push_back(e);
+    if (side[static_cast<std::size_t>(ed.u)] != side[static_cast<std::size_t>(ed.v)])
+      out.push_back(e);
   }
   return out;
 }

@@ -44,7 +44,8 @@ RootedTree mst_tree(const Graph& g, VertexId root) {
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     parent[static_cast<std::size_t>(v)] = bt.parent(v);
     const EdgeId pe = bt.parent_edge(v);
-    parent_edge[static_cast<std::size_t>(v)] = pe == kNoEdge ? kNoEdge : mst[static_cast<std::size_t>(pe)];
+    parent_edge[static_cast<std::size_t>(v)] =
+        pe == kNoEdge ? kNoEdge : mst[static_cast<std::size_t>(pe)];
   }
   return RootedTree(std::move(parent), std::move(parent_edge));
 }

@@ -20,14 +20,15 @@ GlobalMinCut stoer_wagner_min_cut(const Graph& g, const std::vector<char>& in_su
     for (EdgeId e = 0; e < g.num_edges(); ++e)
       if (in_subgraph[static_cast<std::size_t>(e)]) sel.add_edge(g.edge(e).u, g.edge(e).v, 1);
     const auto cc = connected_components(sel);
-    for (int v = 0; v < n; ++v) best.side[static_cast<std::size_t>(v)] = cc[static_cast<std::size_t>(v)] == 0;
+    for (int v = 0; v < n; ++v)
+      best.side[static_cast<std::size_t>(v)] = cc[static_cast<std::size_t>(v)] == 0;
     best.value = 0;
     return best;
   }
 
   // Dense adjacency of unit capacities between contracted super-vertices.
-  std::vector<std::vector<std::int64_t>> w(static_cast<std::size_t>(n),
-                                           std::vector<std::int64_t>(static_cast<std::size_t>(n), 0));
+  std::vector<std::vector<std::int64_t>> w(
+      static_cast<std::size_t>(n), std::vector<std::int64_t>(static_cast<std::size_t>(n), 0));
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     if (!in_subgraph[static_cast<std::size_t>(e)]) continue;
     const Edge& ed = g.edge(e);
@@ -52,7 +53,8 @@ GlobalMinCut stoer_wagner_min_cut(const Graph& g, const std::vector<char>& in_su
       int pick = -1;
       for (int v : active) {
         if (added[static_cast<std::size_t>(v)]) continue;
-        if (pick == -1 || conn[static_cast<std::size_t>(v)] > conn[static_cast<std::size_t>(pick)]) pick = v;
+        if (pick == -1 || conn[static_cast<std::size_t>(v)] > conn[static_cast<std::size_t>(pick)])
+          pick = v;
       }
       DECK_CHECK(pick != -1);  // step < active.size() leaves a non-added vertex
       added[static_cast<std::size_t>(pick)] = 1;
@@ -60,21 +62,26 @@ GlobalMinCut stoer_wagner_min_cut(const Graph& g, const std::vector<char>& in_su
       last = pick;
       last_conn = conn[static_cast<std::size_t>(pick)];
       for (int v : active)
-        if (!added[static_cast<std::size_t>(v)]) conn[static_cast<std::size_t>(v)] += w[static_cast<std::size_t>(pick)][static_cast<std::size_t>(v)];
+        if (!added[static_cast<std::size_t>(v)])
+          conn[static_cast<std::size_t>(v)] +=
+              w[static_cast<std::size_t>(pick)][static_cast<std::size_t>(v)];
     }
 
     // Cut-of-the-phase: {last} vs rest.
     if (last_conn < best.value) {
       best.value = last_conn;
       std::fill(best.side.begin(), best.side.end(), 0);
-      for (VertexId v : members[static_cast<std::size_t>(last)]) best.side[static_cast<std::size_t>(v)] = 1;
+      for (VertexId v : members[static_cast<std::size_t>(last)])
+        best.side[static_cast<std::size_t>(v)] = 1;
     }
 
     // Contract last into prev.
     for (int v : active) {
       if (v == last || v == prev) continue;
-      w[static_cast<std::size_t>(prev)][static_cast<std::size_t>(v)] += w[static_cast<std::size_t>(last)][static_cast<std::size_t>(v)];
-      w[static_cast<std::size_t>(v)][static_cast<std::size_t>(prev)] = w[static_cast<std::size_t>(prev)][static_cast<std::size_t>(v)];
+      w[static_cast<std::size_t>(prev)][static_cast<std::size_t>(v)] +=
+          w[static_cast<std::size_t>(last)][static_cast<std::size_t>(v)];
+      w[static_cast<std::size_t>(v)][static_cast<std::size_t>(prev)] =
+          w[static_cast<std::size_t>(prev)][static_cast<std::size_t>(v)];
     }
     auto& pm = members[static_cast<std::size_t>(prev)];
     auto& lm = members[static_cast<std::size_t>(last)];

@@ -61,7 +61,8 @@ RootedTree::RootedTree(std::vector<VertexId> parent, std::vector<EdgeId> parent_
     for (std::size_t v = 0; v < n; ++v) {
       const VertexId mid = up_[static_cast<std::size_t>(l - 1)][v];
       up_[static_cast<std::size_t>(l)][v] =
-          mid == kNoVertex ? kNoVertex : up_[static_cast<std::size_t>(l - 1)][static_cast<std::size_t>(mid)];
+          mid == kNoVertex ? kNoVertex
+                           : up_[static_cast<std::size_t>(l - 1)][static_cast<std::size_t>(mid)];
     }
 }
 

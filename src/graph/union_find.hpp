@@ -10,14 +10,16 @@ namespace deck {
 
 class UnionFind {
  public:
-  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)), size_(static_cast<std::size_t>(n), 1) {
+  explicit UnionFind(int n)
+      : parent_(static_cast<std::size_t>(n)), size_(static_cast<std::size_t>(n), 1) {
     for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
     components_ = n;
   }
 
   int find(int x) {
     while (parent_[static_cast<std::size_t>(x)] != x) {
-      parent_[static_cast<std::size_t>(x)] = parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
       x = parent_[static_cast<std::size_t>(x)];
     }
     return x;
@@ -27,7 +29,8 @@ class UnionFind {
   bool unite(int x, int y) {
     int rx = find(x), ry = find(y);
     if (rx == ry) return false;
-    if (size_[static_cast<std::size_t>(rx)] < size_[static_cast<std::size_t>(ry)]) std::swap(rx, ry);
+    if (size_[static_cast<std::size_t>(rx)] < size_[static_cast<std::size_t>(ry)])
+      std::swap(rx, ry);
     parent_[static_cast<std::size_t>(ry)] = rx;
     size_[static_cast<std::size_t>(rx)] += size_[static_cast<std::size_t>(ry)];
     --components_;

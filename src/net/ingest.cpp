@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sketch/sketch_io.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
@@ -14,6 +16,19 @@ namespace deck {
 namespace {
 
 [[noreturn]] void fail(const std::string& what) { throw NetError("net: " + what); }
+
+/// Coordinator-side chunk-stream metrics: volume plus how long each receive
+/// job sat waiting for its worker's next frame.
+struct IngestMetrics {
+  obs::Counter& chunks = obs::Registry::global().counter("ingest.chunks");
+  obs::Counter& chunk_bytes = obs::Registry::global().counter("ingest.chunk_bytes");
+  obs::Histogram& chunk_wait_ns = obs::Registry::global().histogram("ingest.chunk_wait_ns");
+
+  static IngestMetrics& get() {
+    static IngestMetrics m;
+    return m;
+  }
+};
 
 std::vector<std::uint8_t> encode_attempt(const SketchOptions& opt) {
   std::vector<std::uint8_t> msg;
@@ -165,6 +180,10 @@ SparsifyResult coordinated_sparsify(const std::vector<Transport*>& workers, int 
   ropt.pool = &pool;
 
   const auto ingest = [&](const SketchOptions& aopt) {
+    obs::Span attempt_span("ingest.attempt");
+    attempt_span.arg("workers", workers.size());
+    attempt_span.arg("columns", static_cast<std::uint64_t>(aopt.columns));
+    const obs::TraceContext attempt_ctx = attempt_span.context();
     const std::vector<std::uint8_t> attempt = encode_attempt(aopt);
     for (Transport* t : workers) t->send(attempt);
 
@@ -172,17 +191,30 @@ SparsifyResult coordinated_sparsify(const std::vector<Transport*>& workers, int 
     std::mutex mu;  // serializes add_chunk; receive waits overlap across workers
     for (Transport* t : workers) {
       pool.submit([&, t] {
+        // Pool threads have no ambient span — parent the receive job under
+        // the attempt explicitly so the trace shows the overlap.
+        obs::Span recv_span("ingest.recv", attempt_ctx);
+        std::uint64_t chunks = 0;
         for (;;) {
+          const std::uint64_t wait_start = obs::enabled() ? obs::now_ns() : 0;
           const std::vector<std::uint8_t> msg = net::recv_expected(*t, "worker");
           net::WireReader r(std::span<const std::uint8_t>(msg.data(), msg.size()));
           const auto type = static_cast<IngestMsg>(r.u32());
           if (type == IngestMsg::kDone) {
             (void)r.u32();  // chunks_sent; completeness is checked globally below
+            recv_span.arg("chunks", chunks);
             return;
           }
           if (type != IngestMsg::kChunk)
             fail("coordinator expected Chunk or Done, got message type " +
                  std::to_string(static_cast<std::uint32_t>(type)));
+          if (obs::enabled()) {
+            IngestMetrics& m = IngestMetrics::get();
+            m.chunk_wait_ns.observe(obs::now_ns() - wait_start);
+            m.chunks.inc();
+            m.chunk_bytes.add(msg.size());
+          }
+          ++chunks;
           const std::lock_guard<std::mutex> lock(mu);
           assembler.add_chunk(r.rest());
         }

@@ -14,9 +14,27 @@
 #include <deque>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 namespace deck {
 
 namespace {
+
+/// Shared by every transport flavor: frame/byte totals both ways plus the
+/// time recv() spent blocked waiting for a frame (the round-barrier and
+/// chunk-stream stall signal).
+struct NetMetrics {
+  obs::Counter& tx_frames = obs::Registry::global().counter("net.tx.frames");
+  obs::Counter& tx_bytes = obs::Registry::global().counter("net.tx.bytes");
+  obs::Counter& rx_frames = obs::Registry::global().counter("net.rx.frames");
+  obs::Counter& rx_bytes = obs::Registry::global().counter("net.rx.bytes");
+  obs::Histogram& rx_wait_ns = obs::Registry::global().histogram("net.rx.wait_ns");
+
+  static NetMetrics& get() {
+    static NetMetrics m;
+    return m;
+  }
+};
 
 [[noreturn]] void fail(const std::string& what) { throw NetError("net: " + what); }
 
@@ -52,6 +70,10 @@ class LoopbackTransport final : public Transport {
 
   void send(std::span<const std::uint8_t> message) override {
     check_size(message.size());
+    if (obs::enabled()) {
+      NetMetrics::get().tx_frames.inc();
+      NetMetrics::get().tx_bytes.add(message.size());
+    }
     std::lock_guard<std::mutex> lock(outbox_->mu);
     if (outbox_->closed) fail("send on a closed loopback transport");
     outbox_->queue.emplace_back(message.begin(), message.end());
@@ -59,11 +81,17 @@ class LoopbackTransport final : public Transport {
   }
 
   std::optional<std::vector<std::uint8_t>> recv() override {
+    const std::uint64_t wait_start = obs::enabled() ? obs::now_ns() : 0;
     std::unique_lock<std::mutex> lock(inbox_->mu);
     inbox_->cv.wait(lock, [this] { return !inbox_->queue.empty() || inbox_->closed; });
     if (inbox_->queue.empty()) return std::nullopt;  // peer closed, fully drained
     std::vector<std::uint8_t> message = std::move(inbox_->queue.front());
     inbox_->queue.pop_front();
+    if (obs::enabled()) {
+      NetMetrics::get().rx_wait_ns.observe(obs::now_ns() - wait_start);
+      NetMetrics::get().rx_frames.inc();
+      NetMetrics::get().rx_bytes.add(message.size());
+    }
     return message;
   }
 
@@ -114,12 +142,20 @@ class StreamTransport final : public Transport {
     put_u64_le(prefix, message.size());
     send_all(prefix, sizeof prefix);
     send_all(message.data(), message.size());
+    if (obs::enabled()) {
+      NetMetrics::get().tx_frames.inc();
+      NetMetrics::get().tx_bytes.add(message.size());
+    }
   }
 
   std::optional<std::vector<std::uint8_t>> recv() override {
     if (fd_ < 0) fail("recv on a closed stream transport");
+    const std::uint64_t wait_start = obs::enabled() ? obs::now_ns() : 0;
     std::uint8_t prefix[8];
     const std::size_t got = recv_some(prefix, sizeof prefix);
+    // The length prefix is where recv() blocks between frames; payload bytes
+    // follow promptly once it lands, so the wait metric stops here.
+    if (obs::enabled()) NetMetrics::get().rx_wait_ns.observe(obs::now_ns() - wait_start);
     if (got == 0) return std::nullopt;  // orderly close between frames
     if (got < sizeof prefix) fail("truncated frame: peer closed mid length prefix");
     const std::uint64_t length = get_u64_le(prefix);
@@ -129,6 +165,10 @@ class StreamTransport final : public Transport {
     std::vector<std::uint8_t> message(static_cast<std::size_t>(length));
     if (recv_some(message.data(), message.size()) < message.size())
       fail("truncated frame: peer closed mid payload");
+    if (obs::enabled()) {
+      NetMetrics::get().rx_frames.inc();
+      NetMetrics::get().rx_bytes.add(message.size());
+    }
     return message;
   }
 

@@ -1,0 +1,240 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace deck::obs {
+
+namespace detail {
+
+int this_thread_stripe() {
+  static std::atomic<unsigned> next{0};
+  thread_local int stripe = static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                                             static_cast<unsigned>(kStripes));
+  return stripe;
+}
+
+}  // namespace detail
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const detail::Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+Histogram::Histogram(std::string name, std::vector<std::uint64_t> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  DECK_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  DECK_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must be ascending");
+  stride_ = bounds_.size() + 3;  // buckets, overflow, sum, count
+  cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(kStripes) *
+                                                          stride_);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kStripes) * stride_; ++i)
+    cells_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::uint64_t v) {
+  if (!enabled()) return;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  std::atomic<std::uint64_t>* base =
+      cells_.get() + static_cast<std::size_t>(detail::this_thread_stripe()) * stride_;
+  base[bucket].fetch_add(1, std::memory_order_relaxed);
+  base[stride_ - 2].fetch_add(v, std::memory_order_relaxed);
+  base[stride_ - 1].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snap Histogram::snapshot() const {
+  Snap s;
+  s.bounds = bounds_;
+  s.counts.assign(bounds_.size() + 1, 0);
+  for (int stripe = 0; stripe < kStripes; ++stripe) {
+    const std::atomic<std::uint64_t>* base =
+        cells_.get() + static_cast<std::size_t>(stripe) * stride_;
+    for (std::size_t b = 0; b < s.counts.size(); ++b)
+      s.counts[b] += base[b].load(std::memory_order_relaxed);
+    s.sum += base[stride_ - 2].load(std::memory_order_relaxed);
+    s.count += base[stride_ - 1].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::vector<std::uint64_t> exponential_bounds(std::uint64_t first, double factor, int count) {
+  DECK_CHECK(first >= 1 && factor > 1.0 && count >= 1);
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double b = static_cast<double>(first);
+  for (int i = 0; i < count; ++i) {
+    const auto v = static_cast<std::uint64_t>(b);
+    if (!bounds.empty() && v <= bounds.back())
+      bounds.push_back(bounds.back() + 1);
+    else
+      bounds.push_back(v);
+    b *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<std::uint64_t>& latency_bounds_ns() {
+  static const std::vector<std::uint64_t> bounds = exponential_bounds(1000, 2.0, 25);
+  return bounds;
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  for (const CounterVal& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+std::int64_t Snapshot::gauge(std::string_view name) const {
+  for (const GaugeVal& g : gauges)
+    if (g.name == name) return g.value;
+  return 0;
+}
+
+const Histogram::Snap* Snapshot::histogram(std::string_view name) const {
+  for (const HistVal& h : histograms)
+    if (h.name == name) return &h.snap;
+  return nullptr;
+}
+
+std::string Snapshot::text() const {
+  std::string out;
+  for (const CounterVal& c : counters)
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  for (const GaugeVal& g : gauges) out += g.name + " " + std::to_string(g.value) + "\n";
+  for (const HistVal& h : histograms) {
+    out += h.name + "_count " + std::to_string(h.snap.count) + "\n";
+    out += h.name + "_sum " + std::to_string(h.snap.sum) + "\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.snap.bounds.size(); ++b) {
+      cumulative += h.snap.counts[b];
+      out += h.name + "_le_" + std::to_string(h.snap.bounds[b]) + " " +
+             std::to_string(cumulative) + "\n";
+    }
+  }
+  return out;
+}
+
+Json Snapshot::to_json() const {
+  Json counters_j = Json::object();
+  for (const CounterVal& c : counters) counters_j.set(c.name, Json(c.value));
+  Json gauges_j = Json::object();
+  for (const GaugeVal& g : gauges) gauges_j.set(g.name, Json(g.value));
+  Json hists_j = Json::object();
+  for (const HistVal& h : histograms) {
+    Json hist = Json::object();
+    hist.set("count", Json(h.snap.count));
+    hist.set("sum", Json(h.snap.sum));
+    Json bounds = Json::array();
+    for (std::uint64_t b : h.snap.bounds) bounds.push(Json(b));
+    Json counts = Json::array();
+    for (std::uint64_t c : h.snap.counts) counts.push(Json(c));
+    hist.set("bounds", std::move(bounds));
+    hist.set("counts", std::move(counts));
+    hists_j.set(h.name, std::move(hist));
+  }
+  Json doc = Json::object();
+  doc.set("counters", std::move(counters_j));
+  doc.set("gauges", std::move(gauges_j));
+  doc.set("histograms", std::move(hists_j));
+  return doc;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // Registration order preserved for deterministic scrape output; the index
+  // maps names to (kind, slot) and enforces cross-kind uniqueness.
+  std::vector<std::unique_ptr<Counter>> counters;
+  std::vector<std::unique_ptr<Gauge>> gauges;
+  std::vector<std::unique_ptr<Histogram>> histograms;
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::map<std::string, std::pair<Kind, std::size_t>, std::less<>> index;
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  if (const auto it = im.index.find(name); it != im.index.end()) {
+    DECK_CHECK_MSG(it->second.first == Impl::Kind::kCounter,
+                   "metric name registered with a different kind");
+    return *im.counters[it->second.second];
+  }
+  im.counters.push_back(std::unique_ptr<Counter>(new Counter(std::string(name))));
+  im.index.emplace(std::string(name),
+                   std::make_pair(Impl::Kind::kCounter, im.counters.size() - 1));
+  return *im.counters.back();
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  if (const auto it = im.index.find(name); it != im.index.end()) {
+    DECK_CHECK_MSG(it->second.first == Impl::Kind::kGauge,
+                   "metric name registered with a different kind");
+    return *im.gauges[it->second.second];
+  }
+  im.gauges.push_back(std::unique_ptr<Gauge>(new Gauge(std::string(name))));
+  im.index.emplace(std::string(name), std::make_pair(Impl::Kind::kGauge, im.gauges.size() - 1));
+  return *im.gauges.back();
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<std::uint64_t> bounds) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  if (const auto it = im.index.find(name); it != im.index.end()) {
+    DECK_CHECK_MSG(it->second.first == Impl::Kind::kHistogram,
+                   "metric name registered with a different kind");
+    return *im.histograms[it->second.second];
+  }
+  if (bounds.empty()) bounds = latency_bounds_ns();
+  im.histograms.push_back(
+      std::unique_ptr<Histogram>(new Histogram(std::string(name), std::move(bounds))));
+  im.index.emplace(std::string(name),
+                   std::make_pair(Impl::Kind::kHistogram, im.histograms.size() - 1));
+  return *im.histograms.back();
+}
+
+Snapshot Registry::scrape() const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  Snapshot snap;
+  snap.counters.reserve(im.counters.size());
+  for (const auto& c : im.counters) snap.counters.push_back({c->name(), c->value()});
+  snap.gauges.reserve(im.gauges.size());
+  for (const auto& g : im.gauges) snap.gauges.push_back({g->name(), g->value()});
+  snap.histograms.reserve(im.histograms.size());
+  for (const auto& h : im.histograms) snap.histograms.push_back({h->name(), h->snapshot()});
+  return snap;
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  for (const auto& c : im.counters)
+    for (detail::Cell& cell : c->cells_) cell.v.store(0, std::memory_order_relaxed);
+  for (const auto& g : im.gauges) g->value_.store(0, std::memory_order_relaxed);
+  for (const auto& h : im.histograms)
+    for (std::size_t i = 0; i < static_cast<std::size_t>(kStripes) * h->stride_; ++i)
+      h->cells_[i].store(0, std::memory_order_relaxed);
+}
+
+}  // namespace deck::obs

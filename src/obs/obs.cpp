@@ -1,0 +1,17 @@
+#include "obs/obs.hpp"
+
+namespace deck::obs {
+
+namespace detail {
+std::atomic<bool> metrics_on{false};
+std::atomic<bool> tracing_on{false};
+std::atomic<ClockFn> clock_fn{nullptr};
+}  // namespace detail
+
+void set_enabled(bool on) { detail::metrics_on.store(on, std::memory_order_relaxed); }
+
+void set_tracing(bool on) { detail::tracing_on.store(on, std::memory_order_relaxed); }
+
+ClockFn set_clock(ClockFn fn) { return detail::clock_fn.exchange(fn, std::memory_order_relaxed); }
+
+}  // namespace deck::obs

@@ -1,0 +1,59 @@
+#pragma once
+
+// Process-wide observability switches and the injectable monotonic clock —
+// the substrate under src/obs/metrics.hpp (counters / gauges / histograms)
+// and src/obs/trace.hpp (nestable spans, chrome://tracing export).
+//
+// Everything in src/obs/ compiles to near-zero cost when disabled: every
+// hot-path hook (Counter::add, Histogram::observe, Span construction) is a
+// single relaxed atomic load plus a predictable branch before any other
+// work happens — verified by bench_f12_obs_overhead against a hook-free
+// loop. Metrics and tracing are switched independently: metrics are cheap
+// enough for production scrapes, tracing buffers whole events and is a
+// profiling mode.
+//
+// The clock is monotonic and injectable (set_clock): tests and benches
+// install a fake to make span durations and PhaseStat wall clocks
+// deterministic; the default reads std::chrono::steady_clock. Injection is
+// process-wide and meant for test setup, not for concurrent flipping.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace deck::obs {
+
+namespace detail {
+extern std::atomic<bool> metrics_on;
+extern std::atomic<bool> tracing_on;
+using ClockFn = std::uint64_t (*)();
+extern std::atomic<ClockFn> clock_fn;
+}  // namespace detail
+
+/// Whether metric hooks record. The load is relaxed: a flip is eventually
+/// visible to every thread, which is all a monitoring switch needs.
+inline bool enabled() { return detail::metrics_on.load(std::memory_order_relaxed); }
+
+/// Whether span hooks record trace events.
+inline bool tracing() { return detail::tracing_on.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on);
+void set_tracing(bool on);
+
+/// Monotonic nanoseconds from the injected clock (steady_clock by default).
+inline std::uint64_t now_ns() {
+  const detail::ClockFn fn = detail::clock_fn.load(std::memory_order_relaxed);
+  if (fn != nullptr) return fn();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+using ClockFn = detail::ClockFn;
+
+/// Installs `fn` as the process clock (nullptr restores steady_clock).
+/// Returns the previously installed function (nullptr = default).
+ClockFn set_clock(ClockFn fn);
+
+}  // namespace deck::obs

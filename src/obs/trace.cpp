@@ -1,0 +1,344 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+namespace deck::obs {
+
+namespace {
+
+std::atomic<std::uint32_t> g_node{0};
+std::atomic<std::uint64_t> g_trace_id{0};
+std::atomic<std::uint64_t> g_next_span{1};
+
+struct TlsTrace {
+  std::vector<TraceContext> stack;
+  TraceContext base;
+};
+
+TlsTrace& tls() {
+  thread_local TlsTrace t;
+  return t;
+}
+
+std::atomic<std::uint32_t> g_next_tid{0};
+
+/// Stable per-thread track id for exported events.
+std::uint32_t this_thread_tid() {
+  thread_local std::uint32_t tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+struct SinkState {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+SinkState& sink_state() {
+  static SinkState s;
+  return s;
+}
+
+}  // namespace
+
+void set_trace_node(std::uint32_t node) { g_node.store(node, std::memory_order_relaxed); }
+std::uint32_t trace_node() { return g_node.load(std::memory_order_relaxed); }
+
+void set_trace_id(std::uint64_t id) { g_trace_id.store(id, std::memory_order_relaxed); }
+std::uint64_t trace_id() { return g_trace_id.load(std::memory_order_relaxed); }
+
+std::uint64_t next_span_id() {
+  return (static_cast<std::uint64_t>(trace_node()) << 48) |
+         g_next_span.fetch_add(1, std::memory_order_relaxed);
+}
+
+void set_base_context(const TraceContext& ctx) { tls().base = ctx; }
+TraceContext base_context() { return tls().base; }
+
+TraceContext current_context() {
+  const TlsTrace& t = tls();
+  return t.stack.empty() ? t.base : t.stack.back();
+}
+
+// ---------------------------------------------------------------------------
+// Sink.
+
+TraceSink& TraceSink::global() {
+  static TraceSink instance;
+  return instance;
+}
+
+void TraceSink::record(TraceEvent ev) {
+  SinkState& s = sink_state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.events.push_back(std::move(ev));
+}
+
+void TraceSink::record_batch(std::vector<TraceEvent> evs) {
+  SinkState& s = sink_state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  for (TraceEvent& ev : evs) s.events.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceSink::drain() {
+  SinkState& s = sink_state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<TraceEvent> out = std::move(s.events);
+  s.events.clear();
+  return out;
+}
+
+std::size_t TraceSink::size() const {
+  SinkState& s = sink_state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.events.size();
+}
+
+void TraceSink::clear() {
+  SinkState& s = sink_state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.events.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Span.
+
+Span::Span(const char* name) {
+  if (!tracing()) return;
+  open(name, current_context());
+}
+
+Span::Span(const char* name, const TraceContext& parent) {
+  if (!tracing()) return;
+  open(name, parent);
+}
+
+void Span::open(const char* name, const TraceContext& parent) {
+  name_ = name;
+  parent_id_ = parent.span_id;
+  ctx_.trace_id = parent.trace_id != 0 ? parent.trace_id : trace_id();
+  ctx_.span_id = next_span_id();
+  start_ns_ = now_ns();
+  live_ = true;
+  tls().stack.push_back(ctx_);
+}
+
+Span::~Span() {
+  if (!live_) return;
+  TlsTrace& t = tls();
+  // Pop this span; tolerate an interleaved (non-LIFO) destruction order by
+  // searching from the top — observability must not assert on odd scopes.
+  for (std::size_t i = t.stack.size(); i > 0; --i) {
+    if (t.stack[i - 1].span_id == ctx_.span_id) {
+      t.stack.erase(t.stack.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      break;
+    }
+  }
+  TraceEvent ev;
+  ev.name = name_;
+  ev.ts_ns = start_ns_;
+  const std::uint64_t end = now_ns();
+  ev.dur_ns = end >= start_ns_ ? end - start_ns_ : 0;
+  ev.pid = trace_node();
+  ev.tid = this_thread_tid();
+  ev.trace_id = ctx_.trace_id;
+  ev.span_id = ctx_.span_id;
+  ev.parent_id = parent_id_;
+  ev.args = std::move(args_);
+  TraceSink::global().record(std::move(ev));
+}
+
+void Span::arg(const char* name, std::uint64_t value) {
+  if (!live_) return;
+  args_.emplace_back(name, value);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec (little-endian, mirrors net/wire.hpp discipline without the
+// dependency — obs sits below src/net/).
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void need(std::size_t k) {
+    if (bytes_.size() - pos_ < k) throw std::runtime_error("obs: malformed trace event buffer");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void encode_trace_events(std::vector<std::uint8_t>& out, std::span<const TraceEvent> events) {
+  put_u32(out, static_cast<std::uint32_t>(events.size()));
+  for (const TraceEvent& ev : events) {
+    put_str(out, ev.name);
+    put_u64(out, ev.ts_ns);
+    put_u64(out, ev.dur_ns);
+    put_u32(out, ev.pid);
+    put_u32(out, ev.tid);
+    put_u64(out, ev.trace_id);
+    put_u64(out, ev.span_id);
+    put_u64(out, ev.parent_id);
+    put_u32(out, static_cast<std::uint32_t>(ev.args.size()));
+    for (const auto& [name, value] : ev.args) {
+      put_str(out, name);
+      put_u64(out, value);
+    }
+  }
+}
+
+std::vector<TraceEvent> decode_trace_events(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  const std::uint32_t count = r.u32();
+  // 49 bytes is the minimum encoded event (empty name, zero args); a forged
+  // count must fail on arithmetic, not on a giant reserve.
+  if (count > bytes.size() / 49 + 1)
+    throw std::runtime_error("obs: trace event count exceeds buffer");
+  std::vector<TraceEvent> events;
+  events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TraceEvent ev;
+    ev.name = r.str();
+    ev.ts_ns = r.u64();
+    ev.dur_ns = r.u64();
+    ev.pid = r.u32();
+    ev.tid = r.u32();
+    ev.trace_id = r.u64();
+    ev.span_id = r.u64();
+    ev.parent_id = r.u64();
+    const std::uint32_t nargs = r.u32();
+    if (nargs > r.remaining() / 12)
+      throw std::runtime_error("obs: trace event arg count exceeds buffer");
+    for (std::uint32_t a = 0; a < nargs; ++a) {
+      std::string name = r.str();
+      const std::uint64_t value = r.u64();
+      ev.args.emplace_back(std::move(name), value);
+    }
+    events.push_back(std::move(ev));
+  }
+  if (r.remaining() != 0)
+    throw std::runtime_error("obs: trace event buffer carries trailing bytes");
+  return events;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export.
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(std::span<const TraceEvent> events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    append_escaped(out, ev.name);
+    out += "\",\"cat\":\"deck\",\"ph\":\"X\"";
+    // Viewer convention: microsecond timestamps. Emit three decimals so
+    // nanosecond resolution survives the unit change.
+    std::snprintf(buf, sizeof buf, ",\"ts\":%llu.%03llu,\"dur\":%llu.%03llu",
+                  static_cast<unsigned long long>(ev.ts_ns / 1000),
+                  static_cast<unsigned long long>(ev.ts_ns % 1000),
+                  static_cast<unsigned long long>(ev.dur_ns / 1000),
+                  static_cast<unsigned long long>(ev.dur_ns % 1000));
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"pid\":%u,\"tid\":%u", ev.pid, ev.tid);
+    out += buf;
+    out += ",\"args\":{";
+    std::snprintf(buf, sizeof buf, "\"trace\":\"%llx\",\"span\":\"%llx\",\"parent\":\"%llx\"",
+                  static_cast<unsigned long long>(ev.trace_id),
+                  static_cast<unsigned long long>(ev.span_id),
+                  static_cast<unsigned long long>(ev.parent_id));
+    out += buf;
+    for (const auto& [name, value] : ev.args) {
+      out += ",\"";
+      append_escaped(out, name);
+      std::snprintf(buf, sizeof buf, "\":%llu", static_cast<unsigned long long>(value));
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace deck::obs

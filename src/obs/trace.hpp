@@ -1,0 +1,144 @@
+#pragma once
+
+// Tracing facility: nestable spans over the injectable obs clock, collected
+// in a process-wide sink and exported as chrome://tracing / Perfetto
+// "trace event" JSON (docs/tracing.md describes the schema).
+//
+// A Span is RAII: construction stamps the start time and allocates a span
+// id parented under the innermost open span on the calling thread (or the
+// thread's *base context* when none is open — how Network phases become the
+// ambient parent of everything an engine records); destruction appends one
+// complete ("ph":"X") event to the sink. When tracing is off a Span is a
+// single relaxed load and branch — no clock read, no allocation.
+//
+// Cross-process correlation: a TraceContext (trace id + parent span id) is
+// small enough to ride any wire protocol. The distributed CONGEST engine
+// sends the coordinator's context in its Start message; workers record
+// spans against it into a *local* buffer (encode_trace_events) and ship
+// them back, so one merged timeline shows coordinator phases with each
+// worker's execution parented underneath (pid = worker node id).
+//
+// Span ids embed a node id (top 16 bits) so ids minted by different
+// processes of one fleet never collide.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace deck::obs {
+
+/// Correlation handle: which trace, and which span to parent under.
+/// trace_id == 0 means "no context".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// One complete span, ready for export. `pid` is the logical node (0 =
+/// coordinator / local process, workers are 1-based), `tid` a track within
+/// the node.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> args;
+};
+
+/// This process's node id, embedded in minted span ids and stamped as the
+/// pid of locally recorded events (default 0 = coordinator).
+void set_trace_node(std::uint32_t node);
+std::uint32_t trace_node();
+
+/// This process's trace id. set_tracing(true) alone leaves it 0; callers
+/// that export a trace should set one (any nonzero value; distributed
+/// workers inherit the coordinator's over the wire).
+void set_trace_id(std::uint64_t id);
+std::uint64_t trace_id();
+
+/// Mints a fresh span id: (node << 48) | sequence.
+std::uint64_t next_span_id();
+
+/// The context new root spans on this thread parent under (thread-local).
+/// Network::begin_phase points it at the open phase so engine spans nest.
+void set_base_context(const TraceContext& ctx);
+TraceContext base_context();
+
+/// Innermost open span on this thread, falling back to the base context.
+TraceContext current_context();
+
+/// Process-wide trace event collector. record() appends under a mutex —
+/// tracing is a profiling mode, and events are completed spans, not
+/// per-message traffic.
+class TraceSink {
+ public:
+  static TraceSink& global();
+
+  void record(TraceEvent ev);
+  void record_batch(std::vector<TraceEvent> evs);
+
+  /// Removes and returns everything recorded so far.
+  std::vector<TraceEvent> drain();
+  std::size_t size() const;
+  void clear();
+
+ private:
+  TraceSink() = default;
+};
+
+/// RAII span. Inert (one relaxed load) when tracing is off at construction.
+class Span {
+ public:
+  explicit Span(const char* name);
+  /// Parents under `parent` instead of the thread's current context (wire
+  /// contexts, cross-thread handoffs).
+  Span(const char* name, const TraceContext& parent);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric argument (shows under "args" in the viewer).
+  void arg(const char* name, std::uint64_t value);
+
+  /// Whether this span records (tracing was on at construction).
+  bool live() const { return live_; }
+  /// This span's context — ship it to a worker to parent remote spans.
+  TraceContext context() const { return ctx_; }
+
+ private:
+  void open(const char* name, const TraceContext& parent);
+
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  TraceContext ctx_;
+  std::uint64_t parent_id_ = 0;
+  bool live_ = false;
+  std::vector<std::pair<std::string, std::uint64_t>> args_;
+};
+
+/// Serializes events for shipping between processes (little-endian,
+/// bounds-checked like the net wire codec).
+void encode_trace_events(std::vector<std::uint8_t>& out, std::span<const TraceEvent> events);
+
+/// Decodes an encode_trace_events() payload. Throws std::runtime_error on a
+/// malformed buffer — callers on a transport boundary wrap it in their own
+/// typed error.
+std::vector<TraceEvent> decode_trace_events(std::span<const std::uint8_t> bytes);
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}) — open in
+/// chrome://tracing or https://ui.perfetto.dev. Timestamps are microseconds
+/// (the viewer convention); span/parent/trace ids ride in "args".
+std::string chrome_trace_json(std::span<const TraceEvent> events);
+
+}  // namespace deck::obs

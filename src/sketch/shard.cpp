@@ -3,6 +3,8 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -92,8 +94,15 @@ ShardIngestResult apply_sharded(const GraphStream& stream, const SketchOptions& 
 
   // Merge by sketch addition: order is irrelevant (wrapping integer sums),
   // so folding left is as good as any tree.
+  obs::Span merge_span("sketch.bank_merge");
+  merge_span.arg("banks", static_cast<std::uint64_t>(shards));
+  const std::uint64_t merge_start = obs::enabled() ? obs::now_ns() : 0;
   SketchConnectivity merged = std::move(*banks[0]);
   for (int s = 1; s < shards; ++s) merged.merge(*banks[static_cast<std::size_t>(s)]);
+  if (obs::enabled()) {
+    static obs::Histogram& merge_ns = obs::Registry::global().histogram("sketch.bank_merge_ns");
+    merge_ns.observe(obs::now_ns() - merge_start);
+  }
   return {std::move(merged), std::move(shard_batches), std::move(shard_halves)};
 }
 

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "graph/union_find.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -46,6 +48,25 @@ struct Segment {
   std::uint32_t begin = 0;
   std::uint32_t end = 0;
   int partial = -1;
+};
+
+/// Registered-once handles for the sketch/recovery hot paths. The registry
+/// interns by name, so grabbing them through a function-local static costs
+/// one guarded load after the first call.
+struct SketchMetrics {
+  obs::Counter& updates = obs::Registry::global().counter("sketch.updates");
+  obs::Counter& samples = obs::Registry::global().counter("recovery.samples");
+  obs::Counter& failures = obs::Registry::global().counter("recovery.failures");
+  obs::Counter& merges = obs::Registry::global().counter("recovery.merges");
+  obs::Counter& rounds = obs::Registry::global().counter("recovery.rounds");
+  obs::Gauge& attempts = obs::Registry::global().gauge("recovery.attempts");
+  obs::Gauge& columns = obs::Registry::global().gauge("recovery.columns");
+  obs::Gauge& rounds_slack = obs::Registry::global().gauge("recovery.rounds_slack");
+
+  static SketchMetrics& get() {
+    static SketchMetrics m;
+    return m;
+  }
 };
 
 }  // namespace
@@ -102,6 +123,7 @@ void SketchConnectivity::update(VertexId u, VertexId v, int delta) {
   const std::uint64_t index = encode(lo, hi);
   for (L0Sampler& s : sketches_[static_cast<std::size_t>(lo)]) s.update(index, delta);
   for (L0Sampler& s : sketches_[static_cast<std::size_t>(hi)]) s.update(index, -delta);
+  if (obs::enabled()) SketchMetrics::get().updates.inc();
 }
 
 void SketchConnectivity::apply_batch(VertexId src, std::span<const VertexDelta> deltas) {
@@ -115,6 +137,7 @@ void SketchConnectivity::apply_batch(VertexId src, std::span<const VertexDelta> 
     const int signed_delta = src == lo ? d.delta : -d.delta;
     for (L0Sampler& s : copies) s.update(index, signed_delta);
   }
+  if (obs::enabled()) SketchMetrics::get().updates.add(deltas.size());
 }
 
 bool SketchConnectivity::compatible(const SketchConnectivity& other) const {
@@ -160,6 +183,8 @@ bool SketchConnectivity::grow_forest(std::vector<SketchEdge>& forest, ThreadPool
       return false;
     }
     const auto copy = static_cast<std::size_t>(cursor_++);
+    obs::Span round_span("recovery.round");
+    round_span.arg("round", static_cast<std::uint64_t>(round));
 
     // Deterministic supernode slots: slot order is first-member vertex
     // order — the order the single-threaded path visits components in, and
@@ -272,6 +297,16 @@ bool SketchConnectivity::grow_forest(std::vector<SketchEdge>& forest, ThreadPool
     stats.samples += slots;
     stats.failures += rs.failures;
     stats.per_round.push_back(rs);
+    if (obs::enabled()) {
+      SketchMetrics& m = SketchMetrics::get();
+      m.rounds.inc();
+      m.samples.add(static_cast<std::uint64_t>(slots));
+      m.failures.add(static_cast<std::uint64_t>(rs.failures));
+      m.merges.add(static_cast<std::uint64_t>(rs.merges));
+    }
+    round_span.arg("components", static_cast<std::uint64_t>(slots));
+    round_span.arg("merges", static_cast<std::uint64_t>(rs.merges));
+    round_span.arg("failures", static_cast<std::uint64_t>(rs.failures));
     // No merge and no failure means every component's cut was empty: the
     // forest is maximal (the sketched graph may legitimately be
     // disconnected).
@@ -377,7 +412,20 @@ SparsifyResult recover_certificate(
     result.certificate = std::move(cert);
   };
 
+  const auto note_attempt = [](int attempt, const SketchOptions& aopt) {
+    if (!obs::enabled()) return;
+    SketchMetrics& m = SketchMetrics::get();
+    m.attempts.set(attempt);
+    m.columns.set(aopt.columns);
+    m.rounds_slack.set(aopt.rounds_slack);
+  };
+
   if (!opt.auto_size.enabled) {
+    obs::Span span("recovery.attempt");
+    span.arg("attempt", 0);
+    span.arg("columns", static_cast<std::uint64_t>(base.columns));
+    span.arg("rounds_slack", static_cast<std::uint64_t>(base.rounds_slack));
+    note_attempt(1, base);
     SketchConnectivity bank = ingest(base);
     KForests kf = bank.try_k_spanning_forests(k, ropt);
     check_converged(kf.converged, kf.stats.copies_exhausted);
@@ -408,6 +456,11 @@ SparsifyResult recover_certificate(
     const int completed =
         have_carry ? static_cast<int>(carry.forests.size()) - (carry.forests.empty() ? 0 : 1) : 0;
     aopt.max_forests = k - completed;
+    obs::Span span("recovery.attempt");
+    span.arg("attempt", static_cast<std::uint64_t>(attempt));
+    span.arg("columns", static_cast<std::uint64_t>(columns));
+    span.arg("rounds_slack", static_cast<std::uint64_t>(slack));
+    note_attempt(attempt + 1, aopt);
     SketchConnectivity bank = ingest(aopt);
     KForests kf = bank.try_k_spanning_forests(k, ropt, have_carry ? &carry : nullptr);
     if (kf.converged) {

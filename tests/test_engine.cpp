@@ -327,6 +327,10 @@ TEST(DistributedEngine, MalformedProgramSpecIsATypedError) {
   net::put_u32(start, static_cast<std::uint32_t>(CongestMsg::kStart));
   net::put_u32(start, 1);  // graph id
   net::put_u32(start, static_cast<std::uint32_t>(ProgramId::kEdgeExchange));
+  net::put_u32(start, 1);  // node id
+  net::put_u32(start, 0);  // trace flags: off
+  net::put_u64(start, 0);  // trace id
+  net::put_u64(start, 0);  // parent span
   net::put_u32(start, 2);   // n
   net::put_u32(start, 1);   // one edge
   net::put_u32(start, 99);  // ...whose id does not exist
