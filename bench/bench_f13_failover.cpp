@@ -1,0 +1,146 @@
+// F13 — failover cost curve for the fault-tolerant net engine. Two
+// sections, one 2-ECSS pipeline on a 2-worker fleet:
+//
+//   cadence  — checkpoint interval R in {0 (off), 1, 8, 64} with no faults:
+//              what periodic Checkpoint traffic costs. Rounds, messages, and
+//              total checkpoint bytes are deterministic and gated; wall-clock
+//              is reported, never gated.
+//   recovery — a scripted kill (coordinator-side frame index, net/fault.hpp)
+//              mid-pipeline for R in {1, 8}: the engine must absorb the
+//              death and stay bit-identical to the sequential run
+//              (identical_to_seq feeds the bench-regression gate), with the
+//              recovery latency visible as the wall-clock delta vs the
+//              faultless run at the same cadence.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "congest/network.hpp"
+#include "ecss/distributed_2ecss.hpp"
+#include "graph/edge_connectivity.hpp"
+#include "net/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+using namespace deck;
+
+namespace {
+
+struct FleetRun {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  Weight weight = 0;
+  bool valid = false;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t deaths = 0;
+  double wall_ms = 0;
+};
+
+FleetRun run_fleet(const Graph& g, int workers, int interval, std::size_t kill_frame) {
+  obs::Registry::global().reset();
+  FleetOptions o;
+  o.hub.checkpoint_interval = interval;
+  if (kill_frame > 0) {
+    o.coordinator_faults.resize(static_cast<std::size_t>(workers));
+    o.coordinator_faults[0] = {FaultRule{kill_frame, FaultRule::Kind::kKill, 0}};
+  }
+  FleetRun r;
+  const auto t0 = std::chrono::steady_clock::now();
+  CongestWorkerFleet fleet(workers, o);
+  {
+    Network net(g, fleet.hub());
+    const Ecss2Result res = distributed_2ecss(net, TapOptions{});
+    r.rounds = net.rounds();
+    r.messages = net.messages();
+    r.weight = res.weight;
+    r.valid = is_k_edge_connected_subset(g, res.edges, 2);
+  }
+  r.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                  .count();
+  const obs::Snapshot snap = obs::Registry::global().scrape();
+  if (const auto* h = snap.histogram("congest.net.checkpoint_bytes")) {
+    r.checkpoints = h->count;
+    r.checkpoint_bytes = h->sum;
+  }
+  r.deaths = snap.counter("congest.net.worker_deaths");
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+  const bool smoke = bench::flag(argc, argv, "--smoke");
+  const int n = smoke ? 32 : large ? 128 : 64;
+  const int workers = 2;
+
+  obs::set_enabled(true);
+  Rng rng(1300 + n);
+  const Graph g = with_weights(random_kec(n, 2, n, rng), WeightModel::kUniform, rng);
+
+  Weight seq_weight = 0;
+  std::uint64_t seq_rounds = 0, seq_messages = 0;
+  {
+    Network net(g);
+    const Ecss2Result res = distributed_2ecss(net, TapOptions{});
+    seq_weight = res.weight;
+    seq_rounds = net.rounds();
+    seq_messages = net.messages();
+  }
+
+  Table t({"case", "interval", "kill frame", "rounds", "messages", "ckpt bytes", "deaths",
+           "identical", "wall ms"});
+  Json rows = Json::array();
+  bool all_ok = true;
+  double clean_wall[65] = {};  // indexed by interval, for the recovery delta
+
+  const auto add_row = [&](const char* kind, int interval, std::size_t kill_frame,
+                           const FleetRun& r, double recover_ms) {
+    const bool identical =
+        r.rounds == seq_rounds && r.messages == seq_messages && r.weight == seq_weight;
+    const std::uint64_t want_deaths = kill_frame > 0 ? 1 : 0;
+    all_ok = all_ok && identical && r.valid && r.deaths == want_deaths;
+    t.add(kind, interval, kill_frame, r.rounds, r.messages, r.checkpoint_bytes, r.deaths,
+          identical ? "yes" : "NO", r.wall_ms);
+    Json row = Json::object();
+    row.set("case", kind)
+        .set("interval", interval)
+        .set("workers", workers)
+        .set("frame", static_cast<std::uint64_t>(kill_frame))
+        .set("n", g.num_vertices())
+        .set("rounds", r.rounds)
+        .set("messages", r.messages)
+        .set("checkpoints", r.checkpoints)
+        .set("checkpoint_bytes", r.checkpoint_bytes)
+        .set("worker_deaths", r.deaths)
+        .set("output_2_edge_connected", r.valid)
+        .set("identical_to_seq", identical)
+        .set("wall_ms", r.wall_ms)
+        .set("recover_ms", recover_ms);
+    rows.push(std::move(row));
+  };
+
+  for (int interval : {0, 1, 8, 64}) {
+    const FleetRun r = run_fleet(g, workers, interval, 0);
+    clean_wall[interval] = r.wall_ms;
+    add_row("cadence", interval, 0, r, 0.0);
+  }
+  for (int interval : {1, 8}) {
+    const FleetRun r = run_fleet(g, workers, interval, 5);
+    add_row("recovery", interval, 5, r, r.wall_ms - clean_wall[interval]);
+  }
+
+  t.print("F13: failover cost, 2-ECSS on a " + std::to_string(workers) + "-worker fleet, " +
+          g.summary());
+  std::printf(
+      "   cadence rows price periodic checkpoints; recovery rows kill worker 0 mid-pipeline "
+      "and must stay bit-identical to seq\n");
+
+  Json doc = Json::object();
+  doc.set("bench", "f13_failover").set("all_ok", all_ok).set("rows", std::move(rows));
+  bench::print_json(doc);
+  return all_ok ? 0 : 1;
+}

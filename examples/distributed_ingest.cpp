@@ -33,6 +33,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -59,11 +60,23 @@ int main(int argc, char** argv) {
   const int n = 96, k = 3, workers = 4;
 
   std::string trace_out;
+  int kill_worker = -1, kill_round = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--kill-worker") == 0 && i + 1 < argc) {
+      // --kill-worker N@R: SIGKILL congest worker process N at its R-th
+      // engine round — a real mid-phase process death the coordinator must
+      // absorb with zero output change.
+      const char* spec = argv[++i];
+      const char* at = std::strchr(spec, '@');
+      if (at == nullptr || std::sscanf(spec, "%d@%d", &kill_worker, &kill_round) != 2 ||
+          kill_worker < 0 || kill_round < 1) {
+        std::fprintf(stderr, "--kill-worker wants N@R (worker index @ round), got '%s'\n", spec);
+        return 1;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--trace-out PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--trace-out PATH] [--kill-worker N@R]\n", argv[0]);
       return 1;
     }
   }
@@ -179,7 +192,12 @@ int main(int argc, char** argv) {
     if (pid == 0) {
       try {
         const std::unique_ptr<Transport> t = tcp_connect("127.0.0.1", congest_listener.port());
-        run_congest_worker(*t);
+        WorkerOptions wopt;
+        if (w == kill_worker) {
+          wopt.kill_after_rounds = kill_round;
+          wopt.hard_kill = true;  // a real SIGKILL, not a polite close
+        }
+        run_congest_worker(*t, wopt);
         _exit(0);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "congest worker %d: %s\n", w, e.what());
@@ -195,7 +213,12 @@ int main(int argc, char** argv) {
   }
   bool engine_identical = false;
   {
-    const std::shared_ptr<DistributedEngineHub> hub = make_distributed_hub(congest_raw);
+    // Checkpoint every 4 rounds so a SIGKILLed worker's ranges resume from
+    // a bounded replay instead of round 1.
+    DistributedHubOptions hub_opts;
+    hub_opts.checkpoint_interval = 4;
+    const std::shared_ptr<DistributedEngineHub> hub =
+        make_distributed_hub(congest_raw, hub_opts);
     std::uint64_t net_rounds = 0, net_messages = 0;
     std::vector<EdgeId> net_edges;
     {
@@ -208,19 +231,27 @@ int main(int argc, char** argv) {
     hub->shutdown();
     engine_identical = net_edges == seq2.edges && net_rounds == seq_net.rounds() &&
                        net_messages == seq_net.messages();
-    std::printf("2-ECSS over %d congest worker processes: %zu edges in %llu rounds — "
+    std::printf("2-ECSS over %d congest worker processes%s: %zu edges in %llu rounds — "
                 "identical to the sequential engine: %s\n",
-                congest_workers, net_edges.size(), static_cast<unsigned long long>(net_rounds),
+                congest_workers, kill_worker >= 0 ? " (one SIGKILLed mid-phase)" : "",
+                net_edges.size(), static_cast<unsigned long long>(net_rounds),
                 engine_identical ? "yes" : "NO");
   }
-  bool congest_children_ok = true;
+  // With --kill-worker, exactly one child must have died of SIGKILL; every
+  // other child exits cleanly.
+  int clean_children = 0, sigkilled_children = 0;
   for (int w = 0; w < congest_workers; ++w) {
     int status = 0;
-    if (wait(&status) < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0)
-      congest_children_ok = false;
+    if (wait(&status) < 0) continue;
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) ++clean_children;
+    if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) ++sigkilled_children;
   }
-  std::printf("congest worker processes exited cleanly: %s\n",
-              congest_children_ok ? "yes" : "NO");
+  const int want_killed = kill_worker >= 0 ? 1 : 0;
+  const bool congest_children_ok =
+      clean_children == congest_workers - want_killed && sigkilled_children == want_killed;
+  std::printf("congest worker processes: %d exited cleanly, %d SIGKILLed (wanted %d): %s\n",
+              clean_children, sigkilled_children, want_killed,
+              congest_children_ok ? "ok" : "NOT ok");
 
   // With tracing on, drain the merged timeline (coordinator spans plus the
   // worker spans shipped back as kTraceData) into one chrome://tracing
@@ -240,8 +271,10 @@ int main(int argc, char** argv) {
       worker_pids.insert(ev.pid);
       if (exec_spans.count(ev.parent_id) == 0) ++orphans;
     }
-    trace_ok = worker_pids.size() == static_cast<std::size_t>(congest_workers) && orphans == 0 &&
-               worker_execs > 0;
+    // A SIGKILLed worker may die before shipping any trace frame, so its
+    // lane is allowed to be missing from the merged timeline.
+    trace_ok = worker_pids.size() >= static_cast<std::size_t>(congest_workers - want_killed) &&
+               orphans == 0 && worker_execs > 0;
     std::printf("trace: %zu events, %zu worker execution span(s) across %zu worker lane(s), "
                 "all parented under coordinator phases: %s\n",
                 events.size(), worker_execs, worker_pids.size(),

@@ -83,6 +83,13 @@ GATES = {
         "key": ("case",),
         "metrics": (),
     },
+    # Failover cost: checkpoint traffic must not balloon, and every row's
+    # identical_to_seq / output_2_edge_connected flag must hold (a kill that
+    # perturbs the output fails the gate).
+    "f13_failover": {
+        "key": ("case", "interval", "workers", "frame"),
+        "metrics": ("rounds", "messages", "checkpoint_bytes"),
+    },
 }
 
 # Bench invocation behind each gated baseline, for --update-baselines:
@@ -100,6 +107,7 @@ BINARIES = {
     "t5_weighted_3ecss": ("bench_t5_weighted_3ecss", "--smoke"),
     "f11_engine": ("bench_f11_engine",),
     "f12_obs_overhead": ("bench_f12_obs_overhead",),
+    "f13_failover": ("bench_f13_failover",),
 }
 
 # Wall-clock / host-dependent fields, stripped when writing baselines.

@@ -1,0 +1,87 @@
+#include "congest/checkpoint.hpp"
+
+#include <string>
+
+#include "net/wire.hpp"
+
+namespace deck {
+
+void encode_checkpoint(const CheckpointBlob& cp, std::vector<std::uint8_t>& out) {
+  net::put_u32(out, kCheckpointMagic);
+  net::put_u32(out, kCheckpointVersion);
+  net::put_u32(out, cp.program_id);
+  net::put_u32(out, static_cast<std::uint32_t>(cp.lo));
+  net::put_u32(out, static_cast<std::uint32_t>(cp.hi));
+  net::put_u32(out, static_cast<std::uint32_t>(cp.round));
+  net::put_u64(out, cp.state.size());
+  net::put_bytes(out, cp.state);
+  net::put_u32(out, static_cast<std::uint32_t>(cp.awake.size()));
+  for (VertexId v : cp.awake) net::put_u32(out, static_cast<std::uint32_t>(v));
+  net::put_u32(out, static_cast<std::uint32_t>(cp.pending.size()));
+  for (const auto& s : cp.pending) {
+    net::put_u32(out, static_cast<std::uint32_t>(s.edge));
+    net::put_u32(out, s.dir);
+    net::put_u64(out, s.msg.a);
+    net::put_u64(out, s.msg.b);
+    net::put_u64(out, s.msg.c);
+    net::put_u32(out, s.msg.tag);
+  }
+}
+
+CheckpointBlob decode_checkpoint(std::span<const std::uint8_t> bytes) {
+  net::WireReader r(bytes);
+  const std::uint32_t magic = r.u32();
+  if (magic != kCheckpointMagic)
+    throw NetError("congest checkpoint: bad magic 0x" + std::to_string(magic) +
+                   " — not a checkpoint blob");
+  const std::uint32_t version = r.u32();
+  if (version != kCheckpointVersion)
+    throw NetError("congest checkpoint: version " + std::to_string(version) +
+                   " not supported (this build speaks " + std::to_string(kCheckpointVersion) +
+                   ")");
+  CheckpointBlob cp;
+  cp.program_id = r.u32();
+  cp.lo = static_cast<VertexId>(r.u32());
+  cp.hi = static_cast<VertexId>(r.u32());
+  cp.round = static_cast<int>(r.u32());
+  if (cp.lo < 0 || cp.hi < cp.lo || cp.round < 0)
+    throw NetError("congest checkpoint: corrupt range or round");
+  const std::uint64_t state_len = r.u64();
+  if (state_len > r.remaining())
+    throw NetError("congest checkpoint: state longer than the blob");
+  const auto state = r.bytes(static_cast<std::size_t>(state_len));
+  cp.state.assign(state.begin(), state.end());
+  const std::uint32_t awake_count = r.u32();
+  if (awake_count > r.remaining() / 4)
+    throw NetError("congest checkpoint: awake list longer than the blob");
+  cp.awake.resize(awake_count);
+  for (auto& v : cp.awake) v = static_cast<VertexId>(r.u32());
+  for (std::size_t i = 0; i < cp.awake.size(); ++i) {
+    if (cp.awake[i] < cp.lo || cp.awake[i] >= cp.hi)
+      throw NetError("congest checkpoint: awake vertex outside the range");
+    if (i > 0 && cp.awake[i] <= cp.awake[i - 1])
+      throw NetError("congest checkpoint: awake list not strictly ascending");
+  }
+  const std::uint32_t pending_count = r.u32();
+  if (pending_count > r.remaining() / 36)
+    throw NetError("congest checkpoint: pending list longer than the blob");
+  cp.pending.resize(pending_count);
+  for (auto& s : cp.pending) {
+    s.edge = static_cast<EdgeId>(r.u32());
+    const std::uint32_t dir = r.u32();
+    if (dir > 1) throw NetError("congest checkpoint: pending direction out of range");
+    s.dir = static_cast<std::uint8_t>(dir);
+    s.msg.a = r.u64();
+    s.msg.b = r.u64();
+    s.msg.c = r.u64();
+    const std::uint32_t tag = r.u32();
+    if (tag > 0xff) throw NetError("congest checkpoint: pending tag out of range");
+    s.msg.tag = static_cast<std::uint8_t>(tag);
+  }
+  if (r.remaining() != 0)
+    throw NetError("congest checkpoint: " + std::to_string(r.remaining()) +
+                   " trailing byte(s) after the blob");
+  return cp;
+}
+
+}  // namespace deck

@@ -1,0 +1,59 @@
+#pragma once
+
+// Checkpoint blobs for the fault-tolerant distributed CONGEST engine.
+//
+// A checkpoint captures everything needed to resume one vertex range of one
+// program execution from the end of round R on a *fresh* worker:
+//   * the program's mutable per-vertex state for [lo, hi)
+//     (VertexProgram::encode_state — setup()-derived tables are rebuilt from
+//     the spec, so they never travel),
+//   * the BSP runner's resume state (BspRunner::save_resume): the vertices
+//     awake for round R + 1 and the live mailbox slots — messages sent in
+//     round R into the range that round R + 1 will read.
+//
+// Determinism makes this sufficient: range execution is a pure function of
+// (graph, spec, per-round boundary deliveries), so a restored worker that
+// replays the coordinator's post-checkpoint delivery log rejoins the phase
+// in exactly the state the dead worker died in. The blob is byte-identical
+// across runs, platforms, and standard libraries — encode_state
+// implementations serialize unordered containers in sorted order.
+//
+// Framing: a magic ('DKCP') + version header, the identity of the captured
+// execution (program id, range, round), then the three payload sections.
+// decode_checkpoint() throws NetError on truncation, corruption, or a
+// version this build does not speak — a damaged checkpoint must fail typed
+// before the engine trusts it, exactly like a malformed protocol frame.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "congest/engine.hpp"
+
+namespace deck {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x504B4344u;  // "DCKP" little-endian
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// One range's resume state at the end of a round.
+struct CheckpointBlob {
+  std::uint32_t program_id = 0;
+  VertexId lo = 0;
+  VertexId hi = 0;
+  int round = 0;  // rounds completed when captured (0 = before round 1)
+  std::vector<std::uint8_t> state;                     // encode_state over [lo, hi)
+  std::vector<VertexId> awake;                         // awake for round + 1, ascending
+  std::vector<detail::BspRunner::RemoteSend> pending;  // live inbound mailbox slots
+
+  friend bool operator==(const CheckpointBlob&, const CheckpointBlob&) = default;
+};
+
+/// Serializes `cp` (appending to `out`). Deterministic: equal blobs encode
+/// to equal bytes.
+void encode_checkpoint(const CheckpointBlob& cp, std::vector<std::uint8_t>& out);
+
+/// Parses one encoded checkpoint. Throws NetError on bad magic, an
+/// unsupported version, truncation, or list lengths exceeding the payload.
+CheckpointBlob decode_checkpoint(std::span<const std::uint8_t> bytes);
+
+}  // namespace deck

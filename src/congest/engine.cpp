@@ -13,6 +13,12 @@ namespace deck {
 
 void VertexProgram::finish_range(VertexId, VertexId) {}
 
+void VertexProgram::encode_state(VertexId, VertexId, std::vector<std::uint8_t>&) const {}
+
+void VertexProgram::decode_state(VertexId, VertexId, std::span<const std::uint8_t> bytes) {
+  DECK_CHECK_MSG(bytes.empty(), "program declared no mutable state but a checkpoint has some");
+}
+
 namespace detail {
 
 BspRunner::BspRunner(const Graph& g, VertexId lo, VertexId hi, ThreadPool* pool)
@@ -28,13 +34,69 @@ BspRunner::BspRunner(const Graph& g, VertexId lo, VertexId hi, ThreadPool* pool)
 }
 
 void BspRunner::start(VertexProgram& prog) {
-  prog_ = &prog;
+  attach(prog);
   prog.setup(*g_);
+  activate_initial();
+}
+
+void BspRunner::attach(VertexProgram& prog) { prog_ = &prog; }
+
+void BspRunner::activate_initial() {
+  DECK_CHECK(prog_ != nullptr);
   for (VertexId v = lo_; v < hi_; ++v) {
-    if (prog.starts_active(v)) {
+    if (prog_->starts_active(v)) {
       awake_[static_cast<std::size_t>(v)].store(1, std::memory_order_relaxed);
       woken_.push_back(v);
     }
+  }
+}
+
+void BspRunner::save_resume(int round, std::vector<VertexId>& awake_out,
+                            std::vector<RemoteSend>& pending_out) const {
+  // Wake state lives in woken_ (with possible duplicates) gated by the
+  // awake_ flags; sorting + deduping here yields the same canonical list
+  // run_round would compute, without consuming it.
+  awake_out = woken_;
+  std::sort(awake_out.begin(), awake_out.end());
+  awake_out.erase(std::unique(awake_out.begin(), awake_out.end()), awake_out.end());
+  std::erase_if(awake_out, [&](VertexId v) {
+    return awake_[static_cast<std::size_t>(v)].load(std::memory_order_relaxed) == 0;
+  });
+  // Live mailboxes: slots written in `round` (parity round & 1, stamp ==
+  // round) whose receiving endpoint this runner owns — exactly what
+  // run_round(round + 1, ...) will read. Slot order is deterministic.
+  const int wp = round & 1;
+  pending_out.clear();
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+    const Edge& ed = g_->edge(e);
+    for (std::uint8_t dir = 0; dir <= 1; ++dir) {
+      const VertexId to = dir == 0 ? ed.v : ed.u;
+      if (to < lo_ || to >= hi_) continue;
+      const std::size_t slot = 2 * static_cast<std::size_t>(e) + dir;
+      if (stamp_[wp][slot] == round) pending_out.push_back({e, dir, box_[wp][slot]});
+    }
+  }
+}
+
+void BspRunner::restore_resume(int round, std::span<const VertexId> awake,
+                               std::span<const RemoteSend> pending) {
+  DECK_CHECK(prog_ != nullptr);
+  for (VertexId v : awake) {
+    DECK_CHECK_MSG(v >= lo_ && v < hi_, "checkpoint wakes a vertex outside the owned range");
+    awake_[static_cast<std::size_t>(v)].store(1, std::memory_order_relaxed);
+    woken_.push_back(v);
+  }
+  const int wp = round & 1;
+  for (const RemoteSend& s : pending) {
+    DECK_CHECK_MSG(s.edge >= 0 && s.edge < g_->num_edges() && s.dir <= 1,
+                   "checkpoint mailbox entry addresses a bogus edge");
+    const Edge& ed = g_->edge(s.edge);
+    const VertexId to = s.dir == 0 ? ed.v : ed.u;
+    DECK_CHECK_MSG(to >= lo_ && to < hi_,
+                   "checkpoint mailbox entry delivered to the wrong owner");
+    const std::size_t slot = 2 * static_cast<std::size_t>(s.edge) + s.dir;
+    stamp_[wp][slot] = round;
+    box_[wp][slot] = s.msg;
   }
 }
 

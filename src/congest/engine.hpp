@@ -116,6 +116,18 @@ class VertexProgram {
   /// (coordinator side). `bytes` is exactly one encode_outputs payload.
   virtual void decode_outputs(VertexId begin, VertexId end,
                               std::span<const std::uint8_t> bytes) = 0;
+
+  /// Serializes the *mutable* per-vertex execution state for [begin, end) —
+  /// everything step() writes, nothing setup() derives from the spec. The
+  /// checkpoint/restore path of the distributed engine requires
+  /// decode_state(encode_state(...)) on a freshly setup() program to
+  /// reproduce the exact mid-phase state, byte for byte and independent of
+  /// container iteration order. Default: no mutable state (stateless range).
+  virtual void encode_state(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const;
+
+  /// Restores the state encode_state captured for [begin, end) into this
+  /// program (which must have completed setup() on the same graph/spec).
+  virtual void decode_state(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes);
 };
 
 /// Exact execution cost of one program run.
@@ -170,12 +182,36 @@ class BspRunner {
     EdgeId edge = kNoEdge;
     std::uint8_t dir = 0;  // 0: u -> v, 1: v -> u
     Packet msg;
+
+    friend bool operator==(const RemoteSend&, const RemoteSend&) = default;
   };
 
   BspRunner(const Graph& g, VertexId lo, VertexId hi, ThreadPool* pool);
 
   /// Binds the program: setup() plus the round-1 active set.
   void start(VertexProgram& prog);
+
+  /// Binds an already-setup() program without touching its state — the
+  /// restore path, where the program was rebuilt from its spec and is about
+  /// to absorb a checkpoint (or activate_initial() for a round-0 restore).
+  void attach(VertexProgram& prog);
+
+  /// Marks the round-1 active set (starts_active over [lo, hi)). start() ==
+  /// attach() + prog.setup() + activate_initial().
+  void activate_initial();
+
+  /// Captures the runner-side resume state right after the deliveries of
+  /// `round` were applied: the vertices awake for round + 1, and the live
+  /// mailbox slots (messages sent in `round` into [lo, hi), not yet read).
+  /// Both lists come out deterministically ordered.
+  void save_resume(int round, std::vector<VertexId>& awake_out,
+                   std::vector<RemoteSend>& pending_out) const;
+
+  /// Reinstates save_resume() state on a fresh runner whose program state
+  /// was already restored: after this call run_round(round + 1, ...)
+  /// continues the execution exactly where the checkpoint left it.
+  void restore_resume(int round, std::span<const VertexId> awake,
+                      std::span<const RemoteSend> pending);
 
   /// Runs one synchronous round over the awake owned vertices. Local sends
   /// are delivered next round; sends leaving the range are appended to

@@ -176,6 +176,26 @@ void BfsProgram::decode_outputs(VertexId begin, VertexId end,
   }
 }
 
+void BfsProgram::encode_state(VertexId begin, VertexId end,
+                              std::vector<std::uint8_t>& out) const {
+  for (VertexId v = begin; v < end; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    net::put_u32(out, joined_[sv]);
+    net::put_u32(out, id32(parent[sv]));
+    net::put_u32(out, id32(parent_edge[sv]));
+  }
+}
+
+void BfsProgram::decode_state(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) {
+  net::WireReader r(bytes);
+  for (VertexId v = begin; v < end; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    joined_[sv] = static_cast<std::uint8_t>(r.u32());
+    parent[sv] = static_cast<VertexId>(r.u32());
+    parent_edge[sv] = static_cast<EdgeId>(r.u32());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Convergecast.
 
@@ -239,6 +259,17 @@ void ConvergecastProgram::decode_outputs(VertexId begin, VertexId end,
   for (VertexId v = begin; v < end; ++v) value[static_cast<std::size_t>(v)] = r.u64();
 }
 
+void ConvergecastProgram::encode_state(VertexId begin, VertexId end,
+                                       std::vector<std::uint8_t>& out) const {
+  for (VertexId v = begin; v < end; ++v) net::put_u64(out, value[static_cast<std::size_t>(v)]);
+}
+
+void ConvergecastProgram::decode_state(VertexId begin, VertexId end,
+                                       std::span<const std::uint8_t> bytes) {
+  net::WireReader r(bytes);
+  for (VertexId v = begin; v < end; ++v) value[static_cast<std::size_t>(v)] = r.u64();
+}
+
 // ---------------------------------------------------------------------------
 // Broadcast.
 
@@ -270,6 +301,17 @@ void BroadcastProgram::encode_outputs(VertexId begin, VertexId end,
 
 void BroadcastProgram::decode_outputs(VertexId begin, VertexId end,
                                       std::span<const std::uint8_t> bytes) {
+  net::WireReader r(bytes);
+  for (VertexId v = begin; v < end; ++v) value[static_cast<std::size_t>(v)] = r.u64();
+}
+
+void BroadcastProgram::encode_state(VertexId begin, VertexId end,
+                                    std::vector<std::uint8_t>& out) const {
+  for (VertexId v = begin; v < end; ++v) net::put_u64(out, value[static_cast<std::size_t>(v)]);
+}
+
+void BroadcastProgram::decode_state(VertexId begin, VertexId end,
+                                    std::span<const std::uint8_t> bytes) {
   net::WireReader r(bytes);
   for (VertexId v = begin; v < end; ++v) value[static_cast<std::size_t>(v)] = r.u64();
 }
@@ -384,6 +426,62 @@ void KeyedUpcastProgram::decode_outputs(VertexId begin, VertexId end,
   for (VertexId v = begin; v < end; ++v) finalized[static_cast<std::size_t>(v)] = decode_items(r);
 }
 
+void KeyedUpcastProgram::encode_state(VertexId begin, VertexId end,
+                                      std::vector<std::uint8_t>& out) const {
+  for (VertexId v = begin; v < end; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    net::put_u32(out, eos_sent_[sv]);
+    net::put_u32(out, static_cast<std::uint32_t>(pending_[sv].size()));
+    for (const auto& [key, val] : pending_[sv]) {
+      net::put_u64(out, key);
+      net::put_u64(out, val.prio);
+      net::put_u64(out, val.payload);
+    }
+    // child_frontier_ is an unordered_map: serialize sorted by child id so
+    // the blob is byte-identical across runs and standard libraries.
+    std::vector<std::pair<VertexId, std::int64_t>> fronts(child_frontier_[sv].begin(),
+                                                          child_frontier_[sv].end());
+    std::sort(fronts.begin(), fronts.end());
+    net::put_u32(out, static_cast<std::uint32_t>(fronts.size()));
+    for (const auto& [child, frontier] : fronts) {
+      net::put_u32(out, id32(child));
+      net::put_u64(out, static_cast<std::uint64_t>(frontier));
+    }
+  }
+}
+
+void KeyedUpcastProgram::decode_state(VertexId begin, VertexId end,
+                                      std::span<const std::uint8_t> bytes) {
+  net::WireReader r(bytes);
+  for (VertexId v = begin; v < end; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    eos_sent_[sv] = static_cast<std::uint8_t>(r.u32());
+    pending_[sv].clear();
+    const std::uint32_t pend_count = r.u32();
+    if (pend_count > r.remaining() / 24)
+      throw NetError("congest checkpoint: pending list longer than the blob");
+    for (std::uint32_t i = 0; i < pend_count; ++i) {
+      const std::uint64_t key = r.u64();
+      const std::uint64_t prio = r.u64();
+      const std::uint64_t payload = r.u64();
+      pending_[sv].emplace_hint(pending_[sv].end(), key, ItemValue{prio, payload});
+    }
+    child_frontier_[sv].clear();
+    frontiers_[sv].clear();
+    const std::uint32_t child_count = r.u32();
+    if (child_count > r.remaining() / 12)
+      throw NetError("congest checkpoint: frontier list longer than the blob");
+    for (std::uint32_t i = 0; i < child_count; ++i) {
+      const auto child = static_cast<VertexId>(r.u32());
+      const auto frontier = static_cast<std::int64_t>(r.u64());
+      child_frontier_[sv][child] = frontier;
+      frontiers_[sv].insert(frontier);
+    }
+    // Live children are exactly the child streams that have not hit EOS.
+    live_children_[sv] = static_cast<int>(child_frontier_[sv].size());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Pipelined broadcast.
 
@@ -437,6 +535,17 @@ void PipelinedBroadcastProgram::decode_outputs(VertexId begin, VertexId end,
   for (VertexId v = begin; v < end; ++v) received[static_cast<std::size_t>(v)] = decode_items(r);
 }
 
+void PipelinedBroadcastProgram::encode_state(VertexId begin, VertexId end,
+                                             std::vector<std::uint8_t>& out) const {
+  for (VertexId v = begin; v < end; ++v) encode_items(out, received[static_cast<std::size_t>(v)]);
+}
+
+void PipelinedBroadcastProgram::decode_state(VertexId begin, VertexId end,
+                                             std::span<const std::uint8_t> bytes) {
+  net::WireReader r(bytes);
+  for (VertexId v = begin; v < end; ++v) received[static_cast<std::size_t>(v)] = decode_items(r);
+}
+
 // ---------------------------------------------------------------------------
 // Path downcast.
 
@@ -486,6 +595,17 @@ void PathDowncastProgram::encode_outputs(VertexId begin, VertexId end,
 
 void PathDowncastProgram::decode_outputs(VertexId begin, VertexId end,
                                          std::span<const std::uint8_t> bytes) {
+  net::WireReader r(bytes);
+  for (VertexId v = begin; v < end; ++v) received[static_cast<std::size_t>(v)] = decode_items(r);
+}
+
+void PathDowncastProgram::encode_state(VertexId begin, VertexId end,
+                                       std::vector<std::uint8_t>& out) const {
+  for (VertexId v = begin; v < end; ++v) encode_items(out, received[static_cast<std::size_t>(v)]);
+}
+
+void PathDowncastProgram::decode_state(VertexId begin, VertexId end,
+                                       std::span<const std::uint8_t> bytes) {
   net::WireReader r(bytes);
   for (VertexId v = begin; v < end; ++v) received[static_cast<std::size_t>(v)] = decode_items(r);
 }
@@ -569,6 +689,27 @@ void EdgeExchangeProgram::encode_outputs(VertexId begin, VertexId end,
 void EdgeExchangeProgram::decode_outputs(VertexId begin, VertexId end,
                                          std::span<const std::uint8_t> bytes) {
   DECK_CHECK_MSG(g_ != nullptr, "decode_outputs before setup");
+  net::WireReader r(bytes);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& ed = g_->edge(edges_[i]);
+    if (ed.u >= begin && ed.u < end) at_u[i] = decode_u64s(r);
+    if (ed.v >= begin && ed.v < end) at_v[i] = decode_u64s(r);
+  }
+}
+
+void EdgeExchangeProgram::encode_state(VertexId begin, VertexId end,
+                                       std::vector<std::uint8_t>& out) const {
+  DECK_CHECK_MSG(g_ != nullptr, "encode_state before setup");
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& ed = g_->edge(edges_[i]);
+    if (ed.u >= begin && ed.u < end) encode_u64s(out, at_u[i]);
+    if (ed.v >= begin && ed.v < end) encode_u64s(out, at_v[i]);
+  }
+}
+
+void EdgeExchangeProgram::decode_state(VertexId begin, VertexId end,
+                                       std::span<const std::uint8_t> bytes) {
+  DECK_CHECK_MSG(g_ != nullptr, "decode_state before setup");
   net::WireReader r(bytes);
   for (std::size_t i = 0; i < edges_.size(); ++i) {
     const Edge& ed = g_->edge(edges_[i]);

@@ -95,6 +95,8 @@ class BfsProgram final : public VertexProgram {
   void encode_spec(std::vector<std::uint8_t>& out) const override;
   void encode_outputs(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
   void decode_outputs(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
+  void encode_state(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
+  void decode_state(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
 
   std::vector<VertexId> parent;
   std::vector<EdgeId> parent_edge;
@@ -121,6 +123,8 @@ class ConvergecastProgram final : public ForestProgramBase {
   void encode_spec(std::vector<std::uint8_t>& out) const override;
   void encode_outputs(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
   void decode_outputs(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
+  void encode_state(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
+  void decode_state(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
 
   std::vector<std::uint64_t> value;
 
@@ -142,6 +146,8 @@ class BroadcastProgram final : public ForestProgramBase {
   void encode_spec(std::vector<std::uint8_t>& out) const override;
   void encode_outputs(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
   void decode_outputs(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
+  void encode_state(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
+  void decode_state(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
 
   std::vector<std::uint64_t> value;
 };
@@ -175,6 +181,8 @@ class KeyedUpcastProgram final : public ForestProgramBase {
   void encode_spec(std::vector<std::uint8_t>& out) const override;
   void encode_outputs(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
   void decode_outputs(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
+  void encode_state(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
+  void decode_state(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
 
   /// Items the vertex finalized (complete after execute): min per key over
   /// its subtree for keys it does not emit upward.
@@ -213,6 +221,8 @@ class PipelinedBroadcastProgram final : public ForestProgramBase {
   void encode_spec(std::vector<std::uint8_t>& out) const override;
   void encode_outputs(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
   void decode_outputs(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
+  void encode_state(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
+  void decode_state(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
 
   std::vector<std::vector<KeyedItem>> received;
 
@@ -239,6 +249,8 @@ class PathDowncastProgram final : public ForestProgramBase {
   void encode_spec(std::vector<std::uint8_t>& out) const override;
   void encode_outputs(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
   void decode_outputs(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
+  void encode_state(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
+  void decode_state(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
 
   std::vector<std::vector<KeyedItem>> received;
 
@@ -267,6 +279,8 @@ class EdgeExchangeProgram final : public VertexProgram {
   void encode_spec(std::vector<std::uint8_t>& out) const override;
   void encode_outputs(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
   void decode_outputs(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
+  void encode_state(VertexId begin, VertexId end, std::vector<std::uint8_t>& out) const override;
+  void decode_state(VertexId begin, VertexId end, std::span<const std::uint8_t> bytes) override;
 
   std::vector<std::vector<std::uint64_t>> at_u;  // what u received (from v)
   std::vector<std::vector<std::uint64_t>> at_v;  // what v received (from u)

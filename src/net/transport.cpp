@@ -9,10 +9,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <thread>
 
 #include "obs/metrics.hpp"
 
@@ -80,10 +82,18 @@ class LoopbackTransport final : public Transport {
     outbox_->cv.notify_one();
   }
 
-  std::optional<std::vector<std::uint8_t>> recv() override {
+  std::optional<std::vector<std::uint8_t>> recv() override { return recv_for(-1); }
+
+  std::optional<std::vector<std::uint8_t>> recv_for(int timeout_ms) override {
     const std::uint64_t wait_start = obs::enabled() ? obs::now_ns() : 0;
     std::unique_lock<std::mutex> lock(inbox_->mu);
-    inbox_->cv.wait(lock, [this] { return !inbox_->queue.empty() || inbox_->closed; });
+    const auto ready = [this] { return !inbox_->queue.empty() || inbox_->closed; };
+    if (timeout_ms < 0) {
+      inbox_->cv.wait(lock, ready);
+    } else if (!inbox_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready)) {
+      throw NetTimeout("net: recv timed out after " + std::to_string(timeout_ms) +
+                       "ms on a loopback transport");
+    }
     if (inbox_->queue.empty()) return std::nullopt;  // peer closed, fully drained
     std::vector<std::uint8_t> message = std::move(inbox_->queue.front());
     inbox_->queue.pop_front();
@@ -148,9 +158,24 @@ class StreamTransport final : public Transport {
     }
   }
 
-  std::optional<std::vector<std::uint8_t>> recv() override {
+  std::optional<std::vector<std::uint8_t>> recv() override { return recv_for(-1); }
+
+  std::optional<std::vector<std::uint8_t>> recv_for(int timeout_ms) override {
     if (fd_ < 0) fail("recv on a closed stream transport");
     const std::uint64_t wait_start = obs::enabled() ? obs::now_ns() : 0;
+    if (timeout_ms >= 0) {
+      // The deadline guards the idle wait between frames; once the length
+      // prefix starts arriving the frame is read to completion below.
+      pollfd p{fd_, POLLIN, 0};
+      for (;;) {
+        const int rc = ::poll(&p, 1, timeout_ms);
+        if (rc > 0) break;
+        if (rc == 0)
+          throw NetTimeout("net: recv timed out after " + std::to_string(timeout_ms) +
+                           "ms on a stream transport");
+        if (errno != EINTR) fail_errno("poll failed");
+      }
+    }
     std::uint8_t prefix[8];
     const std::size_t got = recv_some(prefix, sizeof prefix);
     // The length prefix is where recv() blocks between frames; payload bytes
@@ -220,16 +245,55 @@ sockaddr_un make_unix_addr(const std::string& path) {
   return addr;
 }
 
-sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1)
-    fail("invalid IPv4 address '" + address + "'");
-  return addr;
+/// Parsed socket address for either IP family: a ':' in the literal selects
+/// AF_INET6 (every IPv6 literal contains one; no IPv4 literal does).
+struct IpAddr {
+  sockaddr_storage storage{};
+  socklen_t len = 0;
+  int family = AF_INET;
+};
+
+IpAddr make_addr(const std::string& address, std::uint16_t port) {
+  IpAddr a;
+  if (address.find(':') != std::string::npos) {
+    a.family = AF_INET6;
+    a.len = sizeof(sockaddr_in6);
+    auto* addr6 = reinterpret_cast<sockaddr_in6*>(&a.storage);
+    addr6->sin6_family = AF_INET6;
+    addr6->sin6_port = htons(port);
+    if (::inet_pton(AF_INET6, address.c_str(), &addr6->sin6_addr) != 1)
+      fail("invalid IPv6 address '" + address + "'");
+  } else {
+    a.family = AF_INET;
+    a.len = sizeof(sockaddr_in);
+    auto* addr4 = reinterpret_cast<sockaddr_in*>(&a.storage);
+    addr4->sin_family = AF_INET;
+    addr4->sin_port = htons(port);
+    if (::inet_pton(AF_INET, address.c_str(), &addr4->sin_addr) != 1)
+      fail("invalid IPv4 address '" + address + "'");
+  }
+  return a;
+}
+
+std::uint16_t addr_port(const sockaddr_storage& storage) {
+  if (storage.ss_family == AF_INET6)
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&storage)->sin6_port);
+  return ntohs(reinterpret_cast<const sockaddr_in*>(&storage)->sin_port);
 }
 
 }  // namespace
+
+std::optional<std::vector<std::uint8_t>> Transport::recv(const RecvOptions& opts) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return recv_for(opts.timeout_ms);
+    } catch (const NetTimeout&) {
+      if (attempt > opts.retries) throw;
+      if (opts.backoff_ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(opts.backoff_ms * attempt));
+    }
+  }
+}
 
 std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> loopback_pair() {
   auto a_to_b = std::make_shared<LoopbackChannel>();
@@ -239,24 +303,25 @@ std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> loopback_pair(
 }
 
 TcpListener::TcpListener(std::uint16_t port, const std::string& bind_address) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  const IpAddr addr = make_addr(bind_address, port);
+  fd_ = ::socket(addr.family, SOCK_STREAM, 0);
   if (fd_ < 0) fail_errno("socket failed");
   const int one = 1;
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr = make_addr(bind_address, port);
-  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr.storage), addr.len) < 0) {
     const std::string detail = std::strerror(errno);
     ::close(fd_);
     fd_ = -1;
     fail("bind to " + bind_address + ":" + std::to_string(port) + " failed: " + detail);
   }
-  socklen_t len = sizeof addr;
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+  sockaddr_storage bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
     ::close(fd_);
     fd_ = -1;
     fail_errno("getsockname failed");
   }
-  port_ = ntohs(addr.sin_port);
+  port_ = addr_port(bound);
   if (::listen(fd_, SOMAXCONN) < 0) {
     ::close(fd_);
     fd_ = -1;
@@ -277,10 +342,10 @@ std::unique_ptr<Transport> TcpListener::accept() {
 }
 
 std::unique_ptr<Transport> tcp_connect(const std::string& host, std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const IpAddr addr = make_addr(host, port);
+  const int fd = ::socket(addr.family, SOCK_STREAM, 0);
   if (fd < 0) fail_errno("socket failed");
-  const sockaddr_in addr = make_addr(host, port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0)
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr.storage), addr.len) == 0)
     return std::make_unique<StreamTransport>(fd, /*tcp=*/true);
   if (errno == EINTR) {
     // POSIX: an interrupted connect keeps completing asynchronously, and

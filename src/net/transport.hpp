@@ -11,9 +11,11 @@
 //   - LoopbackTransport (loopback_pair()): an in-process queue pair for
 //     deterministic tests and benches — no sockets, no timing, FIFO per
 //     direction, close() observable from the peer.
-//   - TCP (TcpListener / tcp_connect): POSIX stream sockets over IPv4,
-//     loopback or LAN. Partial reads/writes and EINTR are handled; peers on
-//     different hosts interoperate because framing is endian-stable.
+//   - TCP (TcpListener / tcp_connect): POSIX stream sockets over IPv4 or
+//     IPv6 (an address containing ':' selects AF_INET6 — "::1" works
+//     everywhere "127.0.0.1" does), loopback or LAN. Partial reads/writes
+//     and EINTR are handled; peers on different hosts interoperate because
+//     framing is endian-stable.
 //   - Unix domain (UnixListener / unix_connect): stream sockets over a
 //     filesystem path for same-host worker fleets — no port allocation, no
 //     TCP stack, and the listener unlinks its path on destruction. Framing
@@ -42,6 +44,24 @@ class NetError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A recv deadline expired with the peer still connected. Subclass of
+/// NetError so every existing catch keeps working; death-detection code
+/// catches this specifically to distinguish "silent" from "gone".
+class NetTimeout : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+/// Blocking policy for Transport::recv(const RecvOptions&): how long one
+/// attempt may wait, how many times to retry after a timeout, and the
+/// linear backoff between retries. The default blocks forever (exactly
+/// recv()).
+struct RecvOptions {
+  int timeout_ms = -1;  // per-attempt wait; < 0 blocks indefinitely
+  int retries = 0;      // extra attempts after the first times out
+  int backoff_ms = 0;   // sleep backoff_ms * attempt between attempts
+};
+
 /// Frames larger than this are rejected on both send and receive — a forged
 /// length prefix must fail on arithmetic, not on a giant allocation.
 inline constexpr std::uint64_t kMaxMessageBytes = 1ull << 30;
@@ -60,6 +80,18 @@ class Transport {
   /// truncated frame, oversized prefix, or socket error.
   virtual std::optional<std::vector<std::uint8_t>> recv() = 0;
 
+  /// recv() with a deadline: waits at most `timeout_ms` for the *start* of
+  /// the next frame, then throws NetTimeout (the peer may still be alive —
+  /// the caller decides whether silence means death). timeout_ms < 0 blocks
+  /// forever, identical to recv(). Once a frame starts arriving it is read
+  /// to completion regardless of the deadline.
+  virtual std::optional<std::vector<std::uint8_t>> recv_for(int timeout_ms) = 0;
+
+  /// Policy-driven recv: up to opts.retries + 1 attempts of
+  /// recv_for(opts.timeout_ms) with linear backoff between them; throws
+  /// NetTimeout when every attempt times out.
+  std::optional<std::vector<std::uint8_t>> recv(const RecvOptions& opts);
+
   /// Closes this endpoint. Further send() calls throw; the peer's pending
   /// messages stay readable and its next recv() after draining them
   /// observes the close.
@@ -70,8 +102,10 @@ class Transport {
 /// `second` and vice versa. Thread-safe per endpoint; FIFO per direction.
 std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> loopback_pair();
 
-/// Listening TCP socket bound to an address (default loopback, ephemeral
-/// port — read the chosen one back with port()).
+/// Listening TCP socket bound to an address (default IPv4 loopback,
+/// ephemeral port — read the chosen one back with port()). Passing an IPv6
+/// address ("::1", "::") binds an AF_INET6 socket instead; the address
+/// family is inferred from the literal.
 class TcpListener {
  public:
   explicit TcpListener(std::uint16_t port = 0, const std::string& bind_address = "127.0.0.1");
@@ -91,8 +125,9 @@ class TcpListener {
   std::uint16_t port_ = 0;
 };
 
-/// Connects to a listening peer. Throws NetError when the connection is
-/// refused or the address is invalid.
+/// Connects to a listening peer (IPv4 or IPv6 literal — ':' in `host`
+/// selects AF_INET6). Throws NetError when the connection is refused or the
+/// address is invalid.
 std::unique_ptr<Transport> tcp_connect(const std::string& host, std::uint16_t port);
 
 /// Listening Unix-domain stream socket bound to a filesystem path. The path

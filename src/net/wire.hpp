@@ -62,6 +62,14 @@ class WireReader {
     return v;
   }
 
+  /// The next `k` bytes (a length-prefixed nested payload).
+  std::span<const std::uint8_t> bytes(std::size_t k) {
+    need(k);
+    const std::span<const std::uint8_t> s = bytes_.subspan(pos_, k);
+    pos_ += k;
+    return s;
+  }
+
   /// The unread remainder of the message.
   std::span<const std::uint8_t> rest() const { return bytes_.subspan(pos_); }
 

@@ -19,6 +19,7 @@
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 #include "tap/distributed_tap.hpp"
 #include "tap/tap_instance.hpp"
 
@@ -207,6 +208,26 @@ TEST(EngineIdentity, PrimitivesBitIdenticalAcrossBackends) {
 
 // ---------------------------------------------------------------------------
 // Distributed-engine protocol details and fault paths.
+
+TEST(EngineIdentity, PoolHubBorrowsAnExternalThreadPool) {
+  // EngineHub::parallel(ThreadPool*) shares a caller-owned pool instead of
+  // spawning one — same results, same counters.
+  const Graph g = weighted_graph(32, 2, 9007);
+  const auto algo = [](Network& net) {
+    const RootedTree t = distributed_bfs(net, 0);
+    std::vector<EdgeId> digest;
+    for (VertexId v = 0; v < net.n(); ++v) digest.push_back(t.parent_edge(v));
+    return digest;
+  };
+  RunRecord base;
+  {
+    Network net(g);
+    base = record(net, algo(net));
+  }
+  ThreadPool pool(3);
+  Network net(g, EngineHub::parallel(&pool));
+  EXPECT_EQ(record(net, algo(net)), base);
+}
 
 TEST(DistributedEngine, SubNetworksInheritTheHubAcrossLayers) {
   // k-ECSS builds internal sub-Networks (connector levels); with a worker

@@ -7,6 +7,7 @@
 
 #include <cstring>
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -16,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/ingest.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
@@ -250,6 +252,165 @@ TEST(Transport, ConnectToClosedPortFails) {
   }  // listener closed; the port is (almost surely) not listening now
   EXPECT_THROW((void)tcp_connect("127.0.0.1", dead_port), NetError);
   EXPECT_THROW((void)tcp_connect("not-an-ipv4-address", 1), NetError);
+}
+
+// ---------------------------------------------------------------------------
+// Recv deadlines (recv_for / RecvOptions) — the death-detection primitive
+// under the fault-tolerant CONGEST engine.
+
+TEST(Transport, RecvForTimesOutTypedAndThePeerStaysUsable) {
+  auto [a, b] = loopback_pair();
+  EXPECT_THROW((void)b->recv_for(30), NetTimeout);
+  // A timeout is not a death: the link still works afterwards.
+  a->send(bytes_of({4, 2}));
+  EXPECT_EQ(b->recv_for(1000), bytes_of({4, 2}));
+  // Orderly close is still nullopt, never a timeout.
+  a->close();
+  EXPECT_EQ(b->recv_for(30), std::nullopt);
+}
+
+TEST(Transport, RecvForNegativeTimeoutBlocksLikeRecv) {
+  auto [a, b] = loopback_pair();
+  std::optional<std::vector<std::uint8_t>> got;
+  std::thread receiver([&] { got = b->recv_for(-1); });
+  a->send(bytes_of({9}));
+  receiver.join();
+  EXPECT_EQ(got, bytes_of({9}));
+}
+
+TEST(Transport, NetTimeoutIsANetError) {
+  // Every existing catch (NetError&) must keep catching deadline expiries.
+  auto [a, b] = loopback_pair();
+  EXPECT_THROW((void)b->recv_for(10), NetError);
+  (void)a;
+}
+
+TEST(Transport, RecvOptionsRetriesAbsorbASlowSender) {
+  auto [a, b] = loopback_pair();
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    a->send(bytes_of({1}));
+  });
+  // One 25 ms attempt would expire; the retry budget rides out the silence.
+  RecvOptions opts;
+  opts.timeout_ms = 25;
+  opts.retries = 20;
+  opts.backoff_ms = 1;
+  EXPECT_EQ(b->recv(opts), bytes_of({1}));
+  sender.join();
+}
+
+TEST(Transport, RecvOptionsExhaustedRetriesThrowNetTimeout) {
+  auto [a, b] = loopback_pair();
+  RecvOptions opts;
+  opts.timeout_ms = 10;
+  opts.retries = 2;
+  EXPECT_THROW((void)b->recv(opts), NetTimeout);
+  (void)a;
+}
+
+TEST(Transport, TcpRecvForTimesOutTyped) {
+  TcpListener listener;
+  std::unique_ptr<Transport> client;
+  std::thread connector([&] { client = tcp_connect("127.0.0.1", listener.port()); });
+  std::unique_ptr<Transport> server = listener.accept();
+  connector.join();
+  EXPECT_THROW((void)server->recv_for(30), NetTimeout);
+  client->send(bytes_of({7}));
+  EXPECT_EQ(server->recv_for(1000), bytes_of({7}));
+  client->close();
+}
+
+// ---------------------------------------------------------------------------
+// IPv6.
+
+TEST(Transport, Ipv6RoundTripsAndClosesOrderly) {
+  TcpListener listener(0, "::1");
+  ASSERT_GT(listener.port(), 0);
+  std::unique_ptr<Transport> client;
+  std::thread connector([&] { client = tcp_connect("::1", listener.port()); });
+  std::unique_ptr<Transport> server = listener.accept();
+  connector.join();
+
+  client->send(bytes_of({1, 2, 3}));
+  server->send(bytes_of({4}));
+  EXPECT_EQ(server->recv(), bytes_of({1, 2, 3}));
+  EXPECT_EQ(client->recv(), bytes_of({4}));
+  client->close();
+  EXPECT_EQ(server->recv(), std::nullopt);
+}
+
+TEST(Transport, Ipv6TruncatedFrameIsATypedError) {
+  TcpListener listener(0, "::1");
+  int raw = ::socket(AF_INET6, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in6 addr{};
+  addr.sin6_family = AF_INET6;
+  addr.sin6_port = htons(listener.port());
+  addr.sin6_addr = in6addr_loopback;
+  ASSERT_EQ(::connect(raw, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  std::unique_ptr<Transport> server = listener.accept();
+
+  const std::uint8_t half_prefix[4] = {10, 0, 0, 0};
+  ASSERT_EQ(::send(raw, half_prefix, sizeof half_prefix, 0),
+            static_cast<ssize_t>(sizeof half_prefix));
+  ::close(raw);
+  EXPECT_THROW((void)server->recv(), NetError);
+}
+
+TEST(Transport, Ipv6ConnectFaultsAreTyped) {
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0, "::1");
+    dead_port = listener.port();
+  }
+  EXPECT_THROW((void)tcp_connect("::1", dead_port), NetError);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection (net/fault.hpp).
+
+TEST(FaultInjection, KillClosesTheLinkAtTheExactFrame) {
+  auto [a, b] = loopback_pair();
+  FaultInjectingTransport faulted(std::move(b), {FaultRule{1, FaultRule::Kind::kKill, 0}});
+  a->send(bytes_of({1}));
+  a->send(bytes_of({2}));
+  EXPECT_EQ(faulted.recv(), bytes_of({1}));  // frame 0 passes
+  EXPECT_THROW((void)faulted.recv(), NetError);  // frame 1 is the kill
+  EXPECT_THROW((void)faulted.recv(), NetError);  // and the link stays dead
+  EXPECT_THROW(faulted.send(bytes_of({3})), NetError);
+  EXPECT_EQ(a->recv(), std::nullopt);  // the peer observes the close
+}
+
+TEST(FaultInjection, DropSwallowsExactlyTheMatchedFrame) {
+  auto [a, b] = loopback_pair();
+  FaultInjectingTransport faulted(std::move(b), {FaultRule{1, FaultRule::Kind::kDrop, 0}});
+  a->send(bytes_of({1}));
+  a->send(bytes_of({2}));  // dropped
+  a->send(bytes_of({3}));
+  EXPECT_EQ(faulted.recv(), bytes_of({1}));
+  EXPECT_EQ(faulted.recv(), bytes_of({3}));
+  EXPECT_EQ(faulted.frames_seen(), 3u);  // the dropped frame still ticked the clock
+}
+
+TEST(FaultInjection, DelayDeliversLateButIntact) {
+  auto [a, b] = loopback_pair();
+  FaultInjectingTransport faulted(std::move(b), {FaultRule{0, FaultRule::Kind::kDelay, 40}});
+  a->send(bytes_of({5}));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(faulted.recv(), bytes_of({5}));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 35);
+}
+
+TEST(FaultInjection, ScriptsComposeWithRecvDeadlines) {
+  // A dropped frame plus a recv deadline is the canonical "silent worker"
+  // scenario: the protocol above sees NetTimeout, not a hang.
+  auto [a, b] = loopback_pair();
+  FaultInjectingTransport faulted(std::move(b), {FaultRule{0, FaultRule::Kind::kDrop, 0}});
+  a->send(bytes_of({1}));
+  EXPECT_THROW((void)faulted.recv_for(50), NetTimeout);
 }
 
 // ---------------------------------------------------------------------------
