@@ -90,6 +90,14 @@ GATES = {
         "key": ("case", "interval", "workers", "frame"),
         "metrics": ("rounds", "messages", "checkpoint_bytes"),
     },
+    # Continuous serving: every row's certificate must stay bit-identical to
+    # the one-shot pipeline (identical_to_oneshot flag) and the certificate /
+    # sketch-copy telemetry is deterministic; latency and throughput are
+    # volatile and never gated.
+    "f14_serve": {
+        "key": ("case", "policy", "point"),
+        "metrics": ("m_certificate", "copies_used"),
+    },
 }
 
 # Bench invocation behind each gated baseline, for --update-baselines:
@@ -108,13 +116,15 @@ BINARIES = {
     "f11_engine": ("bench_f11_engine",),
     "f12_obs_overhead": ("bench_f12_obs_overhead",),
     "f13_failover": ("bench_f13_failover",),
+    "f14_serve": ("bench_f14_serve",),
 }
 
 # Wall-clock / host-dependent fields, stripped when writing baselines.
 VOLATILE = ("ingest_ms", "halves_per_sec", "speedup_vs_1shard",
             "recover_ms", "speedup_vs_1thread", "sample_failure_rate",
             "ship_ms", "wall_ms",
-            "bare_ns_per_op", "hook_ns_per_op", "overhead_ns_per_op")
+            "bare_ns_per_op", "hook_ns_per_op", "overhead_ns_per_op",
+            "updates_per_sec", "query_ms", "p50_query_ms", "p99_query_ms")
 
 
 def extract_doc(path: str) -> dict:

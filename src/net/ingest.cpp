@@ -132,11 +132,8 @@ void run_ingest_worker(Transport& coordinator, const GraphStream& stream, std::u
   }
 }
 
-SparsifyResult coordinated_sparsify(const std::vector<Transport*>& workers, int n, int k,
-                                    const SketchOptions& opt,
-                                    const IngestCoordinatorOptions& copt) {
+void validate_ingest_roster(const std::vector<Transport*>& workers, int n) {
   DECK_CHECK(!workers.empty());
-  DECK_CHECK(copt.threads >= 1);
   for (Transport* t : workers) DECK_CHECK(t != nullptr);
 
   // Roster: every worker announces itself before any attempt is broadcast,
@@ -170,87 +167,74 @@ SparsifyResult coordinated_sparsify(const std::vector<Transport*>& workers, int 
       if (seen == id) fail("duplicate worker id " + std::to_string(id) + " in the roster");
     ids.push_back(id);
   }
+}
 
-  // One pool shared by everything the coordinator does: per-worker receive
-  // jobs (network wait overlaps other workers' chunk merges), and then the
-  // Borůvka recovery fan-out via RecoveryOptions::pool.
-  ThreadPool pool(copt.threads);
-  RecoveryOptions ropt;
-  ropt.threads = copt.threads;
-  ropt.pool = &pool;
+SketchConnectivity coordinated_ingest_attempt(const std::vector<Transport*>& workers, int n,
+                                              const SketchOptions& aopt, ThreadPool& pool) {
+  obs::Span attempt_span("ingest.attempt");
+  attempt_span.arg("workers", workers.size());
+  attempt_span.arg("columns", static_cast<std::uint64_t>(aopt.columns));
+  const obs::TraceContext attempt_ctx = attempt_span.context();
+  const std::vector<std::uint8_t> attempt = encode_attempt(aopt);
+  for (Transport* t : workers) t->send(attempt);
 
-  const auto ingest = [&](const SketchOptions& aopt) {
-    obs::Span attempt_span("ingest.attempt");
-    attempt_span.arg("workers", workers.size());
-    attempt_span.arg("columns", static_cast<std::uint64_t>(aopt.columns));
-    const obs::TraceContext attempt_ctx = attempt_span.context();
-    const std::vector<std::uint8_t> attempt = encode_attempt(aopt);
-    for (Transport* t : workers) t->send(attempt);
-
-    BankAssembler assembler(n, aopt);
-    std::mutex mu;  // serializes add_chunk; receive waits overlap across workers
-    for (Transport* t : workers) {
-      pool.submit([&, t] {
-        // Pool threads have no ambient span — parent the receive job under
-        // the attempt explicitly so the trace shows the overlap.
-        obs::Span recv_span("ingest.recv", attempt_ctx);
-        std::uint64_t chunks = 0;
-        for (;;) {
-          const std::uint64_t wait_start = obs::enabled() ? obs::now_ns() : 0;
-          const std::vector<std::uint8_t> msg = net::recv_expected(*t, "worker");
-          net::WireReader r(std::span<const std::uint8_t>(msg.data(), msg.size()));
-          const auto type = static_cast<IngestMsg>(r.u32());
-          if (type == IngestMsg::kDone) {
-            (void)r.u32();  // chunks_sent; completeness is checked globally below
-            recv_span.arg("chunks", chunks);
-            return;
-          }
-          if (type != IngestMsg::kChunk)
-            fail("coordinator expected Chunk or Done, got message type " +
-                 std::to_string(static_cast<std::uint32_t>(type)));
-          if (obs::enabled()) {
-            IngestMetrics& m = IngestMetrics::get();
-            m.chunk_wait_ns.observe(obs::now_ns() - wait_start);
-            m.chunks.inc();
-            m.chunk_bytes.add(msg.size());
-          }
-          ++chunks;
-          const std::lock_guard<std::mutex> lock(mu);
-          assembler.add_chunk(r.rest());
+  BankAssembler assembler(n, aopt);
+  std::mutex mu;  // serializes add_chunk; receive waits overlap across workers
+  for (Transport* t : workers) {
+    pool.submit([&, t] {
+      // Pool threads have no ambient span — parent the receive job under
+      // the attempt explicitly so the trace shows the overlap.
+      obs::Span recv_span("ingest.recv", attempt_ctx);
+      std::uint64_t chunks = 0;
+      for (;;) {
+        const std::uint64_t wait_start = obs::enabled() ? obs::now_ns() : 0;
+        const std::vector<std::uint8_t> msg = net::recv_expected(*t, "worker");
+        net::WireReader r(std::span<const std::uint8_t>(msg.data(), msg.size()));
+        const auto type = static_cast<IngestMsg>(r.u32());
+        if (type == IngestMsg::kDone) {
+          (void)r.u32();  // chunks_sent; completeness is checked globally below
+          recv_span.arg("chunks", chunks);
+          return;
         }
-      });
-    }
-    pool.wait();
-    if (assembler.sources_seen() != workers.size() || !assembler.complete())
-      fail("attempt ended with an incomplete chunk stream (" +
-           std::to_string(assembler.chunks_received()) + " chunk(s) from " +
-           std::to_string(assembler.sources_seen()) + " of " + std::to_string(workers.size()) +
-           " worker(s))");
-    return assembler.take();
-  };
-
-  SketchOptions base = opt;
-  base.max_forests = k;
-  SparsifyResult result;
-  try {
-    result = recover_certificate(k, base, ropt, ingest);
-  } catch (...) {
-    // Best-effort shutdown so healthy workers exit instead of blocking on
-    // the next Attempt; the original fault stays the primary error.
-    std::vector<std::uint8_t> bye;
-    net::put_u32(bye, static_cast<std::uint32_t>(IngestMsg::kShutdown));
-    for (Transport* t : workers) {
-      try {
-        t->send(bye);
-      } catch (const NetError&) {
+        if (type != IngestMsg::kChunk)
+          fail("coordinator expected Chunk or Done, got message type " +
+               std::to_string(static_cast<std::uint32_t>(type)));
+        if (obs::enabled()) {
+          IngestMetrics& m = IngestMetrics::get();
+          m.chunk_wait_ns.observe(obs::now_ns() - wait_start);
+          m.chunks.inc();
+          m.chunk_bytes.add(msg.size());
+        }
+        ++chunks;
+        const std::lock_guard<std::mutex> lock(mu);
+        assembler.add_chunk(r.rest());
       }
-    }
-    throw;
+    });
   }
+  pool.wait();
+  if (assembler.sources_seen() != workers.size() || !assembler.complete())
+    fail("attempt ended with an incomplete chunk stream (" +
+         std::to_string(assembler.chunks_received()) + " chunk(s) from " +
+         std::to_string(assembler.sources_seen()) + " of " + std::to_string(workers.size()) +
+         " worker(s))");
+  return assembler.take();
+}
+
+void shutdown_ingest_workers(const std::vector<Transport*>& workers, bool best_effort) {
   std::vector<std::uint8_t> bye;
   net::put_u32(bye, static_cast<std::uint32_t>(IngestMsg::kShutdown));
-  for (Transport* t : workers) t->send(bye);
-  return result;
+  for (Transport* t : workers) {
+    if (!best_effort) {
+      t->send(bye);
+      continue;
+    }
+    // Error-path variant: healthy workers should still exit instead of
+    // blocking on the next Attempt; the caller's fault stays primary.
+    try {
+      t->send(bye);
+    } catch (const NetError&) {
+    }
+  }
 }
 
 }  // namespace deck

@@ -71,14 +71,35 @@ struct IngestCoordinatorOptions {
   int threads = 1;
 };
 
-/// Drives the coordinator side over connected worker transports: validates
-/// each worker's Hello, broadcasts per-attempt SketchOptions, assembles the
-/// chunk streams into the global bank, recovers the k forests, and shuts
-/// the workers down. The result (certificate, forests, telemetry) is
-/// bit-identical to sharded_sparsify_stream()/sparsify_stream() on the same
-/// stream and options, for any worker count and chunk size. Throws NetError
-/// on transport/protocol faults and SketchIoError on corrupt or
-/// inconsistent chunk streams.
+/// Coordinator-side building blocks, shared by the GraphSession facade
+/// (serve/session.hpp — its kCoordinated mode drives them once per query)
+/// and the deprecated coordinated_sparsify() wrapper.
+///
+/// Validates every worker's Hello against the fleet (ids distinct and in
+/// range, vertex counts agree) — call once per session, before the first
+/// attempt is broadcast. Throws NetError on violations.
+void validate_ingest_roster(const std::vector<Transport*>& workers, int n);
+
+/// One ingest attempt over the fleet: broadcasts `aopt`, assembles the
+/// workers' chunk streams into the global bank on `pool` (receive waits
+/// overlap chunk merges across workers). Throws NetError / SketchIoError.
+SketchConnectivity coordinated_ingest_attempt(const std::vector<Transport*>& workers, int n,
+                                              const SketchOptions& aopt, ThreadPool& pool);
+
+/// Sends every worker Shutdown. best_effort swallows per-worker transport
+/// faults (the error-path variant — some workers may already be gone);
+/// otherwise the first fault propagates.
+void shutdown_ingest_workers(const std::vector<Transport*>& workers, bool best_effort = false);
+
+/// DEPRECATED wrapper over GraphSession (serve/session.hpp): opens a
+/// kCoordinated session, queries once, and closes — validating each
+/// worker's Hello, broadcasting per-attempt SketchOptions, assembling the
+/// chunk streams into the global bank, recovering the k forests, and
+/// shutting the workers down. The result (certificate, forests, telemetry)
+/// is bit-identical to sharded_sparsify_stream()/sparsify_stream() on the
+/// same stream and options, for any worker count and chunk size. Throws
+/// NetError on transport/protocol faults and SketchIoError on corrupt or
+/// inconsistent chunk streams. New code should open a GraphSession.
 SparsifyResult coordinated_sparsify(const std::vector<Transport*>& workers, int n, int k,
                                     const SketchOptions& opt,
                                     const IngestCoordinatorOptions& copt = {});

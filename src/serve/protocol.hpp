@@ -1,0 +1,143 @@
+#pragma once
+
+// Request/response wire protocol for continuous query serving — the frames a
+// SessionServer (serve/server.hpp) speaks with its clients over any
+// net::Transport, riding the same length-prefixed LE idiom as the ingest and
+// CONGEST protocols (net/wire.hpp).
+//
+//   client                                 server
+//   ──────                                 ──────
+//   Hello{version}        ──────────►      validate version
+//                         ◄──────────      HelloOk{version, n, k}
+//   Update{count, u v ±}… ──────────►      session.apply per update
+//                         ◄──────────      UpdateOk{applied}
+//   Query{k}              ──────────►      session.query(k)
+//                         ◄──────────      Certificate{telemetry, edges}
+//   Stats{}               ──────────►
+//                         ◄──────────      StatsOk{SessionStats}
+//   Bye{}                 ──────────►
+//                         ◄──────────      ByeOk{}
+//
+// Any request the server cannot honor draws an Error{code, message} frame
+// instead of the success response, and the connection stays open — a
+// malformed frame from one client must not tear down a serving session.
+// Client-side decoding turns Error frames (and locally detected malformed
+// responses) into the typed ServeError exception.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sketch/sketch_connectivity.hpp"
+#include "sketch/stream.hpp"
+
+namespace deck {
+
+/// Protocol revision carried in Hello/HelloOk. Bumped on any frame layout
+/// change; the server rejects every other version with kBadVersion.
+inline constexpr std::uint32_t kServeProtocolVersion = 1;
+
+/// Frame types (u32 head of every framed message).
+enum class ServeMsg : std::uint32_t {
+  kHello = 1,        // client → server: version u32
+  kHelloOk = 2,      // server → client: version u32, n u32, k u32
+  kUpdate = 3,       // client → server: count u32, then count × (u u32, v u32, insert u32)
+  kUpdateOk = 4,     // server → client: applied u32
+  kQuery = 5,        // client → server: k u32 (0 = the session's k)
+  kCertificate = 6,  // server → client: telemetry + edge list (see encode_certificate)
+  kStats = 7,        // client → server: no body
+  kStatsOk = 8,      // server → client: 7×u64 (see encode_stats)
+  kBye = 9,          // client → server: no body
+  kByeOk = 10,       // server → client: no body
+  kError = 11,       // server → client: code u32, then the message text
+};
+
+/// Why the server refused a request (Error frame code).
+enum class ServeErrorCode : std::uint32_t {
+  kMalformedFrame = 1,  // frame too short, trailing bytes, or bad field encoding
+  kBadUpdate = 2,       // update rejected by stream validation (endpoints / liveness)
+  kBadQuery = 3,        // k out of range, or recovery failed to converge
+  kUnknownType = 4,     // unrecognized frame type
+  kBadVersion = 5,      // Hello version mismatch
+};
+
+/// Typed serve-layer fault: an Error frame received by the client, or a
+/// request the server-side decoder refused. Subclasses NetError so every
+/// existing transport-fault catch keeps working.
+class ServeError : public NetError {
+ public:
+  ServeError(ServeErrorCode code, const std::string& what)
+      : NetError("serve: " + what), code_(code) {}
+
+  ServeErrorCode code() const { return code_; }
+
+ private:
+  ServeErrorCode code_;
+};
+
+/// The decoded kCertificate response: the recovered certificate's edges plus
+/// the SparsifyResult telemetry a one-shot caller would see.
+struct ServeCertificate {
+  int k = 0;
+  int attempts = 0;
+  int copies_used = 0;
+  int columns_used = 0;
+  int rounds_slack_used = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+};
+
+/// The decoded kStatsOk response: the serving session's lifetime counters
+/// (SessionStats sans the gutter breakdown) plus the updates still buffered
+/// in the gutters at receipt of the request.
+struct ServeStats {
+  std::uint64_t updates = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t bank_reuses = 0;
+  std::uint64_t bank_replays = 0;
+  std::uint64_t pending_updates = 0;
+};
+
+/// Blocking request/response client for one serving session. Every method
+/// sends one request frame and decodes the matching response; an Error frame
+/// raises ServeError with the server's code, transport faults raise
+/// NetError. Not thread-safe — one ServeClient per client thread.
+class ServeClient {
+ public:
+  explicit ServeClient(Transport& server) : server_(server) {}
+
+  /// Handshake: must be the first call. Returns after the server accepts
+  /// the protocol version. num_vertices()/k() are valid afterwards.
+  void hello();
+
+  void insert(VertexId u, VertexId v);
+  void erase(VertexId u, VertexId v);
+  /// Ships a batch of updates in one frame; the server applies them in
+  /// order. Returns the applied count (== updates.size() on success).
+  std::uint32_t update(std::span<const StreamUpdate> updates);
+
+  /// Queries the session (k = 0 uses the session's k).
+  ServeCertificate query(int k = 0);
+
+  /// Session-lifetime counters, as of the server's receipt of the request.
+  ServeStats stats();
+
+  /// Orderly goodbye; the server drops this client afterwards.
+  void bye();
+
+  int num_vertices() const { return n_; }
+  int k() const { return k_; }
+
+ private:
+  std::vector<std::uint8_t> request(ServeMsg type, const std::vector<std::uint8_t>& frame,
+                                    ServeMsg expect);
+
+  Transport& server_;
+  int n_ = 0;
+  int k_ = 0;
+};
+
+}  // namespace deck

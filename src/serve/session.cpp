@@ -1,0 +1,304 @@
+#include "serve/session.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace deck {
+
+namespace {
+
+struct SessionMetrics {
+  obs::Counter& updates = obs::Registry::global().counter("serve.session.updates");
+  obs::Counter& inserts = obs::Registry::global().counter("serve.session.inserts");
+  obs::Counter& deletes = obs::Registry::global().counter("serve.session.deletes");
+  obs::Counter& queries = obs::Registry::global().counter("serve.session.queries");
+  obs::Counter& bank_reuses = obs::Registry::global().counter("serve.session.bank_reuses");
+  obs::Counter& bank_replays = obs::Registry::global().counter("serve.session.bank_replays");
+  obs::Histogram& query_ns = obs::Registry::global().histogram("serve.session.query_ns");
+
+  static SessionMetrics& get() {
+    static SessionMetrics m;
+    return m;
+  }
+};
+
+/// Whether an attempt's sizing matches the live bank's — the clone-vs-replay
+/// decision. Mirrors SketchConnectivity::compatible() on options alone.
+bool same_shape(const SketchOptions& a, const SketchOptions& b) {
+  return a.seed == b.seed && a.max_forests == b.max_forests && a.columns == b.columns &&
+         a.rounds_slack == b.rounds_slack && a.auto_size == b.auto_size;
+}
+
+}  // namespace
+
+GraphSession::GraphSession(int n, int k, IngestOptions opt)
+    : n_(n), k_(k), opt_(std::move(opt)), stream_(n) {
+  DECK_CHECK(n >= 0);
+  DECK_CHECK(k >= 1);
+  DECK_CHECK(opt_.recovery.threads >= 1);
+  if (opt_.mode == IngestMode::kCoordinated) {
+    DECK_CHECK_MSG(!opt_.workers.empty(), "a coordinated session needs worker transports");
+    for (Transport* t : opt_.workers) DECK_CHECK(t != nullptr);
+    DECK_CHECK(opt_.coordinator.threads >= 1);
+    return;  // no live bank — the workers own the stream
+  }
+  DECK_CHECK_MSG(opt_.workers.empty(), "worker transports are a kCoordinated-mode option");
+  if (opt_.mode == IngestMode::kSharded) {
+    DECK_CHECK(opt_.shard.shards >= 1);
+    DECK_CHECK(opt_.shard.batch_size >= 1);
+  }
+  bank_.emplace(n_, live_bank_options());
+  GutterOptions gopt = opt_.gutter;
+  if (gopt.pool == nullptr) gopt.pool = drain_pool();
+  gutters_.emplace(n_, gopt, [this](VertexId src, std::span<const VertexDelta> deltas) {
+    bank_->apply_batch(src, deltas);
+  });
+}
+
+GraphSession::~GraphSession() {
+  if (closed_) return;
+  closed_ = true;
+  // Destructor variant of close(): never throws. Local gutters need no
+  // drain (no observer of the live bank remains); coordinated workers get
+  // a best-effort Shutdown so they exit instead of blocking forever.
+  if (opt_.mode == IngestMode::kCoordinated)
+    shutdown_ingest_workers(opt_.workers, /*best_effort=*/true);
+}
+
+ThreadPool* GraphSession::drain_pool() {
+  if (opt_.mode != IngestMode::kSharded) return nullptr;
+  if (opt_.shard.pool != nullptr) return opt_.shard.pool;
+  if (owned_pool_ == nullptr) owned_pool_ = std::make_unique<ThreadPool>(opt_.shard.shards);
+  return owned_pool_.get();
+}
+
+SketchOptions GraphSession::live_bank_options() const {
+  SketchOptions base = opt_.sketch;
+  base.max_forests = k_;
+  if (!base.auto_size.enabled) return base;
+  // Attempt 0 of recover_certificate's adaptive loop: the initial sizing
+  // under the first split seed. Holding the live bank there makes every
+  // query's first attempt a clone; only grown retries replay the stream.
+  SketchOptions a0 = base;
+  a0.columns = base.auto_size.initial_columns;
+  a0.rounds_slack = base.auto_size.initial_rounds_slack;
+  a0.seed = split_seed(base.seed, 0);
+  return a0;
+}
+
+void GraphSession::check_open() const { DECK_CHECK_MSG(!closed_, "session is closed"); }
+
+void GraphSession::check_local(const char* what) const {
+  DECK_CHECK_MSG(opt_.mode != IngestMode::kCoordinated,
+                 what << " is unavailable in kCoordinated mode — the workers own the stream");
+}
+
+void GraphSession::insert(VertexId u, VertexId v) { apply({u, v, /*insert=*/true}); }
+
+void GraphSession::erase(VertexId u, VertexId v) { apply({u, v, /*insert=*/false}); }
+
+void GraphSession::apply(const StreamUpdate& u) {
+  check_open();
+  check_local("per-update ingest");
+  if (u.insert)
+    stream_.insert(u.u, u.v);  // validates endpoints and liveness
+  else
+    stream_.erase(u.u, u.v);
+  gutters_->push(u.u, u.v, u.insert ? 1 : -1);
+  ++folded_;
+  ++stats_.updates;
+  ++(u.insert ? stats_.inserts : stats_.deletes);
+  if (obs::enabled()) {
+    SessionMetrics& m = SessionMetrics::get();
+    m.updates.inc();
+    (u.insert ? m.inserts : m.deletes).inc();
+  }
+}
+
+void GraphSession::ingest(const GraphStream& s) {
+  check_open();
+  check_local("bulk ingest");
+  DECK_CHECK_MSG(s.num_vertices() == n_,
+                 "bulk ingest of an n=" << s.num_vertices() << " stream into an n=" << n_
+                                        << " session");
+  // Validated append, then fold the appended tail through the gutters via
+  // the replay cursor.
+  for (const StreamUpdate& u : s.updates()) {
+    if (u.insert)
+      stream_.insert(u.u, u.v);
+    else
+      stream_.erase(u.u, u.v);
+  }
+  std::uint64_t inserts = 0;
+  for (const StreamUpdate& u : stream_.updates_since(folded_)) {
+    gutters_->push(u.u, u.v, u.insert ? 1 : -1);
+    if (u.insert) ++inserts;
+  }
+  const std::uint64_t appended = stream_.size() - folded_;
+  folded_ = stream_.size();
+  stats_.updates += appended;
+  stats_.inserts += inserts;
+  stats_.deletes += appended - inserts;
+  if (obs::enabled()) {
+    SessionMetrics& m = SessionMetrics::get();
+    m.updates.add(appended);
+    m.inserts.add(inserts);
+    m.deletes.add(appended - inserts);
+  }
+}
+
+void GraphSession::flush() {
+  check_open();
+  check_local("flush");
+  gutters_->drain();
+}
+
+std::size_t GraphSession::pending_updates() const {
+  return gutters_ ? gutters_->pending_halves() / 2 : 0;
+}
+
+SketchConnectivity GraphSession::attempt_bank(const SketchOptions& aopt) {
+  if (bank_ && same_shape(aopt, bank_->options())) {
+    // The common case: clone the live bank. Its sketch copies stay
+    // unconsumed, so ingest resumes untouched after the query.
+    ++stats_.bank_reuses;
+    if (obs::enabled()) SessionMetrics::get().bank_reuses.inc();
+    return *bank_;
+  }
+  // Grown adaptive attempt or a non-session k: re-ingest the retained
+  // stream under the attempt's sizing. Rare by construction (the live bank
+  // is held at attempt-0 sizing).
+  ++stats_.bank_replays;
+  if (obs::enabled()) SessionMetrics::get().bank_replays.inc();
+  SketchConnectivity fresh(n_, aopt);
+  for (const StreamUpdate& u : stream_.updates_since(0)) fresh.update(u.u, u.v, u.insert ? 1 : -1);
+  return fresh;
+}
+
+SparsifyResult GraphSession::query() { return query(k_); }
+
+SparsifyResult GraphSession::query(int k) {
+  check_open();
+  DECK_CHECK(k >= 1);
+  obs::Span span("serve.query");
+  span.arg("k", static_cast<std::uint64_t>(k));
+  const std::uint64_t start = obs::enabled() ? obs::now_ns() : 0;
+  SparsifyResult result = opt_.mode == IngestMode::kCoordinated ? query_coordinated(k)
+                                                                : query_local(k);
+  ++stats_.queries;
+  if (obs::enabled()) {
+    SessionMetrics& m = SessionMetrics::get();
+    m.queries.inc();
+    m.query_ns.observe(obs::now_ns() - start);
+  }
+  span.arg("certificate_edges", static_cast<std::uint64_t>(result.certificate.num_edges()));
+  return result;
+}
+
+SparsifyResult GraphSession::query_local(int k) {
+  // Pause/flush: the live bank must sketch everything ingested so far
+  // before it is cloned.
+  gutters_->drain();
+  return recover_certificate(k, opt_.sketch, opt_.recovery,
+                             [this](const SketchOptions& aopt) { return attempt_bank(aopt); });
+}
+
+SparsifyResult GraphSession::query_coordinated(int k) {
+  if (owned_pool_ == nullptr) owned_pool_ = std::make_unique<ThreadPool>(opt_.coordinator.threads);
+  ThreadPool& pool = *owned_pool_;
+  try {
+    if (!roster_validated_) {
+      validate_ingest_roster(opt_.workers, n_);
+      roster_validated_ = true;
+    }
+    // One pool shared by everything the coordinator does: per-worker
+    // receive jobs (network wait overlaps other workers' chunk merges),
+    // then the Borůvka recovery fan-out via RecoveryOptions::pool.
+    RecoveryOptions ropt;
+    ropt.threads = opt_.coordinator.threads;
+    ropt.pool = &pool;
+    return recover_certificate(k, opt_.sketch, ropt, [&](const SketchOptions& aopt) {
+      return coordinated_ingest_attempt(opt_.workers, n_, aopt, pool);
+    });
+  } catch (...) {
+    // Best-effort shutdown so healthy workers exit instead of blocking on
+    // the next Attempt; the original fault stays the primary error. The
+    // session is unusable afterwards.
+    closed_ = true;
+    shutdown_ingest_workers(opt_.workers, /*best_effort=*/true);
+    throw;
+  }
+}
+
+void GraphSession::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (opt_.mode == IngestMode::kCoordinated) {
+    shutdown_ingest_workers(opt_.workers, /*best_effort=*/false);
+    return;
+  }
+  gutters_->drain();
+}
+
+SessionStats GraphSession::stats() const {
+  SessionStats s = stats_;
+  if (gutters_) s.gutter = gutters_->stats();
+  return s;
+}
+
+SparsifyResult ingest(const GraphStream& stream, int k, const IngestOptions& opt) {
+  DECK_CHECK_MSG(opt.mode != IngestMode::kCoordinated,
+                 "coordinated ingest reads the workers' streams — open a GraphSession instead");
+  GraphSession session(stream.num_vertices(), k, opt);
+  session.ingest(stream);
+  SparsifyResult result = session.query();
+  session.close();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated one-shot wrappers. Declared in sketch/sketch_connectivity.hpp,
+// sketch/shard.hpp, and net/ingest.hpp; defined here so the lower layers
+// never include serve/ headers. Each is property-tested bit-identical to
+// its pre-facade implementation (tests/test_serve.cpp, plus the original
+// suites, which still run against these names).
+
+SparsifyResult sparsify_stream(const GraphStream& stream, int k, const SketchOptions& opt,
+                               const RecoveryOptions& ropt) {
+  IngestOptions io;
+  io.sketch = opt;
+  io.recovery = ropt;
+  return ingest(stream, k, io);
+}
+
+SparsifyResult sharded_sparsify_stream(const GraphStream& stream, int k, const SketchOptions& sopt,
+                                       const ShardOptions& opt, const RecoveryOptions& ropt) {
+  IngestOptions io;
+  io.mode = IngestMode::kSharded;
+  io.sketch = sopt;
+  io.recovery = ropt;
+  io.shard = opt;
+  return ingest(stream, k, io);
+}
+
+SparsifyResult coordinated_sparsify(const std::vector<Transport*>& workers, int n, int k,
+                                    const SketchOptions& opt,
+                                    const IngestCoordinatorOptions& copt) {
+  IngestOptions io;
+  io.mode = IngestMode::kCoordinated;
+  io.sketch = opt;
+  io.workers = workers;
+  io.coordinator = copt;
+  GraphSession session(n, k, io);
+  SparsifyResult result = session.query(k);
+  session.close();
+  return result;
+}
+
+}  // namespace deck

@@ -1,0 +1,179 @@
+#pragma once
+
+// GraphSession — the long-lived session facade over the streaming
+// sparsification pipeline, and the single entry point the three historical
+// one-shot drivers (sparsify_stream, sharded_sparsify_stream,
+// coordinated_sparsify) are now thin wrappers over.
+//
+// Lifecycle: open → insert/delete (or bulk ingest) → query(k) → resume →
+// close. Updates land in a write-optimized guttering stage
+// (serve/gutter.hpp) feeding a *live* ℓ₀ sketch bank; a query is
+// pause/flush/recover/resume: drain the gutters, clone the live bank, and
+// run forest recovery on the clone — the live bank's sketch copies are
+// never consumed, so ingest continues where it left off and the next query
+// folds only the deltas that arrived since (banks are not rebuilt).
+//
+// Bit-identity contract: query() at any point returns exactly what the
+// one-shot sparsify_stream would return on the stream ingested so far —
+// for every gutter flush policy, gutter count, ingest mode, and recovery
+// thread count. Two ingredients make that a theorem rather than a test
+// hope: sketch linearity (any regrouping of updates sums to the same
+// bank) and deterministic recovery (forests are a function of bank bytes
+// alone). Adaptive sizing holds the live bank at the attempt-0 sizing;
+// attempt 0 of a query clones it, and only the rare grown attempts replay
+// the retained stream through GraphStream::updates_since.
+//
+// Ingest modes (IngestOptions::mode):
+//   kSequential  — gutters flush inline on the session thread.
+//   kSharded     — gutters flush in parallel on a ThreadPool at drain
+//                  points; gutters own disjoint vertex ranges, the same
+//                  disjoint-write argument as static sharding.
+//   kCoordinated — queries drive the multi-process worker protocol of
+//                  net/ingest.hpp (workers hold their own stream slices);
+//                  per-update ingest is not available in this mode.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ingest.hpp"
+#include "serve/gutter.hpp"
+#include "sketch/shard.hpp"
+#include "sketch/sketch_connectivity.hpp"
+#include "sketch/stream.hpp"
+
+namespace deck {
+
+enum class IngestMode {
+  kSequential = 0,
+  kSharded = 1,
+  kCoordinated = 2,
+};
+
+/// Everything that shaped the three historical entry points, in one bag.
+/// Defaults reproduce sparsify_stream(stream, k, {}, {}).
+struct IngestOptions {
+  IngestMode mode = IngestMode::kSequential;
+  SketchOptions sketch;
+  RecoveryOptions recovery;
+  /// kSharded: shard count / lent pool for parallel gutter drains. The
+  /// sharding enum is ignored — gutters are always contiguous vertex
+  /// ranges (the kVertexRange discipline).
+  ShardOptions shard;
+  /// Gutter layout and flush policy (all modes except kCoordinated).
+  GutterOptions gutter;
+  /// kCoordinated: connected worker transports (each running
+  /// run_ingest_worker) and the coordinator pool sizing.
+  std::vector<Transport*> workers;
+  IngestCoordinatorOptions coordinator;
+};
+
+/// Session-lifetime accounting, including the gutter stage's.
+struct SessionStats {
+  std::uint64_t updates = 0;  // undirected updates ingested (gutters included)
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t queries = 0;
+  /// Query attempts answered by cloning the live bank vs re-ingesting the
+  /// retained stream (adaptive growth attempts, or a query for k other
+  /// than the session's).
+  std::uint64_t bank_reuses = 0;
+  std::uint64_t bank_replays = 0;
+  GutterStats gutter;
+};
+
+class GraphSession {
+ public:
+  /// Opens a session over an empty n-vertex graph serving k-certificate
+  /// queries. The live bank is sized for (opt.sketch, k) — queries for the
+  /// session k clone it; other k's fall back to a stream replay.
+  GraphSession(int n, int k, IngestOptions opt = {});
+
+  /// Named constructor, for symmetry with the open/…/close lifecycle.
+  static GraphSession open(int n, int k, IngestOptions opt = {}) {
+    return GraphSession(n, k, opt);
+  }
+
+  /// Closes on destruction (best-effort: coordinated worker shutdown
+  /// faults are swallowed — call close() to observe them).
+  ~GraphSession();
+
+  GraphSession(const GraphSession&) = delete;
+  GraphSession& operator=(const GraphSession&) = delete;
+
+  /// Appends one edge update. Validated like GraphStream (inserting a live
+  /// edge or deleting an absent one throws); buffered in the gutters, not
+  /// yet in the live bank. Unavailable in kCoordinated mode.
+  void insert(VertexId u, VertexId v);
+  void erase(VertexId u, VertexId v);
+  void apply(const StreamUpdate& u);
+
+  /// Bulk ingest: appends every update of `s` (same vertex count) in
+  /// order, as if replayed through insert()/erase().
+  void ingest(const GraphStream& s);
+
+  /// Pause/flush/recover/resume: drains the gutters into the live bank,
+  /// recovers a k-forest Thurimella certificate from a clone, and leaves
+  /// the session ready for more updates. Bit-identical to the equivalent
+  /// one-shot sparsify_stream on the stream ingested so far. query() uses
+  /// the session k (the live bank's shape); query(k) for any other k
+  /// replays the retained stream instead of cloning.
+  SparsifyResult query();
+  SparsifyResult query(int k);
+
+  /// Drains the gutters without querying — bounds live-bank staleness.
+  void flush();
+
+  /// Ends the session: drains gutters, and in kCoordinated mode sends the
+  /// workers Shutdown (throwing on transport faults). Idempotent; every
+  /// other member except stats() throws once closed.
+  void close();
+  bool closed() const { return closed_; }
+
+  int num_vertices() const { return n_; }
+  int k() const { return k_; }
+  const IngestOptions& options() const { return opt_; }
+
+  /// The retained update history (ground truth for verification, and the
+  /// replay source for non-clone query attempts). Empty in kCoordinated
+  /// mode, where the workers own the stream.
+  const GraphStream& stream() const { return stream_; }
+
+  /// Undirected updates buffered in the gutters, not yet in the live bank.
+  std::size_t pending_updates() const;
+
+  SessionStats stats() const;
+
+ private:
+  void check_open() const;
+  void check_local(const char* what) const;
+  /// The sizing the live bank is held at — recover_certificate's attempt-0
+  /// options, so the first attempt of every query is a clone, never a
+  /// replay.
+  SketchOptions live_bank_options() const;
+  SketchConnectivity attempt_bank(const SketchOptions& aopt);
+  SparsifyResult query_local(int k);
+  SparsifyResult query_coordinated(int k);
+  ThreadPool* drain_pool();
+
+  int n_ = 0;
+  int k_ = 0;
+  IngestOptions opt_;
+  bool closed_ = false;
+  GraphStream stream_;
+  std::size_t folded_ = 0;  // stream_ updates already pushed into gutters
+  std::optional<SketchConnectivity> bank_;  // live bank (local modes)
+  std::optional<GutteringSystem> gutters_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // kSharded drain / coordinator pool
+  bool roster_validated_ = false;           // kCoordinated: Hellos consumed
+  SessionStats stats_;
+};
+
+/// ingest() — the facade function behind the deprecated one-shot wrappers:
+/// opens a session, bulk-ingests `stream`, and queries once. Local modes
+/// only (coordinated_sparsify wraps the session directly).
+SparsifyResult ingest(const GraphStream& stream, int k, const IngestOptions& opt);
+
+}  // namespace deck

@@ -106,11 +106,8 @@ ShardIngestResult apply_sharded(const GraphStream& stream, const SketchOptions& 
   return {std::move(merged), std::move(shard_batches), std::move(shard_halves)};
 }
 
-SparsifyResult sharded_sparsify_stream(const GraphStream& stream, int k, const SketchOptions& sopt,
-                                       const ShardOptions& opt, const RecoveryOptions& ropt) {
-  return recover_certificate(k, sopt, ropt, [&stream, &opt](const SketchOptions& aopt) {
-    return std::move(apply_sharded(stream, aopt, opt).sketch);
-  });
-}
+// sharded_sparsify_stream() is now a deprecated wrapper over the
+// GraphSession facade; its definition lives in serve/session.cpp so this
+// layer never includes serve/ headers.
 
 }  // namespace deck

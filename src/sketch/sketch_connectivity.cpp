@@ -482,16 +482,8 @@ SparsifyResult recover_certificate(
   return result;  // unreachable
 }
 
-SparsifyResult sparsify_stream(const GraphStream& stream, int k, const SketchOptions& opt,
-                               const RecoveryOptions& ropt) {
-  return recover_certificate(k, opt, ropt, [&stream](const SketchOptions& aopt) {
-    SketchConnectivity sk(stream.num_vertices(), aopt);
-    apply_batched(stream, /*batch_size=*/1024,
-                  [&sk](VertexId src, std::span<const VertexDelta> deltas) {
-                    sk.apply_batch(src, deltas);
-                  });
-    return sk;
-  });
-}
+// sparsify_stream() is now a deprecated wrapper over the GraphSession
+// facade; its definition lives in serve/session.cpp so this layer never
+// includes serve/ headers.
 
 }  // namespace deck

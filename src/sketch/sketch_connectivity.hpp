@@ -233,6 +233,12 @@ struct SparsifyResult {
   /// Telemetry of the final attempt's recovery.
   RecoveryStats stats;
 };
+
+/// DEPRECATED wrapper over the GraphSession facade (serve/session.hpp):
+/// opens a kSequential session, bulk-ingests `stream`, and queries once.
+/// Bit-identical to the historical one-shot implementation for fixed seeds
+/// (sketch linearity + deterministic recovery). New code should open a
+/// GraphSession or call deck::ingest().
 SparsifyResult sparsify_stream(const GraphStream& stream, int k, const SketchOptions& opt = {},
                                const RecoveryOptions& ropt = {});
 

@@ -38,6 +38,11 @@ void GraphStream::insert(VertexId u, VertexId v) {
   updates_.push_back({u, v, /*insert=*/true});
 }
 
+std::span<const StreamUpdate> GraphStream::updates_since(std::size_t cursor) const {
+  DECK_CHECK_MSG(cursor <= updates_.size(), "stream cursor beyond the appended updates");
+  return std::span<const StreamUpdate>(updates_.data() + cursor, updates_.size() - cursor);
+}
+
 void GraphStream::erase(VertexId u, VertexId v) {
   check_endpoints(u, v);
   DECK_CHECK_MSG(live_.erase(key(u, v)) == 1, "deleting an edge that is not live");

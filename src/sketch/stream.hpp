@@ -79,6 +79,13 @@ class GraphStream {
   std::size_t size() const { return updates_.size(); }
   const std::vector<StreamUpdate>& updates() const { return updates_; }
 
+  /// Replay-from-offset view: the updates appended at or after `cursor`, in
+  /// append order. A long-lived session records the cursor at each query
+  /// point and folds only the post-query deltas instead of re-scanning the
+  /// whole stream. `cursor` may equal size() (empty span); beyond it throws.
+  /// The span is invalidated by the next append.
+  std::span<const StreamUpdate> updates_since(std::size_t cursor) const;
+
   /// Number of edges present after the whole stream.
   std::size_t live_edges() const { return live_.size(); }
 
