@@ -1,0 +1,154 @@
+// F15 — batched apply backends: scalar vs simd ingestion throughput.
+//
+// The f15 workload is a dense churned stream over a k-edge-connected graph,
+// ingested through apply_sharded() under both ApplyBackend strategies
+// (sketch/apply.hpp) across batch sizes {16, 64, 256, 1024} and shard
+// counts {1, 4}. Per row we report wall-clock ingestion throughput
+// (best-of-R timed passes) and the simd row's speedup over the scalar row
+// of the same (n, shards, batch) cell. Exactness is verified untimed on
+// every row: the composed bank's serialized bytes must equal the
+// sequential scalar reference bank's (bit-identical sketch state — the
+// backend-identity contract of sketch/apply.hpp). Exit status reflects
+// only exactness — throughput and speedup depend on the host (CI machines
+// vary, and the AVX2 kernel needs the DECK_SIMD build knob), so they are
+// reported, not gated. A machine-readable JSON document follows the
+// tables; the bench-regression CI gate diffs its deterministic fields
+// (bank bytes) against bench/baselines/f15_apply.json and fails on any
+// false identity flag.
+//
+// Acceptance target (reported in the summary line and the JSON doc as
+// simd_speedup_min_batch256plus): simd ≥ 1.5× scalar updates/sec at batch
+// sizes ≥ 256 on an AVX2 host with the default DECK_SIMD=ON build.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sketch/apply.hpp"
+#include "sketch/shard.hpp"
+#include "sketch/sketch_io.hpp"
+#include "sketch/stream.hpp"
+
+using namespace deck;
+
+namespace {
+
+double ingest_ms(const GraphStream& stream, const SketchOptions& sopt, const ShardOptions& opt,
+                 int reps) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    const ShardIngestResult res = apply_sharded(stream, sopt, opt);
+    const auto stop = std::chrono::steady_clock::now();
+    (void)res;
+    const double ms = std::chrono::duration<double, std::milli>(stop - start).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool large = bench::flag(argc, argv, "--large");
+  // --smoke: sanitizer-friendly sizes (ASan/UBSan cost ~10x wall clock);
+  // correctness flags and exit status are unchanged, rows are not gated.
+  const bool smoke = bench::flag(argc, argv, "--smoke");
+  const std::vector<int> sizes = smoke   ? std::vector<int>{48}
+                                 : large ? std::vector<int>{192, 320}
+                                         : std::vector<int>{96, 160};
+  const std::vector<std::size_t> batch_sizes =
+      smoke ? std::vector<std::size_t>{64, 256} : std::vector<std::size_t>{16, 64, 256, 1024};
+  const std::vector<int> shard_counts = smoke ? std::vector<int>{1} : std::vector<int>{1, 4};
+  const int reps = smoke ? 1 : 3;
+  const int k = 2;
+
+  Json rows = Json::array();
+  bool all_ok = true;
+  // Worst simd-vs-scalar speedup over all measured cells with batch >= 256
+  // (the acceptance cells); 0 until one is measured.
+  double min_speedup_256 = 0;
+  bool have_speedup_256 = false;
+
+  std::printf("apply kernel: %s\n\n", simd_apply_kernel());
+
+  for (int n : sizes) {
+    Rng rng(15000 + n);
+    Graph g = random_kec(n, k, 5 * n, rng);
+    GraphStream stream = GraphStream::from_graph(g, rng);
+    stream.churn(3 * g.num_edges(), rng);
+    const auto updates = static_cast<double>(stream.size());
+
+    SketchOptions sopt;
+    sopt.seed = 15500 + static_cast<std::uint64_t>(n);
+    sopt.max_forests = k;
+
+    // Sequential scalar reference: the bank bytes every cell must reproduce.
+    ShardOptions ref_opt;
+    ref_opt.shards = 1;
+    const std::vector<std::uint8_t> ref_bank =
+        encode_bank(apply_sharded(stream, sopt, ref_opt).sketch);
+
+    Table t({"shards", "batch", "backend", "updates", "ms", "updates/s", "speedup", "identical"});
+    for (int shards : shard_counts) {
+      for (std::size_t batch : batch_sizes) {
+        double scalar_ms = 0;
+        for (ApplyBackend backend : {ApplyBackend::kScalar, ApplyBackend::kSimd}) {
+          ShardOptions opt;
+          opt.shards = shards;
+          opt.batch_size = batch;
+          opt.backend = backend;
+
+          // Exactness first (untimed), then the timed passes.
+          const bool identical = encode_bank(apply_sharded(stream, sopt, opt).sketch) == ref_bank;
+          all_ok = all_ok && identical;
+
+          const double ms = ingest_ms(stream, sopt, opt, reps);
+          if (backend == ApplyBackend::kScalar) scalar_ms = ms;
+          const double speedup =
+              backend == ApplyBackend::kSimd && ms > 0 ? scalar_ms / ms : 1.0;
+          if (backend == ApplyBackend::kSimd && batch >= 256) {
+            min_speedup_256 = have_speedup_256 ? std::min(min_speedup_256, speedup) : speedup;
+            have_speedup_256 = true;
+          }
+          t.add(shards, batch, to_string(backend), stream.size(), ms,
+                updates / (ms / 1000.0), speedup, identical ? "yes" : "NO");
+
+          Json row = Json::object();
+          row.set("n", n)
+              .set("k", k)
+              .set("shards", shards)
+              .set("batch", static_cast<std::uint64_t>(batch))
+              .set("backend", to_string(backend))
+              .set("stream_updates", static_cast<std::uint64_t>(stream.size()))
+              .set("bank_bytes", static_cast<std::uint64_t>(ref_bank.size()))
+              .set("bank_identical_to_scalar", identical)
+              .set("ingest_ms", ms)
+              .set("updates_per_sec", updates / (ms / 1000.0))
+              .set("speedup_vs_scalar", speedup);
+          rows.push(std::move(row));
+        }
+      }
+    }
+    t.print("F15: batched apply backends, n = " + std::to_string(n) +
+            ", k = " + std::to_string(k));
+    std::printf("\n");
+  }
+
+  std::printf("   banks bit-identical to scalar on all rows: %s\n", all_ok ? "yes" : "NO");
+  if (have_speedup_256)
+    std::printf("   min simd speedup at batch >= 256: %.2fx (target 1.5x)\n", min_speedup_256);
+  std::printf("\n");
+
+  Json doc = Json::object();
+  doc.set("bench", "f15_apply")
+      .set("all_ok", all_ok)
+      .set("kernel", simd_apply_kernel())
+      .set("simd_speedup_min_batch256plus", min_speedup_256)
+      .set("rows", std::move(rows));
+  bench::print_json(doc);
+  return all_ok ? 0 : 1;
+}

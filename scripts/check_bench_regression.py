@@ -98,6 +98,14 @@ GATES = {
         "key": ("case", "policy", "point"),
         "metrics": ("m_certificate", "copies_used"),
     },
+    # Batched apply backends: every row's bank must stay bit-identical to
+    # the sequential scalar reference (bank_identical_to_scalar flag) and
+    # the encoded bank size is deterministic; throughput and the
+    # simd-vs-scalar speedup are host-dependent and never gated.
+    "f15_apply": {
+        "key": ("n", "shards", "batch", "backend"),
+        "metrics": ("bank_bytes",),
+    },
 }
 
 # Bench invocation behind each gated baseline, for --update-baselines:
@@ -117,6 +125,7 @@ BINARIES = {
     "f12_obs_overhead": ("bench_f12_obs_overhead",),
     "f13_failover": ("bench_f13_failover",),
     "f14_serve": ("bench_f14_serve",),
+    "f15_apply": ("bench_f15_apply",),
 }
 
 # Wall-clock / host-dependent fields, stripped when writing baselines.
@@ -124,7 +133,8 @@ VOLATILE = ("ingest_ms", "halves_per_sec", "speedup_vs_1shard",
             "recover_ms", "speedup_vs_1thread", "sample_failure_rate",
             "ship_ms", "wall_ms",
             "bare_ns_per_op", "hook_ns_per_op", "overhead_ns_per_op",
-            "updates_per_sec", "query_ms", "p50_query_ms", "p99_query_ms")
+            "updates_per_sec", "query_ms", "p50_query_ms", "p99_query_ms",
+            "speedup_vs_scalar")
 
 
 def extract_doc(path: str) -> dict:

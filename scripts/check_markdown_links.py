@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the deck docs (stdlib only, no network).
+
+Walks the given markdown files (default: README.md and docs/*.md) and
+verifies every *repo-relative* link:
+
+  * the target file exists (relative to the linking file's directory), and
+  * if the link carries a #fragment, the target file contains a heading
+    whose GitHub anchor slug matches the fragment.
+
+External links (http/https/mailto) are skipped — CI must not depend on the
+network or on third-party uptime. Links inside fenced code blocks and
+inline code spans are ignored, so ASCII diagrams and example snippets
+can't produce false positives.
+
+Exit status is the number of broken links (0 = all good), and every
+failure prints as `file:line: message` so editors can jump to it.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+# Inline links: [text](target) — target captured up to the closing paren.
+# Markdown titles (`[t](url "title")`) are split off below.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(\s*)(```|~~~)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markdown emphasis/code markers, lowercase,
+    drop everything but alphanumerics/spaces/hyphens/underscores, then turn
+    spaces into hyphens. (Duplicate-heading -1 suffixes are handled by the
+    caller.)"""
+    text = re.sub(r"[`*_]", "", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s+", "-", text.strip())
+
+
+def strip_code(lines: list[str]) -> list[str]:
+    """Blank out fenced code blocks and inline code spans, preserving line
+    numbers so reported positions stay accurate."""
+    out = []
+    fence = None
+    for line in lines:
+        m = FENCE_RE.match(line)
+        if fence is None and m:
+            fence = m.group(2)
+            out.append("")
+            continue
+        if fence is not None:
+            if m and m.group(2) == fence:
+                fence = None
+            out.append("")
+            continue
+        out.append(CODE_SPAN_RE.sub("", line))
+    return out
+
+
+def anchors_of(path: str, cache: dict) -> set:
+    if path not in cache:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = strip_code(f.read().splitlines())
+        slugs: dict[str, int] = {}
+        found = set()
+        for line in lines:
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(2))
+            n = slugs.get(slug, 0)
+            slugs[slug] = n + 1
+            found.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = found
+    return cache[path]
+
+
+def check_file(path: str, cache: dict) -> list:
+    with open(path, "r", encoding="utf-8") as f:
+        lines = strip_code(f.read().splitlines())
+    errors = []
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, line in enumerate(lines, 1):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if EXTERNAL_RE.match(target):
+                continue  # http(s)/mailto — not checked, no network in CI
+            frag = None
+            if "#" in target:
+                target, frag = target.split("#", 1)
+            if target:
+                resolved = os.path.normpath(os.path.join(base, target))
+                if not os.path.exists(resolved):
+                    errors.append(f"{path}:{lineno}: broken link: {m.group(1)} "
+                                  f"(no such file {os.path.relpath(resolved)})")
+                    continue
+            else:
+                resolved = os.path.abspath(path)
+            if frag is not None:
+                if os.path.isdir(resolved) or not resolved.endswith(".md"):
+                    continue  # anchors only checked inside markdown
+                if frag not in anchors_of(resolved, cache):
+                    errors.append(f"{path}:{lineno}: broken anchor: "
+                                  f"#{frag} not found in {os.path.relpath(resolved)}")
+    return errors
+
+
+def main() -> int:
+    files = sys.argv[1:] or ["README.md"] + sorted(glob.glob("docs/*.md"))
+    cache: dict = {}
+    errors = []
+    for path in files:
+        if not os.path.exists(path):
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path, cache))
+    for e in errors:
+        print(e)
+    if not errors:
+        print(f"OK: {len(files)} files, all relative links and anchors resolve")
+    return min(len(errors), 1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,9 +8,11 @@
 // for a random stream that is two cold column passes per update. The
 // guttering stage buffers each *directed half* in a gutter keyed by its
 // source vertex's range and flushes a gutter as one sorted batch: halves
-// are grouped into per-source runs and applied through apply_batch, so all
+// are grouped into per-source runs and handed to the applier — normally
+// the batch-apply boundary of sketch/apply.hpp (GraphSession submits each
+// run through a BatchApplier under IngestOptions::shard.backend), so all
 // of a vertex's buffered deltas walk its sketch array once while it is
-// cache-resident.
+// cache-resident, scalar or SIMD.
 //
 // Flush policy is size and/or age driven (FlushPolicy): a gutter flushes
 // when it holds max_halves buffered halves, or when its oldest half is
@@ -78,7 +80,8 @@ struct GutterStats {
 class GutteringSystem {
  public:
   /// Applies one per-source run of deltas to the sink (normally
-  /// SketchConnectivity::apply_batch on the live bank).
+  /// BatchApplier::submit → SketchConnectivity::apply_batch on the live
+  /// bank, under the session's configured ApplyBackend).
   using Applier = std::function<void(VertexId, std::span<const VertexDelta>)>;
 
   GutteringSystem(int n, const GutterOptions& opt, Applier apply);

@@ -54,10 +54,15 @@ GraphSession::GraphSession(int n, int k, IngestOptions opt)
     DECK_CHECK(opt_.shard.batch_size >= 1);
   }
   bank_.emplace(n_, live_bank_options());
+  // Gutter flushes reach the live bank through the batch-apply boundary
+  // (sketch/apply.hpp) under the configured backend. Parallel drains are
+  // safe: gutters own disjoint source ranges, and the CPU appliers apply
+  // submits for distinct sources independently.
+  applier_ = make_batch_applier(*bank_, opt_.shard.backend);
   GutterOptions gopt = opt_.gutter;
   if (gopt.pool == nullptr) gopt.pool = drain_pool();
   gutters_.emplace(n_, gopt, [this](VertexId src, std::span<const VertexDelta> deltas) {
-    bank_->apply_batch(src, deltas);
+    applier_->submit(src, deltas);
   });
 }
 
@@ -157,6 +162,7 @@ void GraphSession::flush() {
   check_open();
   check_local("flush");
   gutters_->drain();
+  applier_->finish();
 }
 
 std::size_t GraphSession::pending_updates() const {
@@ -203,8 +209,10 @@ SparsifyResult GraphSession::query(int k) {
 
 SparsifyResult GraphSession::query_local(int k) {
   // Pause/flush: the live bank must sketch everything ingested so far
-  // before it is cloned.
+  // before it is cloned — drain the gutters, then cross the apply
+  // boundary's merge barrier.
   gutters_->drain();
+  applier_->finish();
   return recover_certificate(k, opt_.sketch, opt_.recovery,
                              [this](const SketchOptions& aopt) { return attempt_bank(aopt); });
 }
@@ -244,6 +252,7 @@ void GraphSession::close() {
     return;
   }
   gutters_->drain();
+  applier_->finish();
 }
 
 SessionStats GraphSession::stats() const {

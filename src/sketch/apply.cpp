@@ -1,0 +1,42 @@
+#include "sketch/apply.hpp"
+
+#include <string>
+
+#include "sketch/sketch_connectivity.hpp"
+#include "support/check.hpp"
+
+namespace deck {
+
+const char* to_string(ApplyBackend backend) {
+  switch (backend) {
+    case ApplyBackend::kScalar:
+      return "scalar";
+    case ApplyBackend::kSimd:
+      return "simd";
+  }
+  DECK_CHECK_MSG(false, "unknown ApplyBackend value " << static_cast<int>(backend));
+  return "?";
+}
+
+ApplyBackend parse_apply_backend(std::string_view name) {
+  if (name == "scalar") return ApplyBackend::kScalar;
+  if (name == "simd") return ApplyBackend::kSimd;
+  DECK_CHECK_MSG(false, "unknown apply backend '" << std::string(name) << "' (scalar|simd)");
+  return ApplyBackend::kScalar;
+}
+
+// simd_apply_kernel() is defined in l0_sampler.cpp so the #ifdef sees the
+// compile flags of the TU that actually holds the kernel.
+
+BatchApplier::BatchApplier(SketchConnectivity& bank, ApplyBackend backend)
+    : bank_(bank), backend_(backend) {}
+
+void BatchApplier::submit(VertexId src, std::span<const VertexDelta> deltas) {
+  bank_.apply_batch(src, deltas, backend_);
+}
+
+std::unique_ptr<BatchApplier> make_batch_applier(SketchConnectivity& bank, ApplyBackend backend) {
+  return std::make_unique<BatchApplier>(bank, backend);
+}
+
+}  // namespace deck

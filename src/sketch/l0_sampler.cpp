@@ -2,10 +2,85 @@
 
 #include <bit>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "sketch/apply.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
+#if defined(__AVX512F__) && defined(__GNUC__) && !defined(__clang__)
+// GCC 12's AVX-512 shift intrinsics expand through an
+// _mm512_undefined_epi32() passthrough whose lanes are fully overwritten,
+// tripping -Wmaybe-uninitialized under -Werror (GCC PR 105593, fixed in
+// GCC 13). TU-local suppression; the kernel never reads undefined lanes.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 namespace deck {
+
+namespace {
+
+/// Stack-scratch bound for update_run's per-delta hash vectors. Wider
+/// sketches (SketchConnectivity never builds them — adaptive sizing tops
+/// out far below) fall back to the per-delta scalar loop, same results.
+constexpr int kMaxRunColumns = 32;
+
+#if defined(__AVX2__)
+
+/// 4-lane wrapping 64×64→64 multiply (AVX2 has no mullo_epi64; AVX512DQ
+/// does). Schoolbook on 32-bit halves: lo·lo plus the two cross products
+/// shifted up — the high·high term is entirely above bit 64 and drops out
+/// of the wrapping result, exactly matching scalar uint64 multiplication.
+inline __m256i mullo64(__m256i a, __m256i b) {
+  const __m256i ah = _mm256_srli_epi64(a, 32);
+  const __m256i bh = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a, bh), _mm256_mul_epu32(ah, b));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// 4 lanes of mix64 (support/rng.cpp) — same constants, same wrapping
+/// arithmetic, bit-identical lanes.
+inline __m256i mix64x4(__m256i x) {
+  const __m256i c1 = _mm256_set1_epi64x(static_cast<std::int64_t>(0xbf58476d1ce4e5b9ULL));
+  const __m256i c2 = _mm256_set1_epi64x(static_cast<std::int64_t>(0x94d049bb133111ebULL));
+  x = mullo64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)), c1);
+  x = mullo64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)), c2);
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+#endif  // __AVX2__
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+/// 8 lanes of mix64 — AVX512DQ has a native wrapping 64×64→64 multiply, so
+/// every lane is bit-identical to the scalar function by construction.
+inline __m512i mix64x8(__m512i x) {
+  const __m512i c1 = _mm512_set1_epi64(static_cast<std::int64_t>(0xbf58476d1ce4e5b9ULL));
+  const __m512i c2 = _mm512_set1_epi64(static_cast<std::int64_t>(0x94d049bb133111ebULL));
+  x = _mm512_mullo_epi64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 30)), c1);
+  x = _mm512_mullo_epi64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 27)), c2);
+  return _mm512_xor_si512(x, _mm512_srli_epi64(x, 31));
+}
+
+#endif  // __AVX512F__ && __AVX512DQ__
+
+}  // namespace
+
+const char* simd_apply_kernel() {
+  // Defined here, not in apply.cpp: the answer must reflect the flags this
+  // TU — the one holding the kernel — was compiled with (the CMake
+  // DECK_SIMD knob applies -march=native to this source file alone).
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+  return "avx512";
+#elif defined(__AVX2__)
+  return "avx2";
+#else
+  return "portable";
+#endif
+}
 
 int L0Sampler::levels_for(std::uint64_t universe) {
   // Level ℓ subsamples coordinates with probability 2^-ℓ; levels up to
@@ -26,7 +101,10 @@ L0Sampler::L0Sampler(std::uint64_t universe, std::uint64_t seed, int columns)
     column_salt_.push_back(splitmix64(state));
     column_fp_.push_back(splitmix64(state));
   }
-  buckets_.assign(static_cast<std::size_t>(columns_ * levels_), Bucket{});
+  const auto buckets = static_cast<std::size_t>(columns_ * levels_);
+  count_.assign(buckets, 0);
+  index_sum_.assign(buckets, 0);
+  fingerprint_.assign(buckets, 0);
 }
 
 std::uint64_t L0Sampler::level_hash(int column, std::uint64_t index) const {
@@ -47,10 +125,138 @@ void L0Sampler::update(std::uint64_t index, int delta) {
     const int top = z < levels_ - 1 ? z : levels_ - 1;
     const std::uint64_t fp = fingerprint_hash(c, index);
     for (int l = 0; l <= top; ++l) {
-      Bucket& b = bucket(c, l);
-      b.count += delta;
-      b.index_sum += delta * static_cast<std::int64_t>(index);
-      b.fingerprint += static_cast<std::uint64_t>(static_cast<std::int64_t>(delta)) * fp;
+      const std::size_t i = slot(c, l);
+      count_[i] += delta;
+      index_sum_[i] += delta * static_cast<std::int64_t>(index);
+      fingerprint_[i] += static_cast<std::uint64_t>(static_cast<std::int64_t>(delta)) * fp;
+    }
+  }
+}
+
+void L0Sampler::update_run(std::span<const RawDelta> run) {
+  if (columns_ > kMaxRunColumns) {
+    for (const RawDelta& d : run) update(d.index, static_cast<int>(d.delta));
+    return;
+  }
+  const auto cols = static_cast<std::size_t>(columns_);
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+  // Whole-sketch-in-one-register kernel: with <= 8 columns a level row is a
+  // single k-masked zmm op, so each delta is two mix64x8 hash vectors and
+  // one masked load/add/store triple per surviving level. A column
+  // participates at level l iff its salt hash has >= l trailing zero bits —
+  // (hash & (2^l - 1)) == 0, one vptestnmq per row — and participation is
+  // monotone in l, so the row loop stops at the first all-zero mask (the
+  // per-column top[] clamp of update() is implied: l never reaches
+  // levels_). Masked lanes are never loaded or stored, so nothing past the
+  // row's real buckets is touched. Same wrapping adds, same bank bytes.
+  if (cols <= 8) {
+    const auto colm = static_cast<__mmask8>((1u << cols) - 1);
+    const __m512i vsalt = _mm512_mask_loadu_epi64(_mm512_setzero_si512(), colm, column_salt_.data());
+    const __m512i vfp = _mm512_mask_loadu_epi64(_mm512_setzero_si512(), colm, column_fp_.data());
+    for (const RawDelta& d : run) {
+      DECK_ASSERT(d.index < universe_);
+      if (d.delta == 0) continue;
+      const std::int64_t delta = d.delta;
+      const std::int64_t dxi = delta * static_cast<std::int64_t>(d.index);
+      const __m512i vidx = _mm512_set1_epi64(static_cast<std::int64_t>(d.index));
+      const __m512i vdelta = _mm512_set1_epi64(delta);
+      const __m512i vdxi = _mm512_set1_epi64(dxi);
+      const __m512i hs = mix64x8(_mm512_xor_si512(vsalt, vidx));
+      const __m512i vfpc = _mm512_mullo_epi64(vdelta, mix64x8(_mm512_add_epi64(vfp, vidx)));
+      for (int l = 0; l < levels_; ++l) {
+        const __m512i lmask = _mm512_set1_epi64(static_cast<std::int64_t>((1ull << l) - 1));
+        const __mmask8 m = _mm512_mask_testn_epi64_mask(colm, hs, lmask);
+        if (m == 0) break;
+        const std::size_t row = static_cast<std::size_t>(l) * cols;
+        __m512i v = _mm512_mask_loadu_epi64(_mm512_setzero_si512(), m, count_.data() + row);
+        _mm512_mask_storeu_epi64(count_.data() + row, m, _mm512_add_epi64(v, vdelta));
+        v = _mm512_mask_loadu_epi64(_mm512_setzero_si512(), m, index_sum_.data() + row);
+        _mm512_mask_storeu_epi64(index_sum_.data() + row, m, _mm512_add_epi64(v, vdxi));
+        v = _mm512_mask_loadu_epi64(_mm512_setzero_si512(), m, fingerprint_.data() + row);
+        _mm512_mask_storeu_epi64(fingerprint_.data() + row, m, _mm512_add_epi64(v, vfpc));
+      }
+    }
+    return;
+  }
+#endif
+  // Per-delta hash vectors: the level cutoff and the (delta-scaled)
+  // fingerprint contribution of every column, computed once and broadcast
+  // across the row passes below.
+  std::int64_t top[kMaxRunColumns];
+  std::uint64_t fpc[kMaxRunColumns];
+  for (const RawDelta& d : run) {
+    DECK_ASSERT(d.index < universe_);
+    if (d.delta == 0) continue;
+    const std::uint64_t index = d.index;
+    const std::int64_t delta = d.delta;
+    const std::int64_t dxi = delta * static_cast<std::int64_t>(index);
+    std::int64_t max_top = 0;
+    std::size_t h = 0;
+#if defined(__AVX2__)
+    // 4 columns of both hash families per iteration; lanes are
+    // bit-identical to the scalar mix64, so top[]/fpc[] come out the same.
+    std::uint64_t salt_hash[kMaxRunColumns];
+    const __m256i vidx = _mm256_set1_epi64x(static_cast<std::int64_t>(index));
+    const __m256i vd = _mm256_set1_epi64x(delta);
+    for (; h + 4 <= cols; h += 4) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(column_salt_.data() + h));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(salt_hash + h),
+                          mix64x4(_mm256_xor_si256(s, vidx)));
+      const __m256i f =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(column_fp_.data() + h));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(fpc + h),
+                          mullo64(vd, mix64x4(_mm256_add_epi64(f, vidx))));
+    }
+    for (std::size_t c = 0; c < h; ++c) {
+      const int z = std::countr_zero(salt_hash[c]);
+      const std::int64_t t = z < levels_ - 1 ? z : levels_ - 1;
+      top[c] = t;
+      if (t > max_top) max_top = t;
+    }
+#endif
+    for (std::size_t c = h; c < cols; ++c) {
+      const int z = std::countr_zero(mix64(column_salt_[c] ^ index));
+      const std::int64_t t = z < levels_ - 1 ? z : levels_ - 1;
+      top[c] = t;
+      if (t > max_top) max_top = t;
+      fpc[c] = static_cast<std::uint64_t>(delta) * mix64(column_fp_[c] + index);
+    }
+    // Row passes: level l's buckets are contiguous across columns, and a
+    // column participates iff top[c] >= l — a branchless mask, so the same
+    // adds happen in the same column order as update()'s nested loops,
+    // just with explicit +0s for the masked-out columns.
+    for (std::int64_t l = 0; l <= max_top; ++l) {
+      const std::size_t row = static_cast<std::size_t>(l) * cols;
+      std::int64_t* cnt = count_.data() + row;
+      std::int64_t* isum = index_sum_.data() + row;
+      std::uint64_t* fpr = fingerprint_.data() + row;
+      std::size_t c = 0;
+#if defined(__AVX2__)
+      const __m256i vl = _mm256_set1_epi64x(l - 1);  // top > l-1 ⇔ top >= l
+      const __m256i vdelta = _mm256_set1_epi64x(delta);
+      const __m256i vdxi = _mm256_set1_epi64x(dxi);
+      for (; c + 4 <= cols; c += 4) {
+        const __m256i vtop = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(top + c));
+        const __m256i mask = _mm256_cmpgt_epi64(vtop, vl);
+        __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cnt + c));
+        v = _mm256_add_epi64(v, _mm256_and_si256(mask, vdelta));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(cnt + c), v);
+        v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(isum + c));
+        v = _mm256_add_epi64(v, _mm256_and_si256(mask, vdxi));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(isum + c), v);
+        const __m256i vfpc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(fpc + c));
+        v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(fpr + c));
+        v = _mm256_add_epi64(v, _mm256_and_si256(mask, vfpc));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(fpr + c), v);
+      }
+#endif
+      for (; c < cols; ++c) {
+        const std::uint64_t keep = top[c] >= l ? ~0ull : 0ull;
+        cnt[c] += static_cast<std::int64_t>(keep & static_cast<std::uint64_t>(delta));
+        isum[c] += static_cast<std::int64_t>(keep & static_cast<std::uint64_t>(dxi));
+        fpr[c] += keep & fpc[c];
+      }
     }
   }
 }
@@ -61,11 +267,11 @@ bool L0Sampler::compatible(const L0Sampler& other) const {
 
 void L0Sampler::merge(const L0Sampler& other) {
   DECK_CHECK_MSG(compatible(other), "merging incompatible ℓ₀ sketches");
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    buckets_[i].count += other.buckets_[i].count;
-    buckets_[i].index_sum += other.buckets_[i].index_sum;
-    buckets_[i].fingerprint += other.buckets_[i].fingerprint;
-  }
+  // Per-field loops over the flat arrays — trivially autovectorized, and
+  // the hot inner step of supernode aggregation during recovery.
+  for (std::size_t i = 0; i < count_.size(); ++i) count_[i] += other.count_[i];
+  for (std::size_t i = 0; i < index_sum_.size(); ++i) index_sum_[i] += other.index_sum_[i];
+  for (std::size_t i = 0; i < fingerprint_.size(); ++i) fingerprint_[i] += other.fingerprint_[i];
 }
 
 L0Sample L0Sampler::sample() const {
@@ -73,28 +279,30 @@ L0Sample L0Sampler::sample() const {
     // Scan sparse (high) levels first: the first level whose expected
     // surviving support is ~1 is the likeliest to be exactly one-sparse.
     for (int l = levels_ - 1; l >= 0; --l) {
-      const Bucket& b = bucket(c, l);
-      if (b.count != 1 && b.count != -1) continue;
-      const std::int64_t idx = b.index_sum / b.count;
+      const std::size_t i = slot(c, l);
+      const std::int64_t count = count_[i];
+      if (count != 1 && count != -1) continue;
+      const std::int64_t idx = index_sum_[i] / count;
       if (idx < 0 || static_cast<std::uint64_t>(idx) >= universe_) continue;
-      const std::uint64_t expect = static_cast<std::uint64_t>(b.count) *
+      const std::uint64_t expect = static_cast<std::uint64_t>(count) *
                                    fingerprint_hash(c, static_cast<std::uint64_t>(idx));
-      if (expect != b.fingerprint) continue;
-      return {L0Sample::Status::kFound, static_cast<std::uint64_t>(idx),
-              b.count > 0 ? 1 : -1};
+      if (expect != fingerprint_[i]) continue;
+      return {L0Sample::Status::kFound, static_cast<std::uint64_t>(idx), count > 0 ? 1 : -1};
     }
   }
   return {empty() ? L0Sample::Status::kZero : L0Sample::Status::kFail, 0, 0};
 }
 
 bool L0Sampler::empty() const {
-  for (const Bucket& b : buckets_)
-    if (b.count != 0 || b.index_sum != 0 || b.fingerprint != 0) return false;
+  for (std::size_t i = 0; i < count_.size(); ++i)
+    if (count_[i] != 0 || index_sum_[i] != 0 || fingerprint_[i] != 0) return false;
   return true;
 }
 
 void L0Sampler::clear() {
-  buckets_.assign(buckets_.size(), Bucket{});
+  count_.assign(count_.size(), 0);
+  index_sum_.assign(index_sum_.size(), 0);
+  fingerprint_.assign(fingerprint_.size(), 0);
 }
 
 }  // namespace deck

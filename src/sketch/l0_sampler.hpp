@@ -17,10 +17,23 @@
 // coefficients are ±1 with opposite signs — leaving exactly the cut, which
 // is what makes Borůvka-on-sketches work on dynamic streams.
 //
+// Storage is structure-of-arrays in *level-major* rows (docs/
+// sketch_internals.md): bucket (column c, level l) of each field lives at
+// l·columns + c, so one level's buckets across all columns are contiguous.
+// That makes a batched update (update_run) a short stack of branchless
+// column passes — the rows 0..max_top of the three field arrays — which
+// autovectorize (and have an AVX2 intrinsic kernel). The sketch_io wire
+// format predates the layout and stays column-major; the codec maps
+// indices (SketchIoAccess), so encoded bytes are unchanged.
+//
 // Determinism: all hashing derives from the constructor seed via mix64, so
 // two (seed, shape)-equal sketches are mergeable and every run reproduces.
+// update_run applies its deltas in run order with the exact arithmetic of
+// repeated update() calls — bit-identical buckets, just batched.
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace deck {
@@ -37,12 +50,21 @@ struct L0Sample {
   int sign = 0;  // ±1, only meaningful for kFound
 };
 
+/// One pre-oriented coordinate update for update_run(): x_index += delta.
+/// The batch-apply layer (sketch_connectivity.cpp) translates per-source
+/// VertexDelta runs into these once, then replays the run over every copy.
+struct RawDelta {
+  std::uint64_t index = 0;
+  std::int64_t delta = 0;
+};
+
 class L0Sampler {
  public:
   // One-sparse recovery bucket over the subsampled coordinates: signed
   // count, index-weighted sum, and a wrapping fingerprint Σ c_i·h(i) that
   // validates the (count, index_sum) decode. Public as a type so the
-  // sketch_io codec can name it; the bucket storage itself stays private.
+  // sketch_io codec can name it; the bucket storage itself stays private
+  // (structure-of-arrays, see the header comment).
   struct Bucket {
     std::int64_t count = 0;
     std::int64_t index_sum = 0;
@@ -60,6 +82,13 @@ class L0Sampler {
 
   /// x_index += delta. Coefficients must stay within int64 (ours are ±1).
   void update(std::uint64_t index, int delta);
+
+  /// Batched update: applies the run in order, bit-identical to calling
+  /// update(d.index, d.delta) per element but one cache-resident pass over
+  /// this sampler — hashes computed once per delta and broadcast across the
+  /// level-major column rows. Zero deltas are skipped like update() skips
+  /// them.
+  void update_run(std::span<const RawDelta> run);
 
   /// Bucket-wise sum: afterwards this sketches x + y. Requires compatible().
   void merge(const L0Sampler& other);
@@ -85,11 +114,10 @@ class L0Sampler {
 
   std::uint64_t level_hash(int column, std::uint64_t index) const;
   std::uint64_t fingerprint_hash(int column, std::uint64_t index) const;
-  const Bucket& bucket(int column, int level) const {
-    return buckets_[static_cast<std::size_t>(column * levels_ + level)];
-  }
-  Bucket& bucket(int column, int level) {
-    return buckets_[static_cast<std::size_t>(column * levels_ + level)];
+  /// Field-array slot of bucket (column, level) — level-major rows.
+  std::size_t slot(int column, int level) const {
+    return static_cast<std::size_t>(level) * static_cast<std::size_t>(columns_) +
+           static_cast<std::size_t>(column);
   }
 
   std::uint64_t universe_ = 0;
@@ -98,7 +126,10 @@ class L0Sampler {
   int levels_ = 0;
   std::vector<std::uint64_t> column_salt_;  // per-column level-hash salt
   std::vector<std::uint64_t> column_fp_;    // per-column fingerprint salt
-  std::vector<Bucket> buckets_;             // columns_ × levels_, row-major
+  // Bucket fields, split structure-of-arrays; levels_ rows × columns_ each.
+  std::vector<std::int64_t> count_;
+  std::vector<std::int64_t> index_sum_;
+  std::vector<std::uint64_t> fingerprint_;
 };
 
 }  // namespace deck

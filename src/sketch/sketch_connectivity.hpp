@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sketch/apply.hpp"
 #include "sketch/l0_sampler.hpp"
 #include "sketch/stream.hpp"
 
@@ -151,8 +152,13 @@ class SketchConnectivity {
 
   /// Applies a batch of directed halves to src's sketch array only — the
   /// multi-inserter entry point used by apply_batched(). Every undirected
-  /// update must eventually reach both endpoints.
-  void apply_batch(VertexId src, std::span<const VertexDelta> deltas);
+  /// update must eventually reach both endpoints. `backend` picks the
+  /// execution strategy (sketch/apply.hpp): kScalar is the delta-major
+  /// reference loop, kSimd translates the batch once and replays it over
+  /// each copy as cache-resident batched column passes — bit-identical
+  /// banks either way.
+  void apply_batch(VertexId src, std::span<const VertexDelta> deltas,
+                   ApplyBackend backend = ApplyBackend::kScalar);
 
   /// Same vertex count, seed and sketch shape (merge precondition). Copy
   /// seeds are split deterministically from opt.seed (split_seed), so two

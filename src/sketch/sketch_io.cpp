@@ -11,9 +11,30 @@ namespace deck {
 /// Private-member bridge for the codec: the only code outside the classes
 /// that touches raw buckets, so the wire format stays in one translation
 /// unit.
+///
+/// Wire order vs storage order: every format version emits a sampler's
+/// buckets *column-major* (column c's levels 0..L-1, then column c+1) —
+/// the original in-memory layout. The sampler now stores its bucket fields
+/// structure-of-arrays in level-major rows (l0_sampler.hpp), so the
+/// accessors below translate wire index → storage slot; encoded bytes are
+/// byte-identical to pre-SoA buffers and old buffers decode unchanged.
 struct SketchIoAccess {
-  static const std::vector<L0Sampler::Bucket>& buckets(const L0Sampler& s) { return s.buckets_; }
-  static std::vector<L0Sampler::Bucket>& buckets(L0Sampler& s) { return s.buckets_; }
+  static std::size_t num_buckets(const L0Sampler& s) { return s.count_.size(); }
+  /// Storage slot of wire (column-major) bucket index i.
+  static std::size_t slot(const L0Sampler& s, std::size_t i) {
+    const auto levels = static_cast<std::size_t>(s.levels_);
+    return s.slot(static_cast<int>(i / levels), static_cast<int>(i % levels));
+  }
+  static L0Sampler::Bucket bucket(const L0Sampler& s, std::size_t i) {
+    const std::size_t at = slot(s, i);
+    return {s.count_[at], s.index_sum_[at], s.fingerprint_[at]};
+  }
+  static void set_bucket(L0Sampler& s, std::size_t i, const L0Sampler::Bucket& b) {
+    const std::size_t at = slot(s, i);
+    s.count_[at] = b.count;
+    s.index_sum_[at] = b.index_sum;
+    s.fingerprint_[at] = b.fingerprint;
+  }
   static const std::vector<std::vector<L0Sampler>>& sketches(const SketchConnectivity& b) {
     return b.sketches_;
   }
@@ -335,14 +356,14 @@ void add_bucket(L0Sampler::Bucket& into, const L0Sampler::Bucket& b) {
 
 std::vector<std::uint8_t> encode_sampler(const L0Sampler& s) {
   std::vector<std::uint8_t> out;
-  const auto& buckets = SketchIoAccess::buckets(s);
-  out.reserve(kSamplerHeaderBytes + buckets.size() * kBucketBytes + kChecksumBytes);
+  const std::size_t buckets = SketchIoAccess::num_buckets(s);
+  out.reserve(kSamplerHeaderBytes + buckets * kBucketBytes + kChecksumBytes);
   out.insert(out.end(), kSamplerMagic, kSamplerMagic + 8);
   put_u32(out, kSketchIoVersion);
   put_u32(out, static_cast<std::uint32_t>(s.columns()));
   put_u64(out, s.universe());
   put_u64(out, s.seed());
-  for (const auto& b : buckets) put_bucket(out, b);
+  for (std::size_t i = 0; i < buckets; ++i) put_bucket(out, SketchIoAccess::bucket(s, i));
   put_checksum(out);
   return out;
 }
@@ -361,7 +382,8 @@ L0Sampler decode_sampler(std::span<const std::uint8_t> bytes) {
   const auto levels = static_cast<unsigned __int128>(L0Sampler::levels_for(universe));
   check_payload(r, static_cast<unsigned __int128>(columns.value) * levels);
   L0Sampler s(universe, seed, static_cast<int>(columns.value));
-  for (auto& b : SketchIoAccess::buckets(s)) b = r.bucket();
+  for (std::size_t i = 0; i < SketchIoAccess::num_buckets(s); ++i)
+    SketchIoAccess::set_bucket(s, i, r.bucket());
   return s;
 }
 
@@ -375,7 +397,8 @@ std::vector<std::uint8_t> encode_bank(const SketchConnectivity& bank) {
                   /*begin=*/0, /*end=*/bank.num_vertices());
   for (const auto& copies : SketchIoAccess::sketches(bank))
     for (const L0Sampler& s : copies)
-      for (const auto& b : SketchIoAccess::buckets(s)) put_bucket(out, b);
+      for (std::size_t i = 0; i < SketchIoAccess::num_buckets(s); ++i)
+        put_bucket(out, SketchIoAccess::bucket(s, i));
   put_checksum(out);
   return out;
 }
@@ -409,7 +432,8 @@ std::vector<std::vector<std::uint8_t>> encode_bank_chunks(const SketchConnectivi
     const auto& sketches = SketchIoAccess::sketches(bank);
     for (VertexId v = begin; v < end; ++v)
       for (const L0Sampler& s : sketches[static_cast<std::size_t>(v)])
-        for (const auto& b : SketchIoAccess::buckets(s)) put_bucket(out, b);
+        for (std::size_t i = 0; i < SketchIoAccess::num_buckets(s); ++i)
+          put_bucket(out, SketchIoAccess::bucket(s, i));
     put_checksum(out);
     chunks.push_back(std::move(out));
   }
@@ -433,7 +457,8 @@ SketchConnectivity decode_bank(std::span<const std::uint8_t> bytes) {
   SketchConnectivity bank(ci.n, ci.options);
   for (auto& copies : SketchIoAccess::sketches(bank))
     for (L0Sampler& s : copies)
-      for (auto& b : SketchIoAccess::buckets(s)) b = r.bucket();
+      for (std::size_t i = 0; i < SketchIoAccess::num_buckets(s); ++i)
+        SketchIoAccess::set_bucket(s, i, r.bucket());
   SketchIoAccess::set_cursor(bank, ci.cursor);
   return bank;
 }
@@ -533,7 +558,11 @@ bool BankAssembler::add_chunk(std::span<const std::uint8_t> bytes) {
   auto& sketches = SketchIoAccess::sketches(bank_);
   for (VertexId v = ci.vertex_begin; v < ci.vertex_end; ++v)
     for (L0Sampler& s : sketches[static_cast<std::size_t>(v)])
-      for (auto& b : SketchIoAccess::buckets(s)) add_bucket(b, r.bucket());
+      for (std::size_t i = 0; i < SketchIoAccess::num_buckets(s); ++i) {
+        L0Sampler::Bucket b = SketchIoAccess::bucket(s, i);
+        add_bucket(b, r.bucket());
+        SketchIoAccess::set_bucket(s, i, b);
+      }
 
   src->received[ci.chunk_index] = true;
   src->ranges[ci.chunk_index] = {ci.vertex_begin, ci.vertex_end};

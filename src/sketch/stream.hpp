@@ -7,11 +7,13 @@
 // A GraphStream validates itself as it is built — inserting a live edge or
 // deleting an absent one throws — so the net effect is always a simple
 // graph, recoverable via materialize() for ground-truth verification.
-// apply_batched() regroups the stream into per-endpoint batches (the
+// apply_batched() regroups the stream into per-source batches (the
 // multi-inserter pattern of the streaming-CC systems): each undirected
-// update contributes one directed half at either endpoint, and halves are
-// flushed to the applier in source-grouped runs. Sketch linearity makes the
-// regrouped application equivalent to the in-order one.
+// update contributes one directed half at either endpoint, buffered under
+// its source vertex and delivered as source-grouped runs — full batches as
+// they fill mid-stream, remainders at the end. Sketch linearity makes the
+// regrouped application equivalent to the in-order one;
+// collect_batches() materializes the same delivery for parallel consumers.
 
 #include <algorithm>
 #include <atomic>
@@ -102,8 +104,16 @@ class GraphStream {
 };
 
 /// Streams the updates into `apply(src, std::span<const VertexDelta>)` in
-/// per-source batches of at most batch_size halves, preserving per-source
-/// order. Both halves of every update are delivered exactly once.
+/// per-source batches of at most batch_size halves. Delivery order: a
+/// source's buffer is flushed the moment it reaches batch_size — so full
+/// batches from different sources interleave in stream order — and the
+/// partial buffers remaining at end of stream are flushed in ascending
+/// source order. Within one source, halves always arrive in stream order,
+/// and both halves of every update are delivered exactly once; sketch
+/// linearity makes any such regrouping merge to the bank an in-order
+/// applier would build. collect_batches() below materializes this exact
+/// delivery as SourceBatch values — the batch list the sharded and
+/// serving layers distribute.
 template <typename Applier>
 void apply_batched(const GraphStream& s, std::size_t batch_size, Applier&& apply) {
   DECK_CHECK(batch_size >= 1);
