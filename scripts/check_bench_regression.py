@@ -106,6 +106,15 @@ GATES = {
         "key": ("n", "shards", "batch", "backend"),
         "metrics": ("bank_bytes",),
     },
+    # v4 round wire cost: coordinator wire bytes are deterministic per
+    # config and must not regress; every row must stay bit-identical to the
+    # sequential engine and the document-level delta_reduction_ok flag
+    # enforces the >= 5x frontier-sparse reduction. Wall time per round is
+    # host-dependent and never gated.
+    "f16_round_wire": {
+        "key": ("workload", "delta", "pipeline", "threads"),
+        "metrics": ("wire_bytes", "rounds", "messages"),
+    },
 }
 
 # Bench invocation behind each gated baseline, for --update-baselines:
@@ -126,6 +135,7 @@ BINARIES = {
     "f13_failover": ("bench_f13_failover",),
     "f14_serve": ("bench_f14_serve",),
     "f15_apply": ("bench_f15_apply",),
+    "f16_round_wire": ("bench_f16_round_wire",),
 }
 
 # Wall-clock / host-dependent fields, stripped when writing baselines.
@@ -134,7 +144,7 @@ VOLATILE = ("ingest_ms", "halves_per_sec", "speedup_vs_1shard",
             "ship_ms", "wall_ms",
             "bare_ns_per_op", "hook_ns_per_op", "overhead_ns_per_op",
             "updates_per_sec", "query_ms", "p50_query_ms", "p99_query_ms",
-            "speedup_vs_scalar")
+            "speedup_vs_scalar", "wall_ms_per_round")
 
 
 def extract_doc(path: str) -> dict:

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <csignal>
 #include <cstdlib>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -12,6 +13,7 @@
 #include <utility>
 
 #include "congest/checkpoint.hpp"
+#include "congest/delta_codec.hpp"
 #include "congest/programs.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
@@ -33,10 +35,24 @@ struct NetEngineMetrics {
   obs::Counter& boundary = obs::Registry::global().counter("congest.net.boundary_messages");
   obs::Counter& worker_deaths = obs::Registry::global().counter("congest.net.worker_deaths");
   obs::Counter& reassigns = obs::Registry::global().counter("congest.net.reassigns");
+  // Round-frame format split and per-round wire volume, counted on the
+  // coordinator only (in-process fleets share the registry — worker-side
+  // increments would double every frame).
+  obs::Counter& delta_frames = obs::Registry::global().counter("congest.net.delta_frames");
+  obs::Counter& full_frames = obs::Registry::global().counter("congest.net.full_frames");
+  obs::Histogram& round_wire_bytes =
+      obs::Registry::global().histogram("congest.net.round_wire_bytes");
   obs::Histogram& barrier_wait_ns =
       obs::Registry::global().histogram("congest.net.barrier_wait_ns");
   obs::Histogram& checkpoint_bytes =
       obs::Registry::global().histogram("congest.net.checkpoint_bytes");
+  // Worker-side: how long the protocol thread blocks shipping a frame /
+  // waiting for the next one. Pipelining shrinks exactly these waits —
+  // bench_a2_breakdown's attribution signal for the overlap win.
+  obs::Histogram& send_wait_ns =
+      obs::Registry::global().histogram("congest.net.send_thread_wait_ns");
+  obs::Histogram& recv_wait_ns =
+      obs::Registry::global().histogram("congest.net.recv_thread_wait_ns");
 
   static NetEngineMetrics& get() {
     static NetEngineMetrics m;
@@ -51,37 +67,28 @@ void put_head(std::vector<std::uint8_t>& out, CongestMsg type) {
   net::put_u32(out, static_cast<std::uint32_t>(type));
 }
 
-void encode_packet(std::vector<std::uint8_t>& out, EdgeId e, std::uint8_t dir,
-                   const Packet& msg) {
-  net::put_u32(out, static_cast<std::uint32_t>(e));
-  net::put_u32(out, dir);
-  net::put_u32(out, msg.tag);
-  net::put_u64(out, msg.a);
-  net::put_u64(out, msg.b);
-  net::put_u64(out, msg.c);
+/// v4 kRoundDone/kRound head word. Every other type ships a bare type u32
+/// (upper bytes zero), so head_type() decodes both shapes.
+std::uint32_t packed_head(CongestMsg type, std::uint32_t flags, int round) {
+  return static_cast<std::uint32_t>(type) | (flags << 8) |
+         ((static_cast<std::uint32_t>(round) & 0xffffu) << 16);
 }
 
-/// Encoded size of one packet: 3 × u32 + 3 × u64.
-constexpr std::size_t kPacketBytes = 36;
+CongestMsg head_type(std::uint32_t head) { return static_cast<CongestMsg>(head & 0xffu); }
 
-struct WirePacket {
-  EdgeId edge;
-  std::uint8_t dir;
-  Packet msg;
+/// Per-link round-frame codec pair for one execution: tx encodes the
+/// frames this end ships, rx decodes the frames it receives. Disabled
+/// (delta_frames off) still routes through decode() for the fixed format.
+struct RoundCodecs {
+  bool enabled = false;
+  DeltaCodec tx, rx;
+
+  void arm(EdgeId num_edges, bool delta) {
+    enabled = delta;
+    tx.reset(num_edges);
+    rx.reset(num_edges);
+  }
 };
-
-WirePacket decode_packet(net::WireReader& r) {
-  WirePacket p;
-  p.edge = static_cast<EdgeId>(r.u32());
-  const std::uint32_t dir = r.u32();
-  if (dir > 1) throw NetError("congest: boundary message direction must be 0 or 1");
-  p.dir = static_cast<std::uint8_t>(dir);
-  p.msg.tag = static_cast<std::uint8_t>(r.u32());
-  p.msg.a = r.u64();
-  p.msg.b = r.u64();
-  p.msg.c = r.u64();
-  return p;
-}
 
 /// Contiguous vertex partition: active worker w owns [lo(w), lo(w + 1)).
 VertexId range_lo(int n, int workers, int w) {
@@ -259,6 +266,15 @@ class DistributedEngine final : public Engine {
       rg.collected = false;
     }
 
+    // Round-frame codecs are per execution and per link: both ends of a
+    // link reset at Start, so the shared encoder model never straddles
+    // executions. A worker death discards its pair; the survivor's tx
+    // codec simply encodes the adopted link's unseen slots explicitly.
+    const bool delta = hub_->options().delta_frames;
+    const int cp_interval = hub_->options().checkpoint_interval;
+    std::vector<RoundCodecs> codecs(static_cast<std::size_t>(workers));
+    for (RoundCodecs& c : codecs) c.arm(g_->num_edges(), delta);
+
     std::vector<std::uint8_t> frame;
     std::vector<char> tracing_from(static_cast<std::size_t>(workers), 0);
     for (int w = 0; w < workers; ++w) {
@@ -271,6 +287,8 @@ class DistributedEngine final : public Engine {
       net::put_u32(frame, trace_on ? 1 : 0);
       net::put_u64(frame, ctx.trace_id);
       net::put_u64(frame, ctx.span_id);
+      net::put_u32(frame, delta ? 1u : 0u);  // execution flags, bit 0: delta frames
+      net::put_u32(frame, static_cast<std::uint32_t>(cp_interval));
       net::put_bytes(frame, spec);
       try {
         hub_->worker(w).send(frame);
@@ -282,8 +300,8 @@ class DistributedEngine final : public Engine {
 
     ExecStats stats;
     std::uint64_t boundary_total = 0;
-    const int cp_interval = hub_->options().checkpoint_interval;
     for (int round = 1;; ++round) {
+      std::uint64_t round_wire = 0;  // RoundDone bytes in + kRound bytes out
       std::optional<obs::Span> round_span;
       if (trace_on && round <= kNetMaxRoundSpans) {
         round_span.emplace("round");
@@ -307,7 +325,7 @@ class DistributedEngine final : public Engine {
         orig[static_cast<std::size_t>(w)] = hub_->alive(w) ? 1 : 0;
       for (RangeState& rg : ranges_) {
         rg.cur_count = 0;
-        rg.cur_packets.clear();
+        rg.cur_wire.clear();
       }
 
       // Barrier: collect every live worker's round result (plus one
@@ -327,19 +345,34 @@ class DistributedEngine final : public Engine {
         try {
           const std::vector<std::uint8_t> done = recv_protocol(w, "RoundDone");
           net::WireReader r(done);
-          if (static_cast<CongestMsg>(r.u32()) != CongestMsg::kRoundDone)
+          const std::uint32_t head = r.u32();
+          if (head_type(head) != CongestMsg::kRoundDone)
             throw NetError("congest: expected RoundDone from worker " + std::to_string(w));
+          const std::uint32_t flags = (head >> 8) & 0xffu;
+          if (head >> 16 != (static_cast<std::uint32_t>(round) & 0xffffu))
+            throw NetError("congest: stale RoundDone — worker " + std::to_string(w) +
+                           " stamped round " + std::to_string(head >> 16) +
+                           " at barrier round " + std::to_string(round));
+          const bool body_delta = (flags & 1u) != 0;
+          if (body_delta && !delta)
+            throw NetError("congest: delta RoundDone from worker " + std::to_string(w) +
+                           " but delta frames are disabled");
           total += r.u64();
           const std::uint32_t boundary = r.u32();
           boundary_total += boundary;
-          for (std::uint32_t i = 0; i < boundary; ++i) {
-            const WirePacket p = decode_packet(r);
+          round_wire += done.size();
+          if (obs::enabled())
+            (body_delta ? NetEngineMetrics::get().delta_frames
+                        : NetEngineMetrics::get().full_frames)
+                .inc();
+          for (const WirePacket& p :
+               codecs[static_cast<std::size_t>(w)].rx.decode(r, boundary, body_delta)) {
             if (p.edge < 0 || p.edge >= g_->num_edges())
               throw NetError("congest: boundary message on a bogus edge id");
             const Edge& e = g_->edge(p.edge);
             const VertexId to = p.dir == 0 ? e.v : e.u;
             RangeState& dst = ranges_[range_of(to)];
-            encode_packet(dst.cur_packets, p.edge, p.dir, p.msg);
+            dst.cur_wire.push_back(p);
             ++dst.cur_count;
           }
           if (orig[static_cast<std::size_t>(w)]) {
@@ -387,17 +420,30 @@ class DistributedEngine final : public Engine {
       stats.rounds += 1;
       stats.messages += total;
       const bool want_cp = cp_interval > 0 && round % cp_interval == 0;
+      std::vector<WirePacket> wire_pkts;
+      std::vector<std::uint8_t> body;
       for (int w = 0; w < workers; ++w) {
         if (!hub_->alive(w)) continue;
+        wire_pkts.clear();
+        for (const RangeState& rg : ranges_)
+          if (rg.owner == w)
+            wire_pkts.insert(wire_pkts.end(), rg.cur_wire.begin(), rg.cur_wire.end());
+        std::uint32_t flags = want_cp ? 2u : 0u;
+        body.clear();
+        if (delta) {
+          if (codecs[static_cast<std::size_t>(w)].tx.encode(body, wire_pkts)) flags |= 1u;
+        } else {
+          for (const WirePacket& p : wire_pkts) encode_packet_fixed(body, p.edge, p.dir, p.msg);
+        }
         frame.clear();
-        put_head(frame, CongestMsg::kRound);
-        net::put_u32(frame, want_cp ? 1 : 0);
-        std::uint32_t count = 0;
-        for (const RangeState& rg : ranges_)
-          if (rg.owner == w) count += rg.cur_count;
-        net::put_u32(frame, count);
-        for (const RangeState& rg : ranges_)
-          if (rg.owner == w) net::put_bytes(frame, rg.cur_packets);
+        net::put_u32(frame, packed_head(CongestMsg::kRound, flags, round));
+        net::put_u32(frame, static_cast<std::uint32_t>(wire_pkts.size()));
+        net::put_bytes(frame, body);
+        round_wire += frame.size();
+        if (obs::enabled())
+          ((flags & 1u) != 0 ? NetEngineMetrics::get().delta_frames
+                             : NetEngineMetrics::get().full_frames)
+              .inc();
         try {
           hub_->worker(w).send(frame);
         } catch (const NetError&) {
@@ -405,11 +451,19 @@ class DistributedEngine final : public Engine {
           if (hub_->num_alive() == 0) throw;
         }
       }
+      if (obs::enabled()) NetEngineMetrics::get().round_wire_bytes.observe(round_wire);
       // Extend every range's replay log with this round's deliveries —
       // unconditionally, so recovery is possible from round 1 even with
-      // checkpoints off.
-      for (RangeState& rg : ranges_)
-        rg.log.push_back(LogEntry{rg.cur_count, std::move(rg.cur_packets)});
+      // checkpoints off. Logs always store the fixed encoding: Restore
+      // replay must not depend on any live delta-codec state.
+      for (RangeState& rg : ranges_) {
+        LogEntry le;
+        le.count = rg.cur_count;
+        for (const WirePacket& p : rg.cur_wire)
+          encode_packet_fixed(le.packets, p.edge, p.dir, p.msg);
+        rg.log.push_back(std::move(le));
+        rg.cur_wire.clear();
+      }
 
       if (want_cp) {
         // Workers checkpoint every unit right after applying this round's
@@ -570,7 +624,7 @@ class DistributedEngine final : public Engine {
     std::vector<std::uint8_t> cp_blob;  // empty = restore from round 1
     std::vector<LogEntry> log;
     std::uint32_t cur_count = 0;  // deliveries routed this barrier
-    std::vector<std::uint8_t> cur_packets;
+    std::vector<WirePacket> cur_wire;
     bool collected = false;
   };
 
@@ -584,7 +638,7 @@ class DistributedEngine final : public Engine {
                        expecting);
       if (f->size() >= 4) {
         net::WireReader r(*f);
-        if (static_cast<CongestMsg>(r.u32()) == CongestMsg::kHeartbeat) continue;
+        if (head_type(r.u32()) == CongestMsg::kHeartbeat) continue;
       }
       return std::move(*f);
     }
@@ -744,6 +798,10 @@ class HeartbeatPump {
 
 struct WorkerRange {
   VertexId lo = 0, hi = 0;
+  // interior[v] != 0: every neighbor of v lies inside [lo, hi), so v can
+  // neither receive a boundary delivery nor produce a remote send —
+  // eligible for split-round eager stepping. Computed once per range.
+  std::vector<char> interior;
 };
 
 struct WorkerGraph {
@@ -751,25 +809,276 @@ struct WorkerGraph {
   std::vector<WorkerRange> ranges;  // grows as orphaned ranges are adopted
 };
 
+/// Marks the vertices of [lo, hi) whose neighborhoods are entirely owned.
+std::vector<char> interior_mask(const Graph& g, VertexId lo, VertexId hi) {
+  std::vector<char> mask(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (VertexId v = lo; v < hi; ++v) {
+    char inside = 1;
+    for (const Adj& a : g.neighbors(v))
+      if (a.to < lo || a.to >= hi) {
+        inside = 0;
+        break;
+      }
+    mask[static_cast<std::size_t>(v)] = inside;
+  }
+  return mask;
+}
+
 struct WorkerState {
   WorkerLink link;
   WorkerOptions opts;
-  std::unique_ptr<ThreadPool> pool;  // pool×net stepping when threads > 0
-  int round_frames = 0;              // kill_after_rounds clock
+  std::unique_ptr<ThreadPool> owned_pool;  // pool×net stepping when threads > 0
+  RoundCodecs codecs;                      // round-frame codecs, re-armed per Start
+  int round_frames = 0;                    // kill_after_rounds clock
 
   WorkerState(Transport& transport, const WorkerOptions& options)
       : link(transport), opts(options) {
-    if (options.threads > 0) pool = std::make_unique<ThreadPool>(options.threads);
+    if (options.pool == nullptr && options.threads > 0)
+      owned_pool = std::make_unique<ThreadPool>(options.threads);
   }
+
+  /// The stepping pool: a caller-shared one wins over an owned one.
+  ThreadPool* step_pool() const {
+    return opts.pool != nullptr ? opts.pool : owned_pool.get();
+  }
+};
+
+/// Serializes one RoundDone through the worker's tx codec (or the fixed
+/// format when delta is off). Must run in codec FIFO order.
+void encode_round_done(std::vector<std::uint8_t>& frame, int round, std::uint64_t sent,
+                       std::span<const WirePacket> packets, RoundCodecs& codecs) {
+  std::vector<std::uint8_t> body;
+  std::uint32_t flags = 0;
+  if (codecs.enabled) {
+    if (codecs.tx.encode(body, packets)) flags |= 1u;
+  } else {
+    for (const WirePacket& p : packets) encode_packet_fixed(body, p.edge, p.dir, p.msg);
+  }
+  net::put_u32(frame, packed_head(CongestMsg::kRoundDone, flags, round));
+  net::put_u64(frame, sent);
+  net::put_u32(frame, static_cast<std::uint32_t>(packets.size()));
+  net::put_bytes(frame, body);
+}
+
+std::vector<WirePacket> to_wire(const std::vector<BspRunner::RemoteSend>& sends) {
+  std::vector<WirePacket> out;
+  out.reserve(sends.size());
+  for (const BspRunner::RemoteSend& s : sends)
+    out.push_back(WirePacket{s.edge, s.dir, s.msg});
+  return out;
+}
+
+/// Worker comm pipeline (WorkerOptions::pipeline): a dedicated send thread
+/// serializes and ships outbound frames from a bounded FIFO — so encoding
+/// round R's RoundDone overlaps with stepping round R + 1's interior — and
+/// a dedicated recv thread reads ahead (the protocol is flow-controlled, so
+/// the read-ahead queue stays shallow). With pipelining off the same calls
+/// run inline: one protocol code path either way.
+///
+/// RoundDone jobs are encoded *on the send thread* through the execution's
+/// RoundCodecs; keeping every outbound frame except heartbeats in the FIFO
+/// preserves codec order. flush() must drain the FIFO before the codecs are
+/// re-armed for the next execution. Both modes record how long the protocol
+/// thread blocks on comm into the send/recv wait histograms.
+class CommPipe {
+ public:
+  CommPipe(Transport& t, WorkerLink& link, RoundCodecs& codecs, bool pipelined)
+      : t_(t), link_(link), codecs_(codecs), pipelined_(pipelined) {
+    if (!pipelined_) return;
+    send_thread_ = std::thread([this] { send_loop(); });
+    recv_thread_ = std::thread([this] { recv_loop(); });
+  }
+
+  ~CommPipe() { abort(); }
+
+  /// Ships (or enqueues) one RoundDone; pipelined, the serialization cost
+  /// moves off the protocol thread.
+  void send_round_done(int round, std::uint64_t sent, std::vector<WirePacket> packets) {
+    if (!pipelined_) {
+      std::vector<std::uint8_t> frame;
+      encode_round_done(frame, round, sent, packets, codecs_);
+      const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+      link_.send(frame);
+      if (obs::enabled()) NetEngineMetrics::get().send_wait_ns.observe(obs::now_ns() - t0);
+      return;
+    }
+    SendJob job;
+    job.round_done = true;
+    job.round = round;
+    job.sent = sent;
+    job.packets = std::move(packets);
+    enqueue(std::move(job));
+  }
+
+  /// Ships (or enqueues) an already-encoded frame.
+  void send_frame(std::vector<std::uint8_t> frame) {
+    if (!pipelined_) {
+      const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+      link_.send(frame);
+      if (obs::enabled()) NetEngineMetrics::get().send_wait_ns.observe(obs::now_ns() - t0);
+      return;
+    }
+    SendJob job;
+    job.raw = std::move(frame);
+    enqueue(std::move(job));
+  }
+
+  /// Next inbound frame; nullopt on orderly close. Comm-thread faults
+  /// resurface here as typed NetErrors.
+  std::optional<std::vector<std::uint8_t>> recv() {
+    const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+    if (!pipelined_) {
+      std::optional<std::vector<std::uint8_t>> f = t_.recv();
+      if (obs::enabled()) NetEngineMetrics::get().recv_wait_ns.observe(obs::now_ns() - t0);
+      return f;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_main_.wait(lock, [this] { return !recvq_.empty() || recv_done_ || stop_; });
+    if (obs::enabled()) NetEngineMetrics::get().recv_wait_ns.observe(obs::now_ns() - t0);
+    if (!recvq_.empty()) {
+      std::vector<std::uint8_t> f = std::move(recvq_.front());
+      recvq_.pop_front();
+      return f;
+    }
+    if (!recv_error_.empty()) throw NetError(recv_error_);
+    return std::nullopt;
+  }
+
+  /// Blocks until every enqueued frame left the transport; rethrows send
+  /// faults. Call before re-arming the codecs or finishing an execution —
+  /// queued RoundDone jobs reference the current codec state.
+  void flush() {
+    if (!pipelined_) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_main_.wait(lock, [this] { return pending_ == 0 || stop_; });
+    if (!send_error_.empty()) throw NetError(send_error_);
+  }
+
+  /// Tears the comm threads down (scheduled deaths, worker exit): raises
+  /// stop, wakes a blocked receive via Transport::interrupt, discards any
+  /// unsent frames, joins. Idempotent; called by the destructor.
+  void abort() {
+    if (!pipelined_) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+      stop_ = true;
+    }
+    cv_send_.notify_all();
+    cv_main_.notify_all();
+    try {
+      t_.interrupt();
+    } catch (...) {
+    }
+    if (send_thread_.joinable()) send_thread_.join();
+    if (recv_thread_.joinable()) recv_thread_.join();
+  }
+
+ private:
+  struct SendJob {
+    std::vector<std::uint8_t> raw;  // pre-encoded frame when !round_done
+    bool round_done = false;
+    int round = 0;
+    std::uint64_t sent = 0;
+    std::vector<WirePacket> packets;
+  };
+
+  static constexpr std::size_t kSendQueueCap = 16;
+
+  void enqueue(SendJob job) {
+    const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_main_.wait(lock, [this] { return sendq_.size() < kSendQueueCap || stop_; });
+    if (obs::enabled()) NetEngineMetrics::get().send_wait_ns.observe(obs::now_ns() - t0);
+    if (stop_) throw NetError("congest: send on a torn-down worker comm pipe");
+    if (!send_error_.empty()) throw NetError(send_error_);
+    sendq_.push_back(std::move(job));
+    ++pending_;
+    cv_send_.notify_one();
+  }
+
+  void send_loop() {
+    for (;;) {
+      SendJob job;
+      bool discard = false;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_send_.wait(lock, [this] { return !sendq_.empty() || stop_; });
+        if (sendq_.empty()) return;  // stop with a drained queue
+        job = std::move(sendq_.front());
+        sendq_.pop_front();
+        // After stop or a fault the pipe only completes bookkeeping —
+        // dropping the frames keeps flush() from hanging on a dead link.
+        discard = stop_ || !send_error_.empty();
+      }
+      if (!discard) {
+        try {
+          if (job.round_done) {
+            std::vector<std::uint8_t> frame;
+            encode_round_done(frame, job.round, job.sent, job.packets, codecs_);
+            link_.send(frame);
+          } else {
+            link_.send(job.raw);
+          }
+        } catch (const std::exception& e) {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (send_error_.empty()) send_error_ = e.what();
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      cv_main_.notify_all();
+    }
+  }
+
+  void recv_loop() {
+    for (;;) {
+      std::optional<std::vector<std::uint8_t>> f;
+      try {
+        f = t_.recv();
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (recv_error_.empty()) recv_error_ = e.what();
+        recv_done_ = true;
+        cv_main_.notify_all();
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!f) {
+        recv_done_ = true;
+        cv_main_.notify_all();
+        return;
+      }
+      recvq_.push_back(std::move(*f));
+      cv_main_.notify_all();
+      if (stop_) return;
+    }
+  }
+
+  Transport& t_;
+  WorkerLink& link_;
+  RoundCodecs& codecs_;
+  const bool pipelined_;
+  std::thread send_thread_, recv_thread_;
+  std::mutex mu_;
+  std::condition_variable cv_send_;   // wakes the send thread
+  std::condition_variable cv_main_;   // wakes the protocol thread
+  std::deque<SendJob> sendq_;
+  std::deque<std::vector<std::uint8_t>> recvq_;
+  std::size_t pending_ = 0;  // enqueued frames not yet shipped (or dropped)
+  std::string send_error_, recv_error_;
+  bool recv_done_ = false;
+  bool stop_ = false;
 };
 
 /// The scripted death point: close-and-throw by default (in-process fleets
 /// must not nuke the host), SIGKILL when the worker is its own process.
-[[noreturn]] void die_on_schedule(WorkerState& st) {
+[[noreturn]] void die_on_schedule(WorkerState& st, CommPipe& pipe) {
   if (st.opts.hard_kill) {
     std::raise(SIGKILL);
     std::abort();  // unreachable; keeps [[noreturn] ] honest if SIGKILL is blocked
   }
+  pipe.abort();
   try {
     st.link.t.close();
   } catch (...) {
@@ -796,7 +1105,8 @@ WorkerGraph decode_graph(net::WireReader& r) {
   range.hi = static_cast<VertexId>(r.u32());
   if (range.lo < 0 || range.hi < range.lo || range.hi > static_cast<VertexId>(n))
     throw NetError("congest: LoadGraph vertex range is malformed");
-  wg.ranges.push_back(range);
+  range.interior = interior_mask(wg.g, range.lo, range.hi);
+  wg.ranges.push_back(std::move(range));
   return wg;
 }
 
@@ -836,10 +1146,10 @@ std::pair<WorkerUnit, int> build_restored_unit(WorkerState& st, WorkerGraph& wg,
   for (std::uint32_t i = 0; i < replay_rounds; ++i) {
     const int q = static_cast<int>(r.u32());
     const std::uint32_t count = r.u32();
-    if (count > r.remaining() / kPacketBytes)
+    if (count > r.remaining() / kFixedPacketBytes)
       throw NetError("congest: Restore replay longer than frame");
     std::vector<WirePacket> packets(count);
-    for (auto& p : packets) p = decode_packet(r);
+    for (auto& p : packets) p = decode_packet_fixed(r);
     replay.emplace_back(q, std::move(packets));
   }
 
@@ -847,7 +1157,8 @@ std::pair<WorkerUnit, int> build_restored_unit(WorkerState& st, WorkerGraph& wg,
   u.lo = lo;
   u.hi = hi;
   u.prog = decode_congest_program(program_id, r.rest());
-  u.runner = std::make_unique<BspRunner>(wg.g, lo, hi, st.pool.get());
+  u.runner = std::make_unique<BspRunner>(wg.g, lo, hi, st.step_pool(),
+                                         interior_mask(wg.g, lo, hi));
   int next = 1;
   if (cp_present != 0) {
     u.prog->setup(wg.g);
@@ -881,6 +1192,13 @@ struct StartTrace {
   std::uint64_t parent_span = 0;  // coordinator's net.execute span
 };
 
+/// Per-execution knobs a Start message carries.
+struct ExecConfig {
+  bool delta = false;    // Start exec flags bit 0 (coordinator's choice)
+  bool pipeline = false; // this worker's WorkerOptions::pipeline
+  int cp_interval = 0;   // coordinator's checkpoint cadence, for the eager gate
+};
+
 /// Executes one Start to quiescence; returns after shipping per-range
 /// Outputs (and, when the Start asked for tracing, the worker's span buffer
 /// as kTraceData). Mid-phase Restore frames adopt orphaned ranges into the
@@ -891,9 +1209,9 @@ struct StartTrace {
 /// share the coordinator's process, and sink-recorded events would surface
 /// twice (once drained locally, once shipped back). The local buffer keeps
 /// exactly one copy — the shipped one — on every deployment shape.
-void run_program(WorkerState& st, std::uint32_t graph_id, WorkerGraph& wg,
+void run_program(WorkerState& st, CommPipe& pipe, std::uint32_t graph_id, WorkerGraph& wg,
                  std::uint32_t program_id, std::span<const std::uint8_t> spec,
-                 const StartTrace& trace) {
+                 const StartTrace& trace, const ExecConfig& cfg) {
   std::vector<WorkerUnit> units;
   for (const WorkerRange& range : wg.ranges) {
     if (range.lo >= range.hi) continue;
@@ -901,7 +1219,7 @@ void run_program(WorkerState& st, std::uint32_t graph_id, WorkerGraph& wg,
     u.lo = range.lo;
     u.hi = range.hi;
     u.prog = decode_congest_program(program_id, spec);
-    u.runner = std::make_unique<BspRunner>(wg.g, u.lo, u.hi, st.pool.get());
+    u.runner = std::make_unique<BspRunner>(wg.g, u.lo, u.hi, st.step_pool(), range.interior);
     u.runner->start(*u.prog);
     units.push_back(std::move(u));
   }
@@ -939,11 +1257,16 @@ void run_program(WorkerState& st, std::uint32_t graph_id, WorkerGraph& wg,
   std::vector<BspRunner::RemoteSend> boundary;
   std::vector<std::uint8_t> frame;
   std::uint64_t rounds = 0, messages = 0;
-  for (int round = 1;; ++round) {
-    boundary.clear();
+
+  // Round 1 runs before the loop. Each iteration then ships RoundDone for
+  // `round`, optionally half-steps round + 1's interior while the frames
+  // are in flight, and completes round + 1 once the coordinator's verdict
+  // arrives.
+  int round = 1;
+  std::uint64_t sent = 0;
+  {
     const bool round_traced = trace.tracing && round <= kNetMaxRoundSpans;
     const std::uint64_t round_start = round_traced ? obs::now_ns() : 0;
-    std::uint64_t sent = 0;
     for (WorkerUnit& u : units) sent += u.runner->run_round(round, &boundary);
     if (round_traced) {
       obs::TraceEvent& ev =
@@ -951,29 +1274,49 @@ void run_program(WorkerState& st, std::uint32_t graph_id, WorkerGraph& wg,
       ev.args.emplace_back("round", static_cast<std::uint64_t>(round));
       ev.args.emplace_back("sent", sent);
     }
+  }
+  for (;;) {
     rounds += sent != 0 ? 1 : 0;
     messages += sent;
-    frame.clear();
-    put_head(frame, CongestMsg::kRoundDone);
-    net::put_u64(frame, sent);
-    net::put_u32(frame, static_cast<std::uint32_t>(boundary.size()));
-    for (const BspRunner::RemoteSend& s : boundary) encode_packet(frame, s.edge, s.dir, s.msg);
-    st.link.send(frame);
+    pipe.send_round_done(round, sent, to_wire(boundary));
+    boundary.clear();
+
+    // Eager half-step: our own sends guarantee the coordinator continues
+    // (total > 0 at the barrier ⇒ a kRound verdict is coming), and skipping
+    // checkpoint-cadence rounds keeps save_resume outside any split.
+    const bool eager = cfg.pipeline && sent > 0 &&
+                       !(cfg.cp_interval > 0 && round % cfg.cp_interval == 0);
+    std::uint64_t eager_sent = 0;
+    if (eager)
+      for (WorkerUnit& u : units) eager_sent += u.runner->run_round_interior(round + 1, &boundary);
 
     for (bool advance = false; !advance;) {
-      const std::vector<std::uint8_t> reply =
-          net::recv_expected(st.link.t, "Round/Collect/Restore");
+      std::optional<std::vector<std::uint8_t>> reply_opt = pipe.recv();
+      if (!reply_opt)
+        throw NetError("congest: worker closed while waiting for Round/Collect/Restore");
+      const std::vector<std::uint8_t> reply = std::move(*reply_opt);
       net::WireReader r(reply);
-      switch (static_cast<CongestMsg>(r.u32())) {
+      const std::uint32_t head = r.u32();
+      switch (head_type(head)) {
         case CongestMsg::kRound: {
           ++st.round_frames;
           if (st.opts.kill_after_rounds > 0 && st.round_frames == st.opts.kill_after_rounds)
-            die_on_schedule(st);
-          const std::uint32_t flags = r.u32();
+            die_on_schedule(st, pipe);
+          const std::uint32_t flags = (head >> 8) & 0xffu;
+          if (head >> 16 != (static_cast<std::uint32_t>(round) & 0xffffu))
+            throw NetError("congest: stale Round frame — coordinator stamped round " +
+                           std::to_string(head >> 16) + ", worker is at round " +
+                           std::to_string(round));
+          const bool body_delta = (flags & 1u) != 0;
+          if (body_delta && !cfg.delta)
+            throw NetError("congest: delta Round frame but delta frames are disabled");
           const std::uint32_t count = r.u32();
-          for (std::uint32_t i = 0; i < count; ++i) deliver(round, decode_packet(r));
-          if ((flags & 1u) != 0) {
+          for (const WirePacket& p : st.codecs.rx.decode(r, count, body_delta))
+            deliver(round, p);
+          if ((flags & 2u) != 0) {
             for (const WorkerUnit& u : units) {
+              if (u.runner->split_open())
+                throw NetError("congest: checkpoint requested inside a pipelined round");
               CheckpointBlob cp;
               cp.program_id = program_id;
               cp.lo = u.lo;
@@ -986,13 +1329,32 @@ void run_program(WorkerState& st, std::uint32_t graph_id, WorkerGraph& wg,
               net::put_u32(frame, static_cast<std::uint32_t>(u.lo));
               net::put_u32(frame, static_cast<std::uint32_t>(u.hi));
               encode_checkpoint(cp, frame);
-              st.link.send(frame);
+              pipe.send_frame(std::move(frame));
+              frame = {};
             }
           }
+          const bool round_traced = trace.tracing && round + 1 <= kNetMaxRoundSpans;
+          const std::uint64_t round_start = round_traced ? obs::now_ns() : 0;
+          std::uint64_t next_sent = eager_sent;
+          for (WorkerUnit& u : units)
+            next_sent += u.runner->split_open()
+                             ? u.runner->run_round_boundary(round + 1, &boundary)
+                             : u.runner->run_round(round + 1, &boundary);
+          ++round;
+          if (round_traced) {
+            obs::TraceEvent& ev =
+                record_local("worker.round", round_start, exec_span_id, obs::next_span_id());
+            ev.args.emplace_back("round", static_cast<std::uint64_t>(round));
+            ev.args.emplace_back("sent", next_sent);
+          }
+          sent = next_sent;
           advance = true;
           break;
         }
         case CongestMsg::kCollect: {
+          for (const WorkerUnit& u : units)
+            if (u.runner->split_open())
+              throw NetError("congest: Collect arrived while a pipelined round was in flight");
           for (WorkerUnit& u : units) u.runner->finish();
           for (const WorkerUnit& u : units) {
             frame.clear();
@@ -1000,7 +1362,8 @@ void run_program(WorkerState& st, std::uint32_t graph_id, WorkerGraph& wg,
             net::put_u32(frame, static_cast<std::uint32_t>(u.lo));
             net::put_u32(frame, static_cast<std::uint32_t>(u.hi));
             u.prog->encode_outputs(u.lo, u.hi, frame);
-            st.link.send(frame);
+            pipe.send_frame(std::move(frame));
+            frame = {};
           }
           if (trace.tracing) {
             obs::TraceEvent& ev =
@@ -1010,8 +1373,10 @@ void run_program(WorkerState& st, std::uint32_t graph_id, WorkerGraph& wg,
             frame.clear();
             put_head(frame, CongestMsg::kTraceData);
             obs::encode_trace_events(frame, local_events);
-            st.link.send(frame);
+            pipe.send_frame(std::move(frame));
+            frame = {};
           }
+          pipe.flush();
           return;
         }
         case CongestMsg::kRestore: {
@@ -1028,14 +1393,12 @@ void run_program(WorkerState& st, std::uint32_t graph_id, WorkerGraph& wg,
           std::vector<BspRunner::RemoteSend> adopted_boundary;
           const std::uint64_t adopted_sent = unit.runner->run_round(round, &adopted_boundary);
           messages += adopted_sent;
-          frame.clear();
-          put_head(frame, CongestMsg::kRoundDone);
-          net::put_u64(frame, adopted_sent);
-          net::put_u32(frame, static_cast<std::uint32_t>(adopted_boundary.size()));
-          for (const BspRunner::RemoteSend& s : adopted_boundary)
-            encode_packet(frame, s.edge, s.dir, s.msg);
-          st.link.send(frame);
-          wg.ranges.push_back(WorkerRange{unit.lo, unit.hi});
+          pipe.send_round_done(round, adopted_sent, to_wire(adopted_boundary));
+          WorkerRange adopted;
+          adopted.lo = unit.lo;
+          adopted.hi = unit.hi;
+          adopted.interior = interior_mask(wg.g, unit.lo, unit.hi);
+          wg.ranges.push_back(std::move(adopted));
           units.push_back(std::move(unit));
           break;  // keep waiting for this round's verdict
         }
@@ -1061,12 +1424,15 @@ void run_congest_worker(Transport& coordinator, const WorkerOptions& options) {
     st.link.send(hello);
   }
   HeartbeatPump pump(st.link, options.heartbeat_ms);
+  // Worker-lifetime comm pipeline: heartbeats bypass it (no codec state),
+  // every other outbound frame flows through to keep codec FIFO order.
+  CommPipe pipe(coordinator, st.link, st.codecs, options.pipeline);
   std::map<std::uint32_t, WorkerGraph> graphs;
   for (;;) {
-    std::optional<std::vector<std::uint8_t>> frame = coordinator.recv();
+    std::optional<std::vector<std::uint8_t>> frame = pipe.recv();
     if (!frame) return;  // orderly close = shutdown
     net::WireReader r(*frame);
-    switch (static_cast<CongestMsg>(r.u32())) {
+    switch (head_type(r.u32())) {
       case CongestMsg::kLoadGraph: {
         const std::uint32_t id = r.u32();
         WorkerGraph wg = decode_graph(r);
@@ -1091,7 +1457,16 @@ void run_congest_worker(Transport& coordinator, const WorkerOptions& options) {
         trace.tracing = (r.u32() & 1) != 0;
         trace.trace_id = r.u64();
         trace.parent_span = r.u64();
-        run_program(st, id, it->second, program_id, r.rest(), trace);
+        const std::uint32_t exec_flags = r.u32();
+        ExecConfig cfg;
+        cfg.delta = (exec_flags & 1u) != 0;
+        cfg.pipeline = options.pipeline;
+        cfg.cp_interval = static_cast<int>(r.u32());
+        // Any queued frames still reference the previous execution's codec
+        // state — drain them before re-arming.
+        pipe.flush();
+        st.codecs.arm(it->second.g.num_edges(), cfg.delta);
+        run_program(st, pipe, id, it->second, program_id, r.rest(), trace, cfg);
         break;
       }
       case CongestMsg::kRestore: {
@@ -1114,8 +1489,12 @@ void run_congest_worker(Transport& coordinator, const WorkerOptions& options) {
         net::put_u32(out, static_cast<std::uint32_t>(unit.lo));
         net::put_u32(out, static_cast<std::uint32_t>(unit.hi));
         unit.prog->encode_outputs(unit.lo, unit.hi, out);
-        st.link.send(out);
-        it->second.ranges.push_back(WorkerRange{unit.lo, unit.hi});
+        pipe.send_frame(std::move(out));
+        WorkerRange adopted;
+        adopted.lo = unit.lo;
+        adopted.hi = unit.hi;
+        adopted.interior = interior_mask(it->second.g, unit.lo, unit.hi);
+        it->second.ranges.push_back(std::move(adopted));
         break;
       }
       case CongestMsg::kShutdown:
@@ -1150,9 +1529,11 @@ CongestWorkerFleet::CongestWorkerFleet(int workers, FleetOptions options) {
           try {
             run_congest_worker(*t, wopts);
           } catch (const NetError&) {
-            // Coordinator-side faults close the transport under us; the
-            // coordinator surfaces the error. Scheduled kills already
-            // closed the link themselves.
+            // Coordinator-side faults close the transport under us and
+            // scheduled kills close it themselves; a worker-side protocol
+            // error (malformed frame) must also surface as a death, so
+            // close unconditionally — closing twice is harmless.
+            t->close();
           } catch (const std::exception&) {
             // Program-invariant failures (DECK_CHECK) must not
             // std::terminate the host process: close the link so the

@@ -26,6 +26,17 @@ inline void put_bytes(std::vector<std::uint8_t>& out, std::span<const std::uint8
   out.insert(out.end(), bytes.begin(), bytes.end());
 }
 
+/// LEB128 — 7 value bits per byte, high bit = continuation. Used by the
+/// CONGEST v4 delta round frames where most encoded values (slot gaps,
+/// small payload words) fit in one byte.
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
 /// Receives one frame, treating orderly close as a protocol fault — for
 /// exchanges that know exactly what they are waiting for (`expecting` names
 /// it in the error). Both the ingest and the CONGEST engine protocols frame
@@ -51,6 +62,26 @@ class WireReader {
       v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
     pos_ += 4;
     return v;
+  }
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+
+  /// LEB128 companion of put_varint. A continuation chain longer than ten
+  /// bytes or overflowing 64 bits is a malformed message, not a silent wrap.
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift <= 63; shift += 7) {
+      need(1);
+      const std::uint8_t b = bytes_[pos_++];
+      if (shift == 63 && b > 1)
+        throw NetError("net: malformed protocol message — varint overflows 64 bits");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) return v;
+    }
+    throw NetError("net: malformed protocol message — varint continuation never terminates");
   }
 
   std::uint64_t u64() {

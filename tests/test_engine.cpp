@@ -63,11 +63,25 @@ void expect_engine_identity(const Graph& g, Algo&& algo, const char* what) {
     EXPECT_EQ(got, base) << what << ": pool engine with " << threads << " threads diverged";
   }
   for (int workers : {1, 2, 4}) {
-    CongestWorkerFleet fleet(workers);
     {
+      // Default config = the v4 hot path: delta frames + comm pipelining.
+      CongestWorkerFleet fleet(workers);
       Network net(g, fleet.hub());
       const RunRecord got = record(net, algo(net));
       EXPECT_EQ(got, base) << what << ": net engine with " << workers << " workers diverged";
+    }
+    {
+      // The synchronous v3-style loop: delta + pipelining off, pooled
+      // stepping — the opposite corner of the config space.
+      FleetOptions fo;
+      fo.hub.delta_frames = false;
+      fo.worker.pipeline = false;
+      fo.worker.threads = 2;
+      CongestWorkerFleet fleet(workers, fo);
+      Network net(g, fleet.hub());
+      const RunRecord got = record(net, algo(net));
+      EXPECT_EQ(got, base) << what << ": net engine (delta/pipeline off, threads 2) with "
+                           << workers << " workers diverged";
     }
   }
 }
@@ -204,6 +218,61 @@ TEST(EngineIdentity, PrimitivesBitIdenticalAcrossBackends) {
         return digest;
       },
       "primitives");
+}
+
+TEST(EngineIdentity, NetHotPathConfigMatrixBitIdentical) {
+  // The full delta × pipeline × worker-threads × workers matrix on the
+  // 2-ECSS pipeline: every round hot-path config must reproduce the
+  // sequential run bit for bit, counters included.
+  const Graph g = weighted_graph(32, 2, 9010);
+  const auto algo = [](Network& net) {
+    const Ecss2Result r = distributed_2ecss(net, TapOptions{});
+    return r.edges;
+  };
+  RunRecord base;
+  {
+    Network net(g);
+    base = record(net, algo(net));
+  }
+  for (const bool delta : {false, true})
+    for (const bool pipeline : {false, true})
+      for (const int threads : {1, 2, 4})
+        for (const int workers : {1, 2, 4}) {
+          FleetOptions fo;
+          fo.hub.delta_frames = delta;
+          fo.worker.pipeline = pipeline;
+          fo.worker.threads = threads;
+          CongestWorkerFleet fleet(workers, fo);
+          Network net(g, fleet.hub());
+          const RunRecord got = record(net, algo(net));
+          EXPECT_EQ(got, base) << "2-ecss: net engine diverged at delta=" << delta
+                               << " pipeline=" << pipeline << " threads=" << threads
+                               << " workers=" << workers;
+        }
+}
+
+TEST(EngineIdentity, NetWorkersShareACallerOwnedPool) {
+  // WorkerOptions::pool: every fleet worker steps on one caller-owned
+  // ThreadPool — pool×net composition without per-worker pools.
+  const Graph g = weighted_graph(40, 2, 9011);
+  const auto algo = [](Network& net) {
+    const RootedTree t = distributed_bfs(net, 0);
+    MstResult mst = distributed_mst(net, t);
+    return mst.mst_edges;
+  };
+  RunRecord base;
+  {
+    Network net(g);
+    base = record(net, algo(net));
+  }
+  ThreadPool pool(3);
+  FleetOptions fo;
+  fo.worker.pool = &pool;
+  CongestWorkerFleet fleet(3, fo);
+  {
+    Network net(g, fleet.hub());
+    EXPECT_EQ(record(net, algo(net)), base);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -352,6 +421,8 @@ TEST(DistributedEngine, MalformedProgramSpecIsATypedError) {
   net::put_u32(start, 0);  // trace flags: off
   net::put_u64(start, 0);  // trace id
   net::put_u64(start, 0);  // parent span
+  net::put_u32(start, 0);  // execution flags: delta off
+  net::put_u32(start, 0);  // checkpoint interval
   net::put_u32(start, 2);   // n
   net::put_u32(start, 1);   // one edge
   net::put_u32(start, 99);  // ...whose id does not exist
